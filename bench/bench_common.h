@@ -1,0 +1,49 @@
+// Shared helpers for the bench binaries: small CPU-scale problems, timing,
+// and projection synthesis. Every bench prints (a) the paper's published
+// numbers and (b) what this reproduction measures or models, side by side,
+// so the output can be pasted into EXPERIMENTS.md directly.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/image.h"
+#include "common/timer.h"
+#include "common/math_util.h"
+#include "geometry/cbct.h"
+#include "phantom/phantom.h"
+
+namespace ifdk::bench {
+
+/// Synthesizes `np` Shepp-Logan projections for the given problem.
+struct Scene {
+  geo::CbctGeometry g;
+  std::vector<Image2D> projections;
+};
+
+inline Scene make_scene(const Problem& problem) {
+  Scene s{geo::make_standard_geometry(problem), {}};
+  s.projections = phantom::project_all(phantom::shepp_logan(), s.g);
+  return s;
+}
+
+/// Measures the median of `runs` timings of `fn` (seconds).
+template <typename Fn>
+double median_seconds(int runs, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    Timer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n(reproduces %s)\n\n", title, paper_ref);
+}
+
+}  // namespace ifdk::bench

@@ -1,0 +1,49 @@
+// Shared printer for the four Fig. 5 scaling benches: one stacked-bar row
+// per GPU count with simulated ("measured") values, the Section-4.2
+// analytic model ("peak"), and the paper's published bars.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "common/table.h"
+#include "perfmodel/model.h"
+#include "perfmodel/paper_reference.h"
+
+namespace ifdk::bench {
+
+inline void print_fig5(const char* title,
+                       const std::vector<paper::Fig5Bar>& paper_bars,
+                       int rows,
+                       const std::function<Problem(int gpus)>& problem_for) {
+  std::printf("\n=== %s ===\n\n", title);
+  TextTable t({"GPUs", "compute", "D2H", "reduce", "store", "runtime",
+               "| model: compute", "post", "| paper: compute", "D2H",
+               "reduce", "store"});
+  for (const auto& bar : paper_bars) {
+    const Problem p = problem_for(bar.gpus);
+    const cluster::SimResult sim =
+        cluster::simulate(p, bar.gpus, {}, rows);
+    const perfmodel::Breakdown model =
+        perfmodel::predict(p, {rows, bar.gpus / rows});
+    t.row()
+        .add(static_cast<std::int64_t>(bar.gpus))
+        .add(sim.t_compute, 1)
+        .add(sim.t_d2h, 1)
+        .add(sim.grid.columns > 1 ? sim.t_reduce : std::nan(""), 1)
+        .add(sim.t_store, 1)
+        .add(sim.t_runtime, 1)
+        .add(model.t_compute, 1)
+        .add(model.t_post, 1)
+        .add(bar.compute, 1)
+        .add(bar.d2h, 1)
+        .add(bar.reduce, 1)
+        .add(bar.store, 1);
+  }
+  std::printf("%s", t.str().c_str());
+}
+
+}  // namespace ifdk::bench

@@ -1,0 +1,14 @@
+// Regenerates paper Fig. 5a: strong scaling of the 4K problem
+// (2048^2 x 4096 -> 4096^3, R = 32, C = Ngpus/32, 32..2048 GPUs).
+#include "bench_fig5.h"
+
+int main() {
+  using namespace ifdk;
+  bench::print_fig5("Fig. 5a — strong scaling 2048^2x4096 -> 4096^3 (R=32)",
+                    paper::fig5a(), /*rows=*/32, [](int) {
+                      return Problem{{2048, 2048, 4096}, {4096, 4096, 4096}};
+                    });
+  std::printf("\n(headline: the 4K problem completes within 30 s at 2048 "
+              "GPUs, I/O included)\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates paper Fig. 5c: weak scaling to 4096^3 with Np = 16 * Ngpus.
+#include "bench_fig5.h"
+
+int main() {
+  using namespace ifdk;
+  bench::print_fig5("Fig. 5c — weak scaling 2048^2xNp -> 4096^3 (Np=16*Ngpus)",
+                    paper::fig5c(), /*rows=*/32, [](int gpus) {
+                      return Problem{
+                          {2048, 2048, static_cast<std::size_t>(16 * gpus)},
+                          {4096, 4096, 4096}};
+                    });
+  std::printf("\n(Tcompute stays flat: each rank keeps a constant share of "
+              "16 projections)\n");
+  return 0;
+}

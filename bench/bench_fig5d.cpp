@@ -1,0 +1,13 @@
+// Regenerates paper Fig. 5d: weak scaling to 8192^3 with Np = 4 * Ngpus.
+#include "bench_fig5.h"
+
+int main() {
+  using namespace ifdk;
+  bench::print_fig5("Fig. 5d — weak scaling 2048^2xNp -> 8192^3 (Np=4*Ngpus)",
+                    paper::fig5d(), /*rows=*/256, [](int gpus) {
+                      return Problem{
+                          {2048, 2048, static_cast<std::size_t>(4 * gpus)},
+                          {8192, 8192, 8192}};
+                    });
+  return 0;
+}

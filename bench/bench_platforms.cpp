@@ -1,0 +1,53 @@
+// Regenerates the Section 6.2 platform discussion: the AWS cost estimate
+// ("a 4K volume ... for the cost of less than $100" on 256 p3.8xlarge
+// instances) and the DGX-2 projection ("4K problems within a minute").
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cluster/platforms.h"
+#include "common/table.h"
+
+int main() {
+  using namespace ifdk;
+  bench::print_header("Platforms — AWS HPC and DGX-2 projections",
+                      "paper Section 6.2");
+
+  const Problem four_k{{2048, 2048, 4096}, {4096, 4096, 4096}};
+
+  std::printf("--- AWS p3.8xlarge (4 V100, 10 Gbps, $12.24/h) ---\n");
+  TextTable aws({"instances", "GPUs", "runtime(s)", "cost ($)",
+                 "under $100?"});
+  for (int gpus : {128, 256, 512, 1024}) {
+    const auto est = platforms::estimate_aws(four_k, gpus);
+    aws.row()
+        .add(static_cast<std::int64_t>(est.instances))
+        .add(static_cast<std::int64_t>(gpus))
+        .add(est.runtime_s, 1)
+        .add(est.cost_usd, 2)
+        .add(est.cost_usd < 100.0 ? "yes" : "no");
+  }
+  std::printf("%s", aws.str().c_str());
+  std::printf("(paper: 256 instances, less than $100 — the slow network "
+              "stretches runtime but per-second billing keeps cost low)\n\n");
+
+  std::printf("--- Nvidia DGX-2 (16 V100, NVSwitch, local NVMe) ---\n");
+  TextTable dgx({"problem", "compute(s)", "post(s)", "runtime(s)",
+                 "paper claim"});
+  const auto sim4k = platforms::estimate_dgx2(four_k);
+  dgx.row()
+      .add("4096^3")
+      .add(sim4k.t_compute, 1)
+      .add(sim4k.t_runtime - sim4k.t_compute, 1)
+      .add(sim4k.t_runtime, 1)
+      .add("within a minute");
+  const Problem two_k{{2048, 2048, 4096}, {2048, 2048, 2048}};
+  const auto sim2k = platforms::estimate_dgx2(two_k);
+  dgx.row()
+      .add("2048^3")
+      .add(sim2k.t_compute, 1)
+      .add(sim2k.t_runtime - sim2k.t_compute, 1)
+      .add(sim2k.t_runtime, 1)
+      .add("-");
+  std::printf("%s", dgx.str().c_str());
+  return 0;
+}

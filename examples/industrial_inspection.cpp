@@ -1,0 +1,112 @@
+// Industrial non-destructive inspection scenario (paper Section 6.1: defect
+// inspection is a primary driver of high-resolution CT — GOM CT, Nikon
+// XTH450, Shimadzu inspeXio are the cited systems).
+//
+// An aluminium part with drilled holes, two internal cracks and a tungsten
+// inclusion is scanned, reconstructed with FDK, and then *automatically
+// inspected*: the program segments air pockets and dense inclusions inside
+// the part and compares against the phantom's CAD-level ground truth.
+//
+// Run:  ./industrial_inspection [--size 48] [--views 180]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "ifdk/fdk.h"
+#include "imgio/imgio.h"
+#include "phantom/phantom.h"
+
+namespace {
+
+using namespace ifdk;
+
+struct InspectionReport {
+  std::size_t part_voxels = 0;       ///< reconstructed as aluminium
+  std::size_t void_voxels = 0;       ///< air inside the part envelope
+  std::size_t inclusion_voxels = 0;  ///< denser than aluminium
+};
+
+/// Segments the reconstruction: inside the part's bounding envelope,
+/// voxels well below the aluminium density are voids (holes/cracks) and
+/// voxels well above are foreign inclusions.
+InspectionReport inspect(const Volume& recon, const Volume& truth_envelope,
+                         float aluminium) {
+  InspectionReport report;
+  for (std::size_t k = 0; k < recon.nz(); ++k) {
+    for (std::size_t j = 0; j < recon.ny(); ++j) {
+      for (std::size_t i = 0; i < recon.nx(); ++i) {
+        if (truth_envelope.at(i, j, k) == 0.0f) continue;  // outside the part
+        const float v = recon.at(i, j, k);
+        if (v < 0.5f * aluminium) {
+          ++report.void_voxels;
+        } else if (v > 2.0f * aluminium) {
+          ++report.inclusion_voxels;
+        } else {
+          ++report.part_voxels;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("industrial_inspection",
+                "automatic defect detection on a synthetic aluminium part");
+  cli.option("size", "48", "volume size N").option("views", "180",
+                                                   "projection count");
+  cli.parse(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(cli.get_int("size"));
+  const auto views = static_cast<std::size_t>(cli.get_int("views"));
+  constexpr float kAluminium = 2.70f;
+
+  const geo::CbctGeometry g =
+      geo::make_standard_geometry({{2 * n, 2 * n, views}, {n, n, n}});
+  const auto part = phantom::industrial_part();
+  std::printf("scanning part: %zu views, reconstructing %zu^3 ...\n", views,
+              n);
+  const auto projections = phantom::project_all(part, g);
+  const FdkResult result = reconstruct_fdk(g, projections);
+
+  // Ground-truth part envelope: the block ellipsoid alone (CAD model).
+  phantom::Phantom envelope;
+  envelope.ellipsoids.push_back(part.ellipsoids.front());
+  const Volume envelope_vol = phantom::voxelize(envelope, g);
+  const Volume truth = phantom::voxelize(part, g);
+
+  const InspectionReport measured =
+      inspect(result.volume, envelope_vol, kAluminium);
+  const InspectionReport expected = inspect(truth, envelope_vol, kAluminium);
+
+  std::printf("\ninspection report (voxels inside the part envelope):\n");
+  std::printf("  %-18s %10s %10s\n", "", "detected", "CAD truth");
+  std::printf("  %-18s %10zu %10zu\n", "sound aluminium",
+              measured.part_voxels, expected.part_voxels);
+  std::printf("  %-18s %10zu %10zu\n", "voids (holes/cracks)",
+              measured.void_voxels, expected.void_voxels);
+  std::printf("  %-18s %10zu %10zu\n", "dense inclusions",
+              measured.inclusion_voxels, expected.inclusion_voxels);
+
+  const double void_recall =
+      expected.void_voxels == 0
+          ? 1.0
+          : static_cast<double>(measured.void_voxels) /
+                static_cast<double>(expected.void_voxels);
+  std::printf("\nvoid detection ratio vs CAD: %.2f "
+              "(1.00 = every defect voxel recovered)\n", void_recall);
+  const bool inclusion_found = measured.inclusion_voxels > 0;
+  std::printf("tungsten inclusion: %s\n",
+              inclusion_found ? "DETECTED" : "missed");
+
+  imgio::write_slice_pgm(result.volume, n / 2, "inspection_slice.pgm");
+  std::printf("\nwrote inspection_slice.pgm (mid-plane through the hole "
+              "grid)\n");
+  return (void_recall > 0.5 && inclusion_found) ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+// Medical reconstruction scenario: low-dose imaging trade-offs.
+//
+// The paper motivates its back-projection kernel as a building block for
+// iterative solvers "popular ... for low dose image reconstruction"
+// (Section 6.2). This example plays that scenario end to end on the
+// Shepp-Logan head:
+//
+//   * full-dose FDK (120 views, Ram-Lak) — the reference protocol,
+//   * noisy acquisitions with apodized ramp windows (Hann vs Ram-Lak):
+//     smoother windows trade resolution for noise suppression,
+//   * sparse-view (1/4 dose) FDK vs OS-SART vs MLEM: iterative methods
+//     hold up where analytic FDK develops streaks.
+//
+// Run:  ./medical_recon [--size 32] [--views 120] [--noise 0.02]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "ifdk/fdk.h"
+#include "imgio/imgio.h"
+#include "iterative/iterative.h"
+#include "phantom/phantom.h"
+
+namespace {
+
+using namespace ifdk;
+
+/// RMSE inside the brain (normalized radius < 0.5) — the clinically
+/// relevant region, away from the skull's partial-volume shell.
+double interior_rmse(const Volume& a, const Volume& b) {
+  const double c = (static_cast<double>(a.nx()) - 1.0) / 2.0;
+  const double half = static_cast<double>(a.nx()) / 2.0;
+  double acc = 0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < a.nz(); ++k) {
+    for (std::size_t j = 0; j < a.ny(); ++j) {
+      for (std::size_t i = 0; i < a.nx(); ++i) {
+        const double r = std::sqrt((i - c) * (i - c) + (j - c) * (j - c) +
+                                   (k - c) * (k - c)) /
+                         half;
+        if (r < 0.5) {
+          const double d = a.at(i, j, k) - b.at(i, j, k);
+          acc += d * d;
+          ++count;
+        }
+      }
+    }
+  }
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+std::vector<Image2D> add_noise(const std::vector<Image2D>& projections,
+                               float sigma, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Image2D> noisy;
+  noisy.reserve(projections.size());
+  for (const auto& p : projections) {
+    Image2D img(p.width(), p.height(), false);
+    for (std::size_t n = 0; n < p.pixels(); ++n) {
+      // Box-Muller Gaussian noise.
+      const double u1 = rng.next_double() + 1e-12;
+      const double u2 = rng.next_double();
+      const double gauss =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+      img.data()[n] = p.data()[n] + sigma * static_cast<float>(gauss);
+    }
+    noisy.push_back(std::move(img));
+  }
+  return noisy;
+}
+
+std::vector<Image2D> take_every(const std::vector<Image2D>& projections,
+                                std::size_t stride) {
+  std::vector<Image2D> subset;
+  for (std::size_t s = 0; s < projections.size(); s += stride) {
+    const auto& p = projections[s];
+    Image2D img(p.width(), p.height(), false);
+    for (std::size_t n = 0; n < p.pixels(); ++n) img.data()[n] = p.data()[n];
+    subset.push_back(std::move(img));
+  }
+  return subset;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("medical_recon", "low-dose head imaging trade-off study");
+  cli.option("size", "32", "volume size N")
+      .option("views", "120", "full-dose view count")
+      .option("noise", "0.08", "Gaussian detector noise sigma");
+  cli.parse(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(cli.get_int("size"));
+  const auto views = static_cast<std::size_t>(cli.get_int("views"));
+  const auto sigma = static_cast<float>(cli.get_double("noise"));
+
+  const geo::CbctGeometry g =
+      geo::make_standard_geometry({{2 * n, 2 * n, views}, {n, n, n}});
+  const auto phan = phantom::shepp_logan();
+  const auto clean = phantom::project_all(phan, g);
+  const Volume truth = phantom::voxelize(phan, g);
+
+  std::printf("== full dose, clean data: FDK baseline ==\n");
+  const FdkResult baseline = reconstruct_fdk(g, clean);
+  std::printf("  interior RMSE: %.4f\n\n",
+              interior_rmse(baseline.volume, truth));
+
+  std::printf("== noisy data (sigma=%.3f): ramp window comparison ==\n",
+              sigma);
+  const auto noisy = add_noise(clean, sigma, 42);
+  for (auto window : {filter::RampWindow::kRamLak, filter::RampWindow::kCosine,
+                      filter::RampWindow::kHann}) {
+    FdkOptions opts;
+    opts.filter.window = window;
+    const FdkResult r = reconstruct_fdk(g, noisy, opts);
+    std::printf("  %-12s interior RMSE: %.4f\n", filter::to_string(window),
+                interior_rmse(r.volume, truth));
+  }
+  std::printf("  (smoother windows suppress the noise the ramp amplifies)\n\n");
+
+  std::printf("== quarter dose (%zu views): FDK vs iterative ==\n",
+              views / 4);
+  geo::CbctGeometry sparse_g = g;
+  sparse_g.np = views / 4;
+  const auto sparse = take_every(clean, 4);
+
+  const FdkResult sparse_fdk = reconstruct_fdk(sparse_g, sparse);
+  std::printf("  FDK            interior RMSE: %.4f\n",
+              interior_rmse(sparse_fdk.volume, truth));
+
+  iterative::IterOptions it;
+  it.iterations = 6;
+  it.subsets = 4;
+  const Volume os_sart = iterative::sart(sparse_g, sparse, it);
+  std::printf("  OS-SART (6x4)  interior RMSE: %.4f\n",
+              interior_rmse(os_sart, truth));
+
+  iterative::IterOptions em;
+  em.iterations = 10;
+  const Volume em_recon = iterative::mlem(sparse_g, sparse, em);
+  std::printf("  MLEM (10)      interior RMSE: %.4f\n",
+              interior_rmse(em_recon, truth));
+
+  imgio::write_slice_pgm(sparse_fdk.volume, n / 2, "medical_fdk_sparse.pgm");
+  imgio::write_slice_pgm(os_sart, n / 2, "medical_ossart_sparse.pgm");
+  std::printf("\nwrote medical_fdk_sparse.pgm / medical_ossart_sparse.pgm "
+              "(compare the streaks)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: reconstruct the Shepp-Logan head with FDK in ~40 lines of
+// library calls.
+//
+//   1. build a CBCT geometry for a 64^3 reconstruction from 120 views,
+//   2. synthesize projections analytically (a stand-in for scanner data),
+//   3. run the FDK pipeline (CPU filtering + the proposed back-projection),
+//   4. write the volume as MHD/RAW (loadable in ImageJ/3D Slicer) and the
+//      center slice as PGM, and report the error against ground truth.
+//
+// Run:  ./quickstart [--size 64] [--views 120] [--out shepp]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/math_util.h"
+#include "ifdk/fdk.h"
+#include "imgio/imgio.h"
+#include "phantom/phantom.h"
+
+int main(int argc, char** argv) {
+  using namespace ifdk;
+  CliParser cli("quickstart", "minimal FDK reconstruction example");
+  cli.option("size", "64", "cubic volume size N (output is N^3)")
+      .option("views", "120", "number of projections over 360 degrees")
+      .option("out", "shepp", "output file base name");
+  cli.parse(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  const auto n = static_cast<std::size_t>(cli.get_int("size"));
+  const auto views = static_cast<std::size_t>(cli.get_int("views"));
+
+  // 1. Geometry: detector 2N^2 so the magnified volume fits comfortably.
+  const geo::CbctGeometry g =
+      geo::make_standard_geometry({{2 * n, 2 * n, views}, {n, n, n}});
+  std::printf("geometry: %zu views of %zux%zu -> %zu^3 volume\n", views,
+              g.nu, g.nv, n);
+
+  // 2. Projections (what the scanner / RTK forward projector would provide).
+  const auto phan = phantom::shepp_logan();
+  const auto projections = phantom::project_all(phan, g);
+
+  // 3. FDK: Algorithm 1 filtering + Algorithm 4 back-projection.
+  const FdkResult result = reconstruct_fdk(g, projections);
+  std::printf("filtering        %.3f s\nback-projection  %.3f s\n",
+              result.timings.get("filter"),
+              result.timings.get("backprojection"));
+
+  // 4. Outputs + quality report.
+  const Volume truth = phantom::voxelize(phan, g);
+  std::printf("RMSE vs phantom  %.4f (density units; range ~[0,1])\n",
+              rmse(result.volume.data(), truth.data(), truth.voxels()));
+  const std::string base = cli.get_string("out");
+  imgio::write_mhd(result.volume, base, g.dx, g.dy, g.dz);
+  imgio::write_slice_pgm(result.volume, n / 2, base + "_center_slice.pgm");
+  std::printf("wrote %s.mhd / %s.raw and %s_center_slice.pgm\n", base.c_str(),
+              base.c_str(), base.c_str());
+  return 0;
+}

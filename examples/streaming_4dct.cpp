@@ -1,0 +1,117 @@
+// 4D-CT streaming scenario (paper Section 6.2: the kernel "can provide
+// benefits for real-time CT systems, e.g. 4D-CT").
+//
+// A breathing phantom (a lung lesion whose position and size oscillate over
+// the respiratory cycle) is scanned continuously; every gantry rotation
+// yields one temporal frame. The example reconstructs each frame with FDK,
+// tracks the lesion's center of mass over time, compresses each frame for
+// archival, and writes per-frame MIPs — the full real-time pipeline a 4D-CT
+// console would run.
+//
+// Run:  ./streaming_4dct [--frames 6] [--size 24] [--views 60]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/math_util.h"
+#include "ifdk/fdk.h"
+#include "imgio/imgio.h"
+#include "phantom/phantom.h"
+#include "postproc/compression.h"
+#include "postproc/visualize.h"
+
+namespace {
+
+using namespace ifdk;
+
+/// The moving phantom at respiratory phase t in [0, 1): a thorax ellipsoid
+/// with a lesion whose Z position follows the breathing cycle.
+phantom::Phantom breathing_phantom(double phase) {
+  phantom::Phantom p;
+  phantom::Ellipsoid thorax;
+  thorax.semi_axes = {0.85, 0.7, 0.9};
+  thorax.density = 0.3;
+  p.ellipsoids.push_back(thorax);
+
+  phantom::Ellipsoid lesion;
+  const double motion = std::sin(2.0 * kPi * phase);
+  lesion.center = {0.3, 0.1, 0.25 * motion};
+  const double size = 0.10 + 0.02 * motion;  // inhale stretches it
+  lesion.semi_axes = {size, size, size * 1.4};
+  lesion.density = 0.8;
+  p.ellipsoids.push_back(lesion);
+  return p;
+}
+
+/// Center of mass of voxels above a density threshold (lesion tracker).
+geo::Vec3 center_of_mass(const Volume& vol, float threshold) {
+  double sx = 0, sy = 0, sz = 0, mass = 0;
+  for (std::size_t k = 0; k < vol.nz(); ++k) {
+    for (std::size_t j = 0; j < vol.ny(); ++j) {
+      for (std::size_t i = 0; i < vol.nx(); ++i) {
+        const float v = vol.at(i, j, k);
+        if (v > threshold) {
+          sx += v * static_cast<double>(i);
+          sy += v * static_cast<double>(j);
+          sz += v * static_cast<double>(k);
+          mass += v;
+        }
+      }
+    }
+  }
+  if (mass == 0) return {0, 0, 0};
+  return {sx / mass, sy / mass, sz / mass};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("streaming_4dct", "time-resolved (4D) CT reconstruction");
+  cli.option("frames", "6", "respiratory phases per cycle")
+      .option("size", "24", "volume size N")
+      .option("views", "60", "views per rotation/frame");
+  cli.parse(argc, argv);
+  if (cli.has("help")) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  const auto frames = static_cast<std::size_t>(cli.get_int("frames"));
+  const auto n = static_cast<std::size_t>(cli.get_int("size"));
+  const auto views = static_cast<std::size_t>(cli.get_int("views"));
+
+  const geo::CbctGeometry g =
+      geo::make_standard_geometry({{2 * n, 2 * n, views}, {n, n, n}});
+
+  std::printf("streaming %zu frames of %zu views each -> %zu^3 per frame\n\n",
+              frames, views, n);
+  std::printf("%-6s %-28s %-14s %-10s\n", "frame", "lesion center (i,j,k)",
+              "compressed", "ratio");
+
+  double prev_z = -1;
+  double min_z = 1e9, max_z = -1e9;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const double phase = static_cast<double>(f) / static_cast<double>(frames);
+    const auto phan = breathing_phantom(phase);
+    const auto projections = phantom::project_all(phan, g);
+    const FdkResult r = reconstruct_fdk(g, projections);
+
+    const geo::Vec3 com = center_of_mass(r.volume, 0.55f);
+    const auto c = postproc::compress(r.volume, 12);
+    char name[64];
+    std::snprintf(name, sizeof(name), "frame_%02zu_mip.pgm", f);
+    imgio::write_pgm(postproc::mip(r.volume, postproc::Axis::kY), name);
+
+    std::printf("%-6zu (%6.2f, %6.2f, %6.2f)      %8zu B    %5.1fx\n", f,
+                com.x, com.y, com.z, c.compressed_bytes(), c.ratio());
+    min_z = std::min(min_z, com.z);
+    max_z = std::max(max_z, com.z);
+    prev_z = com.z;
+  }
+  (void)prev_z;
+
+  std::printf("\nlesion craniocaudal excursion: %.2f voxels "
+              "(breathing amplitude recovered from the 4D series)\n",
+              max_z - min_z);
+  std::printf("wrote frame_XX_mip.pgm per frame\n");
+  return (max_z - min_z) > 1.0 ? 0 : 1;
+}

@@ -1,0 +1,362 @@
+#include "backproj/backprojector.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "backproj/interp2.h"
+#include "common/error.h"
+
+namespace ifdk::bp {
+
+namespace {
+
+/// Inner product of a P row (4 floats) with (i, j, k, 1) — the unit of work
+/// the paper counts when it states the 1/6 reduction.
+inline float dot_row(const float* row, float i, float j, float k) {
+  return row[0] * i + row[1] * j + row[2] * k + row[3];
+}
+
+}  // namespace
+
+const char* to_string(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kRtk32:   return "RTK-32";
+    case KernelVariant::kBpTex:   return "Bp-Tex";
+    case KernelVariant::kTexTran: return "Tex-Tran";
+    case KernelVariant::kBpL1:    return "Bp-L1";
+    case KernelVariant::kL1Tran:  return "L1-Tran";
+  }
+  return "?";
+}
+
+BpConfig config_for(KernelVariant variant) {
+  BpConfig cfg;
+  switch (variant) {
+    case KernelVariant::kRtk32:
+      // The RTK kernel_fdk_3Dgrid scheme: Algorithm 2 with a 32-projection
+      // batch, i-major volume, untransposed projections.
+      cfg.symmetry = false;
+      cfg.reuse_uw = false;
+      cfg.transpose_projections = false;
+      cfg.layout = VolumeLayout::kXMajor;
+      break;
+    case KernelVariant::kBpTex:
+      // Proposed loop order + transposed volume, but projections are fetched
+      // in their raw layout (the GPU texture hides the transposition).
+      cfg.transpose_projections = false;
+      break;
+    case KernelVariant::kTexTran:
+    case KernelVariant::kBpL1:
+    case KernelVariant::kL1Tran:
+      // Full Algorithm 4. On the GPU these three differ only in which cache
+      // serves the projection fetches (2D-layered texture vs plain global vs
+      // __ldg); on the CPU the memory behaviour is identical.
+      break;
+  }
+  return cfg;
+}
+
+Backprojector::Backprojector(const geo::CbctGeometry& geometry,
+                             BpConfig config)
+    : geometry_(geometry), config_(config) {
+  geometry_.validate();
+  IFDK_REQUIRE(config_.batch > 0, "batch must be positive");
+  if (config_.layout == VolumeLayout::kXMajor) {
+    IFDK_REQUIRE(!config_.symmetry && !config_.reuse_uw &&
+                     !config_.transpose_projections,
+                 "the X-major (standard Algorithm 2) kernel does not support "
+                 "the Algorithm 4 optimizations; use kZMajor");
+    IFDK_REQUIRE(!config_.slab_mode(),
+                 "slab-pair mode requires the proposed (kZMajor) kernel");
+  }
+  if (config_.slab_mode()) {
+    IFDK_REQUIRE(config_.symmetry,
+                 "slab-pair mode is defined by the Theorem-1 symmetry");
+    IFDK_REQUIRE(config_.k_begin + config_.k_half <= geometry_.nz / 2,
+                 "slab pair exceeds the lower half of the volume");
+    IFDK_REQUIRE(config_.k_half > 0, "slab pair must be non-empty");
+  }
+}
+
+void Backprojector::accumulate(Volume& volume,
+                               std::span<const Image2D> projections,
+                               std::span<const geo::Mat34> matrices) const {
+  IFDK_REQUIRE(projections.size() == matrices.size(),
+               "one projection matrix per projection is required");
+  const std::size_t expected_nz =
+      config_.slab_mode() ? 2 * config_.k_half : geometry_.nz;
+  IFDK_REQUIRE(volume.nx() == geometry_.nx && volume.ny() == geometry_.ny &&
+                   volume.nz() == expected_nz,
+               "volume dimensions do not match the geometry (slab-pair mode "
+               "expects local depth 2*k_half)");
+  IFDK_REQUIRE(volume.layout() == config_.layout,
+               "volume layout does not match the kernel configuration");
+  for (const auto& p : projections) {
+    IFDK_REQUIRE(p.width() == geometry_.nu && p.height() == geometry_.nv,
+                 "projection size does not match the geometry");
+  }
+  if (config_.layout == VolumeLayout::kXMajor) {
+    run_standard(volume, projections, matrices);
+  } else {
+    run_proposed(volume, projections, matrices);
+  }
+}
+
+void Backprojector::run_standard(Volume& volume,
+                                 std::span<const Image2D> projections,
+                                 std::span<const geo::Mat34> matrices) const {
+  const std::size_t nx = geometry_.nx;
+  const std::size_t ny = geometry_.ny;
+  const std::size_t nz = geometry_.nz;
+  const std::size_t nu = geometry_.nu;
+  const std::size_t nv = geometry_.nv;
+
+  for (std::size_t first = 0; first < projections.size();
+       first += config_.batch) {
+    const std::size_t count =
+        std::min(config_.batch, projections.size() - first);
+
+    // Flatten the batch's matrices once (the CUDA kernel keeps them in
+    // constant memory, Listing 1 line 1).
+    std::vector<std::array<float, 12>> pmat(count);
+    std::vector<const float*> img(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      pmat[s] = matrices[first + s].to_float();
+      img[s] = projections[first + s].data();
+    }
+
+    auto slice_task = [&](std::size_t k) {
+      const float fk = static_cast<float>(k);
+      float* out = volume.slice(k);
+      for (std::size_t j = 0; j < ny; ++j) {
+        const float fj = static_cast<float>(j);
+        float* out_row = out + j * nx;
+        for (std::size_t i = 0; i < nx; ++i) {
+          const float fi = static_cast<float>(i);
+          float acc = 0.0f;
+          for (std::size_t s = 0; s < count; ++s) {
+            const float* m = pmat[s].data();
+            // Algorithm 2 line 6: three inner products per voxel.
+            const float x = dot_row(m + 0, fi, fj, fk);
+            const float y = dot_row(m + 4, fi, fj, fk);
+            const float z = dot_row(m + 8, fi, fj, fk);
+            const float f = 1.0f / z;
+            const float wdis = f * f;
+            acc += wdis * interp2(img[s], nu, nv, x * f, y * f);
+          }
+          out_row[i] += acc;
+        }
+      }
+    };
+
+    if (config_.pool != nullptr) {
+      config_.pool->parallel_for(0, nz, slice_task);
+    } else {
+      for (std::size_t k = 0; k < nz; ++k) slice_task(k);
+    }
+  }
+}
+
+void Backprojector::run_proposed(Volume& volume,
+                                 std::span<const Image2D> projections,
+                                 std::span<const geo::Mat34> matrices) const {
+  const std::size_t nx = geometry_.nx;
+  const std::size_t ny = geometry_.ny;
+  const std::size_t nz = geometry_.nz;
+  const std::size_t nu = geometry_.nu;
+  const std::size_t nv = geometry_.nv;
+  // Slab-pair bookkeeping: k runs over [k0, k0 + half) in *global* indices;
+  // writes land at local depth nzl with the mirror at nzl - 1 - local.
+  const bool slab = config_.slab_mode();
+  const std::size_t k0 = slab ? config_.k_begin : 0;
+  const std::size_t half = slab ? config_.k_half : nz / 2;
+  const std::size_t nzl = slab ? 2 * config_.k_half : nz;
+  const bool odd = !slab && (nz % 2) != 0;
+  const float v_mirror = static_cast<float>(nv) - 1.0f;
+
+  for (std::size_t first = 0; first < projections.size();
+       first += config_.batch) {
+    const std::size_t count =
+        std::min(config_.batch, projections.size() - first);
+
+    std::vector<std::array<float, 12>> pmat(count);
+    for (std::size_t s = 0; s < count; ++s) {
+      pmat[s] = matrices[first + s].to_float();
+    }
+
+    // Algorithm 4 line 3: transpose the batch once; its cost is a small
+    // fraction of the stage (paper §3.2.3) and is included in the timing.
+    std::vector<Image2D> transposed;
+    std::vector<const float*> img(count);
+    if (config_.transpose_projections) {
+      transposed.reserve(count);
+      for (std::size_t s = 0; s < count; ++s) {
+        transposed.push_back(projections[first + s].transposed());
+        img[s] = transposed.back().data();
+      }
+    } else {
+      for (std::size_t s = 0; s < count; ++s) {
+        img[s] = projections[first + s].data();
+      }
+    }
+
+    // Fetch helper: (u, v) in detector coordinates regardless of storage.
+    auto fetch = [&](std::size_t s, float u, float v) -> float {
+      if (config_.transpose_projections) {
+        return interp2(img[s], nv, nu, v, u);  // V axis contiguous
+      }
+      return interp2(img[s], nu, nv, u, v);
+    };
+
+    auto column_task = [&](std::size_t i) {
+      const float fi = static_cast<float>(i);
+      std::vector<float> u_s(count), f_s(count), w_s(count);
+      for (std::size_t j = 0; j < ny; ++j) {
+        const float fj = static_cast<float>(j);
+        float* col = volume.data() + (i * ny + j) * nzl;
+
+        if (config_.reuse_uw) {
+          // Algorithm 4 lines 6-10: two inner products per (i, j), reused
+          // across the whole k loop (Theorems 2 and 3).
+          for (std::size_t s = 0; s < count; ++s) {
+            const float* m = pmat[s].data();
+            const float x = dot_row(m + 0, fi, fj, 0.0f);
+            const float z = dot_row(m + 8, fi, fj, 0.0f);
+            const float f = 1.0f / z;
+            u_s[s] = x * f;
+            f_s[s] = f;
+            w_s[s] = f * f;
+          }
+        }
+
+        auto update_pair = [&](std::size_t t) {
+          const float fk = static_cast<float>(k0 + t);  // global k index
+          float acc = 0.0f, acc_m = 0.0f;
+          for (std::size_t s = 0; s < count; ++s) {
+            const float* m = pmat[s].data();
+            float u, f, wdis;
+            if (config_.reuse_uw) {
+              u = u_s[s];
+              f = f_s[s];
+              wdis = w_s[s];
+            } else {
+              const float x = dot_row(m + 0, fi, fj, fk);
+              const float z = dot_row(m + 8, fi, fj, fk);
+              f = 1.0f / z;
+              u = x * f;
+              wdis = f * f;
+            }
+            // Algorithm 4 line 12: the single remaining inner product.
+            const float y = dot_row(m + 4, fi, fj, fk);
+            const float v = y * f;
+            acc += wdis * fetch(s, u, v);
+            if (config_.symmetry) {
+              // Lines 15-17: the Theorem-1 mirror voxel shares u and Wdis.
+              acc_m += wdis * fetch(s, u, v_mirror - v);
+            }
+          }
+          col[t] += acc;
+          if (config_.symmetry) col[nzl - 1 - t] += acc_m;
+        };
+
+        if (config_.symmetry) {
+          for (std::size_t t = 0; t < half; ++t) update_pair(t);
+          if (odd) {
+            // Center plane: its mirror is itself; update once without the
+            // symmetric twin.
+            const std::size_t k = half;
+            const float fk = static_cast<float>(k);
+            float acc = 0.0f;
+            for (std::size_t s = 0; s < count; ++s) {
+              const float* m = pmat[s].data();
+              float u, f, wdis;
+              if (config_.reuse_uw) {
+                u = u_s[s];
+                f = f_s[s];
+                wdis = w_s[s];
+              } else {
+                const float x = dot_row(m + 0, fi, fj, fk);
+                const float z = dot_row(m + 8, fi, fj, fk);
+                f = 1.0f / z;
+                u = x * f;
+                wdis = f * f;
+              }
+              const float y = dot_row(m + 4, fi, fj, fk);
+              acc += wdis * fetch(s, u, y * f);
+            }
+            col[k] += acc;
+          }
+        } else {
+          for (std::size_t k = 0; k < nz; ++k) update_pair(k);
+        }
+      }
+    };
+
+    if (config_.pool != nullptr) {
+      config_.pool->parallel_for(0, nx, column_task);
+    } else {
+      for (std::size_t i = 0; i < nx; ++i) column_task(i);
+    }
+  }
+}
+
+OpCounts Backprojector::count_ops(std::size_t num_projections) const {
+  const std::uint64_t nx = geometry_.nx;
+  const std::uint64_t ny = geometry_.ny;
+  const std::uint64_t nz = geometry_.nz;
+  const std::uint64_t np = num_projections;
+  const std::uint64_t columns = nx * ny * np;
+  OpCounts ops;
+
+  if (config_.layout == VolumeLayout::kXMajor) {
+    // Algorithm 2: 3 inner products, 1 fetch, 1 update per (voxel, proj).
+    ops.inner_products = 3 * columns * nz;
+    ops.interp_calls = columns * nz;
+    ops.voxel_updates = columns * nz;
+    return ops;
+  }
+
+  if (config_.slab_mode()) {
+    const std::uint64_t h = config_.k_half;
+    ops.interp_calls = columns * 2 * h;
+    ops.voxel_updates = ops.interp_calls;
+    ops.inner_products =
+        config_.reuse_uw ? columns * (2 + h) : columns * 3 * h;
+    return ops;
+  }
+
+  const std::uint64_t half = nz / 2;
+  const std::uint64_t odd = nz % 2;
+  if (config_.symmetry) {
+    ops.interp_calls = columns * (2 * half + odd);
+    ops.voxel_updates = ops.interp_calls;
+    if (config_.reuse_uw) {
+      // 2 hoisted products per column + 1 per k iteration (pairs + middle).
+      ops.inner_products = columns * (2 + half + odd);
+    } else {
+      ops.inner_products = columns * 3 * (half + odd);
+    }
+  } else {
+    ops.interp_calls = columns * nz;
+    ops.voxel_updates = columns * nz;
+    ops.inner_products =
+        config_.reuse_uw ? columns * (2 + nz) : columns * 3 * nz;
+  }
+  return ops;
+}
+
+Volume backproject_all(const geo::CbctGeometry& geometry,
+                       std::span<const Image2D> projections, BpConfig config) {
+  Volume volume(geometry.nx, geometry.ny, geometry.nz, config.layout,
+                /*zero_fill=*/true);
+  Backprojector bp(geometry, config);
+  const auto matrices = geo::make_all_projection_matrices(geometry);
+  IFDK_REQUIRE(projections.size() == matrices.size(),
+               "backproject_all expects one projection per gantry angle");
+  bp.accumulate(volume, projections, matrices);
+  return volume;
+}
+
+}  // namespace ifdk::bp

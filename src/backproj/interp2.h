@@ -1,0 +1,41 @@
+// Bilinear interpolation with sub-pixel precision (paper Algorithm 3).
+//
+// Two access flavours are provided: row-major (u contiguous — how raw
+// projections are stored) and the transposed flavour (v contiguous — how the
+// proposed Algorithm 4 reads its transposed Q~). On the GPU these correspond
+// to the texture-fetch and L1/__ldg paths of Table 3; on the CPU they differ
+// in stride, which is exactly the locality effect the paper measures.
+//
+// Samples outside the image contribute 0, matching RTK's border handling.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace ifdk::bp {
+
+/// interp2 of Algorithm 3 on a row-major image `img` (width w, height h,
+/// element (u, v) at v*w + u). (u, v) is the sub-pixel coordinate.
+inline float interp2(const float* img, std::size_t w, std::size_t h, float u,
+                     float v) {
+  if (u < 0.0f || v < 0.0f || u > static_cast<float>(w - 1) ||
+      v > static_cast<float>(h - 1)) {
+    return 0.0f;
+  }
+  // int(u) truncation per Algorithm 3 line 2. On the last row/column the +1
+  // neighbour is clamped (its bilinear weight is zero there), matching the
+  // clamp-to-edge addressing of CUDA textures.
+  const std::size_t nu = static_cast<std::size_t>(u);
+  const std::size_t nv = static_cast<std::size_t>(v);
+  const std::size_t nu1 = nu + 1 < w ? nu + 1 : nu;
+  const std::size_t nv1 = nv + 1 < h ? nv + 1 : nv;
+  const float du = u - static_cast<float>(nu);
+  const float dv = v - static_cast<float>(nv);
+  const float* r0 = img + nv * w;
+  const float* r1 = img + nv1 * w;
+  const float t1 = r0[nu] * (1.0f - du) + r0[nu1] * du;
+  const float t2 = r1[nu] * (1.0f - du) + r1[nu1] * du;
+  return t1 * (1.0f - dv) + t2 * dv;
+}
+
+}  // namespace ifdk::bp

@@ -1,0 +1,70 @@
+#include "cluster/platforms.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ifdk::platforms {
+
+AwsEstimate estimate_aws(const Problem& problem, int gpus,
+                         const AwsConfig& config) {
+  IFDK_REQUIRE(gpus % config.gpus_per_instance == 0,
+               "GPU count must fill whole instances");
+  cluster::SimConfig sim_cfg;
+  sim_cfg.mb.gpus_per_node = config.gpus_per_instance;
+  // Everything that crosses the 10 Gbps NIC slows to it: AllGather rings,
+  // the row Reduce, and the object-store I/O standing in for the PFS.
+  sim_cfg.allgather_bandwidth = config.network_bytes_per_s;
+  sim_cfg.mb.th_reduce = config.network_bytes_per_s;
+  sim_cfg.mb.bw_load = config.network_bytes_per_s *
+                       static_cast<double>(gpus / config.gpus_per_instance);
+  sim_cfg.mb.bw_store = sim_cfg.mb.bw_load;
+
+  AwsEstimate out;
+  out.sim = cluster::simulate(problem, gpus, sim_cfg);
+  out.instances = gpus / config.gpus_per_instance;
+  out.runtime_s = out.sim.t_runtime;
+  // Per-second billing (Section 6.2.1).
+  out.cost_usd = out.runtime_s / 3600.0 * config.hourly_rate_usd *
+                 static_cast<double>(out.instances);
+  return out;
+}
+
+cluster::SimResult estimate_dgx2(const Problem& problem,
+                                 const Dgx2Config& config) {
+  cluster::SimConfig sim_cfg;
+  sim_cfg.mb.gpus_per_node = config.gpus;  // one giant node
+  sim_cfg.mb.pcie_per_node = config.gpus;  // per-GPU NVLink host links
+  sim_cfg.mb.bw_pcie = config.host_link_bytes_per_s;
+  sim_cfg.allgather_bandwidth = config.nvswitch_bytes_per_s;
+  sim_cfg.mb.th_reduce = config.nvswitch_bytes_per_s;
+  sim_cfg.mb.bw_load = config.nvme_bytes_per_s;
+  sim_cfg.mb.bw_store = config.nvme_bytes_per_s;
+  // No PCIe-switch sharing: D2H drains at the NVLink rate.
+  sim_cfg.d2h_efficiency = 0.8;
+  // Single-box MPI: no cold-start penalty over a fabric.
+  sim_cfg.reduce_first_call_penalty_s = 0.2;
+
+  // A 16-GPU box often has fewer GPUs than the R the memory constraint
+  // demands (4K needs R=32 with 8 GB sub-volumes): each GPU then owns
+  // several slab pairs and processes them in sequential passes, multiplying
+  // the compute and D2H phases but not the store.
+  const int rows_needed = perfmodel::select_rows(problem, sim_cfg.mb);
+  const int passes =
+      std::max(1, (rows_needed + config.gpus - 1) / config.gpus);
+  cluster::SimResult sim = cluster::simulate(
+      problem, std::max(rows_needed, config.gpus), sim_cfg);
+  if (passes > 1) {
+    sim.t_compute *= passes;
+    sim.t_d2h *= passes;
+    sim.t_runtime = sim.t_compute + sim.t_d2h + sim.t_reduce + sim.t_store;
+    sim.gups = gups(problem.out.nx, problem.out.ny, problem.out.nz,
+                    problem.in.np, sim.t_runtime);
+    sim.gups_compute = gups(problem.out.nx, problem.out.ny, problem.out.nz,
+                            problem.in.np, sim.t_runtime - sim.t_store);
+  }
+  return sim;
+}
+
+}  // namespace ifdk::platforms

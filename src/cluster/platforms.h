@@ -1,0 +1,55 @@
+// Platform projections of paper Section 6.2: running iFDK off the
+// supercomputer.
+//
+//   * AWS HPC (Section 6.2.1): p3.8xlarge instances (4 V100s each, 10 Gbps
+//     network), on-demand $12.24/h billed by the second — the paper
+//     estimates a 4K reconstruction for "less than $100" on 256 instances.
+//   * Nvidia DGX-2 (Section 6.2.2): one box with 16 V100s, NVSwitch
+//     interconnect and local NVMe — the paper projects 4K "within a minute".
+//
+// Both are derived from the same cluster simulator with platform-adjusted
+// micro-benchmark constants (slower network on AWS, faster interconnect and
+// storage on the DGX-2).
+#pragma once
+
+#include "cluster/simulator.h"
+#include "geometry/types.h"
+
+namespace ifdk::platforms {
+
+struct AwsEstimate {
+  int instances = 0;     ///< p3.8xlarge count (4 GPUs each)
+  double runtime_s = 0;  ///< simulated end-to-end reconstruction time
+  double cost_usd = 0;   ///< runtime * instances * hourly rate (per-second)
+  cluster::SimResult sim;
+};
+
+struct AwsConfig {
+  double hourly_rate_usd = 12.24;  ///< on-demand, March 2019 us-east-2
+  int gpus_per_instance = 4;
+  /// 10 Gbps instance networking shared by everything; the paper "accounts
+  /// for the low-performance network by assuming factors of slowdown" —
+  /// collectives and PFS traffic run at this rate.
+  double network_bytes_per_s = 10e9 / 8.0;
+};
+
+/// Projects the paper's AWS scenario for `problem` on `gpus` V100s.
+AwsEstimate estimate_aws(const Problem& problem, int gpus,
+                         const AwsConfig& config = {});
+
+struct Dgx2Config {
+  int gpus = 16;
+  /// NVSwitch: ~2.4 TB/s bisection; per-GPU link ~ 150 GB/s. Collectives are
+  /// effectively memory-speed compared to InfiniBand.
+  double nvswitch_bytes_per_s = 150e9;
+  /// Local NVMe array (30 TB): ~25 GB/s writes.
+  double nvme_bytes_per_s = 25e9;
+  /// PCIe is replaced by NVLink to the host on DGX-2.
+  double host_link_bytes_per_s = 80e9;
+};
+
+/// Projects the DGX-2 scenario (single box, 16 GPUs).
+cluster::SimResult estimate_dgx2(const Problem& problem,
+                                 const Dgx2Config& config = {});
+
+}  // namespace ifdk::platforms

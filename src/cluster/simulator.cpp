@@ -1,0 +1,146 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "gpusim/kernel_model.h"
+
+namespace ifdk::cluster {
+
+SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
+                   int rows) {
+  const perfmodel::MicroBench& mb = config.mb;
+  const int r = rows > 0 ? rows : perfmodel::select_rows(problem, mb);
+  IFDK_REQUIRE(gpus >= r && gpus % r == 0,
+               "GPU count must be a positive multiple of R");
+  const int c = gpus / r;
+
+  SimResult out;
+  out.grid = {r, c};
+
+  const double pb = static_cast<double>(problem.in.bytes_per_projection());
+  const double np = static_cast<double>(problem.in.np);
+  const double ranks = static_cast<double>(gpus);
+  const std::size_t rounds = static_cast<std::size_t>(
+      np / (static_cast<double>(c) * static_cast<double>(r)));
+  IFDK_REQUIRE(rounds >= 1, "fewer projections than ranks");
+  out.rounds = rounds;
+
+  // ---- Per-round stage durations -----------------------------------------
+
+  // Every rank loads one projection per round; all ranks share the PFS link.
+  const double t_load = pb * ranks / mb.bw_load;
+  // One projection filtered per round; a node's THflt is shared by its
+  // gpus_per_node ranks.
+  const double t_filter = static_cast<double>(mb.gpus_per_node) / mb.th_flt;
+  // Ring AllGather of R contributions of pb bytes, with congestion growing
+  // in the group size.
+  const double ag_bw = config.allgather_bandwidth /
+                       (1.0 + static_cast<double>(r) /
+                                  config.allgather_congestion_r);
+  const double multi_column =
+      1.0 + config.allgather_multi_column * (1.0 - 1.0 / static_cast<double>(c));
+  const double t_ag = static_cast<double>(r) * pb / ag_bw * multi_column;
+  // H2D of the round's R projections over the node's PCIe links.
+  const double t_h2d = static_cast<double>(r) * pb *
+                       static_cast<double>(mb.gpus_per_node) /
+                       (mb.bw_pcie * static_cast<double>(mb.pcie_per_node));
+  // Back-projection of R projections into this rank's slab pair.
+  const double slab_voxels =
+      static_cast<double>(problem.out.voxels()) / static_cast<double>(r);
+  double kernel_gups = mb.bp_gups;
+  const std::size_t local_depth = std::max<std::size_t>(
+      1, problem.out.nz / static_cast<std::size_t>(r));
+  if (config.use_kernel_model) {
+    static const gpusim::KernelModel model;
+    // The kernel rate is a per-launch property: one launch back-projects one
+    // Nbatch-projection batch into the slab, so alpha is computed against
+    // the batch, not the whole scan (which would make the rate depend on
+    // Np, which GUPS by definition does not).
+    const Problem slab{{problem.in.nu, problem.in.nv, mb.batch},
+                       {problem.out.nx, problem.out.ny, local_depth}};
+    kernel_gups = model.predict_gups(bp::KernelVariant::kL1Tran, slab);
+  }
+  // Flat-slab locality penalty (see header).
+  kernel_gups /= 1.0 + static_cast<double>(problem.out.nx) /
+                           static_cast<double>(local_depth) /
+                           config.aspect_penalty_scale;
+  const double t_bp =
+      static_cast<double>(r) * slab_voxels / (kernel_gups * 1073741824.0);
+
+  // ---- Pipeline recurrence (Fig. 4a) -------------------------------------
+
+  out.timeline.reserve(std::min<std::size_t>(rounds, 1u << 16));
+  std::vector<double> f_hist(rounds + 1, 0.0);
+  double f_prev = config.startup_s;
+  double a_prev = config.startup_s;
+  double b_prev = config.startup_s;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    // Back-pressure: the filtering thread stalls when the queue is full
+    // (it can be at most queue_capacity rounds ahead of the Main thread).
+    double f_gate = f_prev;
+    if (t >= config.queue_capacity) {
+      f_gate = std::max(f_gate, f_hist[t - config.queue_capacity]);
+    }
+    const double f_t = f_gate + t_load + t_filter;
+    const double a_t = std::max(f_t, a_prev) + t_ag;
+    // The gamma term models CPU/memory contention between the Main thread's
+    // in-flight AllGather and the Bp thread; the last round has no
+    // concurrent AllGather left to contend with.
+    const double interference =
+        (t + 1 < rounds) ? config.gamma * t_ag : 0.0;
+    const double b_t = std::max(a_t, b_prev) + t_h2d + t_bp + interference;
+    f_hist[t] = a_t;  // main-thread progress gates the filtering queue
+    f_prev = f_t;
+    a_prev = a_t;
+    b_prev = b_t;
+    if (out.timeline.size() < (1u << 16)) {
+      out.timeline.push_back(RoundTimes{f_t, a_t, b_t});
+    }
+  }
+
+  out.t_load = static_cast<double>(rounds) * t_load;
+  out.t_flt = static_cast<double>(rounds) * (t_load + t_filter);
+  out.t_allgather = static_cast<double>(rounds) * t_ag;
+  out.t_bp = static_cast<double>(rounds) * (t_h2d + t_bp);
+  out.t_compute = b_prev;
+  out.delta = (out.t_flt + out.t_allgather + out.t_bp) / out.t_compute;
+
+  // ---- Post phase (Fig. 4b) -----------------------------------------------
+
+  const double out_bytes = static_cast<double>(problem.out.bytes());
+  out.t_d2h = out_bytes * static_cast<double>(mb.gpus_per_node) /
+              (static_cast<double>(r) * mb.bw_pcie *
+               static_cast<double>(mb.pcie_per_node) * config.d2h_efficiency);
+  out.t_reduce = c > 1 ? out_bytes / (static_cast<double>(r) * mb.th_reduce) +
+                             config.reduce_first_call_penalty_s
+                       : 0.0;
+  const double slice_bytes =
+      static_cast<double>(problem.out.nx * problem.out.ny * sizeof(float));
+  const double store_eff =
+      slice_bytes / (slice_bytes + config.store_halfpoint_bytes);
+  out.t_store = out_bytes / (mb.bw_store * store_eff);
+
+  if (config.overlap_post) {
+    // D2H/Reduce of early slab regions can start once the pipeline's first
+    // round has produced data; the hideable window is the compute span past
+    // that point. Whatever does not fit stays serial.
+    const double first_round_done =
+        out.timeline.empty() ? 0.0 : out.timeline.front().bp_done;
+    const double window = std::max(0.0, out.t_compute - first_round_done);
+    const double hidden = std::min(out.t_d2h + out.t_reduce, window);
+    out.t_runtime =
+        out.t_compute + (out.t_d2h + out.t_reduce - hidden) + out.t_store;
+  } else {
+    out.t_runtime = out.t_compute + out.t_d2h + out.t_reduce + out.t_store;
+  }
+  out.gups = gups(problem.out.nx, problem.out.ny, problem.out.nz,
+                  problem.in.np, out.t_runtime);
+  out.gups_compute = gups(problem.out.nx, problem.out.ny, problem.out.nz,
+                          problem.in.np, out.t_runtime - out.t_store);
+  return out;
+}
+
+}  // namespace ifdk::cluster

@@ -1,0 +1,88 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ifdk {
+
+CliParser& CliParser::option(const std::string& name,
+                             const std::string& default_value,
+                             const std::string& help) {
+  options_[name] = Option{default_value, help};
+  return *this;
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string key;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      // "--key value" form, unless the next token is another option or the
+      // option is a registered boolean-style flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (key == "help") {
+      values_[key] = "true";
+      continue;
+    }
+    if (!options_.count(key)) {
+      throw ConfigError("unknown option --" + key + "\n" + usage());
+    }
+    values_[key] = value;
+  }
+}
+
+bool CliParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  auto opt = options_.find(name);
+  IFDK_ASSERT_MSG(opt != options_.end(), "option was never registered");
+  return opt->second.default_value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get_string(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get_string(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name << " (default: "
+        << (opt.default_value.empty() ? "<none>" : opt.default_value) << ")\n"
+        << "      " << opt.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ifdk

@@ -1,0 +1,50 @@
+// Tiny command-line parser for the examples and bench binaries.
+//
+// Supports --flag, --key=value and --key value forms, typed getters with
+// defaults, and generates a usage string from the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ifdk {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers an option so it appears in usage(); returns *this for chaining.
+  CliParser& option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  /// Parses argv. Throws ifdk::ConfigError on unknown options.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional arguments (everything that does not start with "--").
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ifdk

@@ -1,0 +1,68 @@
+// 2-D float image container used for projections.
+//
+// Layout is row-major: element (u, v) lives at v * width + u, i.e. the U
+// (detector column) axis is contiguous. The proposed back-projection
+// algorithm transposes projections (Alg. 4 line 3) so that the V axis becomes
+// contiguous; a transposed image is simply an Image2D with swapped axes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned.h"
+#include "common/error.h"
+
+namespace ifdk {
+
+class Image2D {
+ public:
+  Image2D() = default;
+
+  Image2D(std::size_t width, std::size_t height, bool zero_fill = true)
+      : width_(width), height_(height), data_(width * height, zero_fill) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t pixels() const { return width_ * height_; }
+  std::size_t bytes() const { return pixels() * sizeof(float); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::size_t u, std::size_t v) {
+    IFDK_ASSERT(u < width_ && v < height_);
+    return data_[v * width_ + u];
+  }
+  float at(std::size_t u, std::size_t v) const {
+    IFDK_ASSERT(u < width_ && v < height_);
+    return data_[v * width_ + u];
+  }
+
+  float* row(std::size_t v) {
+    IFDK_ASSERT(v < height_);
+    return data_.data() + v * width_;
+  }
+  const float* row(std::size_t v) const {
+    IFDK_ASSERT(v < height_);
+    return data_.data() + v * width_;
+  }
+
+  void fill(float value) { data_.fill(value); }
+
+  /// Returns the transpose (width and height swapped).
+  Image2D transposed() const {
+    Image2D out(height_, width_, /*zero_fill=*/false);
+    for (std::size_t v = 0; v < height_; ++v) {
+      for (std::size_t u = 0; u < width_; ++u) {
+        out.at(v, u) = at(u, v);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  AlignedBuffer<float> data_;
+};
+
+}  // namespace ifdk

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// iFDK runs pipelines with many threads; the logger serializes writes with a
+// mutex and stamps each record with elapsed wall-clock time and the logical
+// component that emitted it, which makes pipeline traces (Fig. 4c style)
+// readable.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ifdk {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global log threshold; records below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. `component` names the subsystem ("ifdk", "minimpi",
+/// "pfs", ...). Thread-safe.
+void log_message(LogLevel level, const char* component, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+}  // namespace ifdk
+
+#define IFDK_LOG_TRACE(component, ...) \
+  ::ifdk::log_message(::ifdk::LogLevel::kTrace, component, __VA_ARGS__)
+#define IFDK_LOG_DEBUG(component, ...) \
+  ::ifdk::log_message(::ifdk::LogLevel::kDebug, component, __VA_ARGS__)
+#define IFDK_LOG_INFO(component, ...) \
+  ::ifdk::log_message(::ifdk::LogLevel::kInfo, component, __VA_ARGS__)
+#define IFDK_LOG_WARN(component, ...) \
+  ::ifdk::log_message(::ifdk::LogLevel::kWarn, component, __VA_ARGS__)
+#define IFDK_LOG_ERROR(component, ...) \
+  ::ifdk::log_message(::ifdk::LogLevel::kError, component, __VA_ARGS__)

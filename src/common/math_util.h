@@ -1,0 +1,80 @@
+// Small integer/float helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ifdk {
+
+/// "12.5 GiB"-style human-readable byte counts (used in error messages and
+/// bench output).
+inline std::string human_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, units[unit]);
+  return buf;
+}
+
+/// Smallest power of two >= n (n must be >= 1).
+constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+constexpr std::size_t div_ceil(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr std::size_t round_up(std::size_t a, std::size_t b) {
+  return div_ceil(a, b) * b;
+}
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Root-mean-square error between two equal-length arrays.
+template <typename T>
+double rmse(const T* a, const T* b, std::size_t n) {
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+/// Max absolute difference between two equal-length arrays.
+template <typename T>
+double max_abs_diff(const T* a, const T* b, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = std::abs(static_cast<double>(a[i]) -
+                              static_cast<double>(b[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+/// GUPS as defined in paper Section 2.3:
+/// Nx*Ny*Nz*Np / (T * 2^30), with T in seconds.
+inline double gups(std::uint64_t nx, std::uint64_t ny, std::uint64_t nz,
+                   std::uint64_t np, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  const double updates = static_cast<double>(nx) * static_cast<double>(ny) *
+                         static_cast<double>(nz) * static_cast<double>(np);
+  return updates / (seconds * 1073741824.0);
+}
+
+}  // namespace ifdk

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace ifdk {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  IFDK_ASSERT(!headers_.empty());
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& cell) {
+  IFDK_ASSERT_MSG(!rows_.empty(), "call row() before add()");
+  IFDK_ASSERT_MSG(rows_.back().size() < headers_.size(),
+                  "more cells than headers");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TextTable& TextTable::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(double value, int precision) {
+  if (std::isnan(value)) return add(std::string("N/A"));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "" : "  ");
+      out << text << std::string(widths[c] - text.size(), ' ');
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << str(); }
+
+}  // namespace ifdk

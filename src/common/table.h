@@ -1,0 +1,36 @@
+// Fixed-width text table printer used by every bench binary so that the
+// regenerated tables/figures read like the paper's (one row per configuration,
+// aligned columns, units in headers).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ifdk {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  TextTable& row();
+  TextTable& add(const std::string& cell);
+  TextTable& add(std::int64_t value);
+  /// Formats with the given precision; NaN renders as "N/A" (as the paper
+  /// does for the C=1 Reduce column).
+  TextTable& add(double value, int precision = 2);
+
+  /// Renders with a separator line under the header.
+  std::string str() const;
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ifdk

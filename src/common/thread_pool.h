@@ -1,0 +1,61 @@
+// Work-stealing-free, fork-join thread pool.
+//
+// The paper's Filtering-thread spawns OpenMP threads; here a small pool with
+// a parallel_for primitive plays that role. Tasks are indexed ranges (CP.4:
+// think in terms of tasks), and exceptions thrown inside workers are
+// transported back to the caller of parallel_for.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ifdk {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submits a fire-and-forget task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// Work is divided into contiguous chunks (grain) to preserve the row-major
+  /// access pattern the filtering stage depends on.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Serial fallback used by modules when no pool is supplied.
+void serial_for(std::size_t begin, std::size_t end,
+                const std::function<void(std::size_t)>& fn);
+
+}  // namespace ifdk

@@ -1,0 +1,76 @@
+// Wall-clock timing helpers.
+//
+// The paper measures CUDA kernels with cudaEvent and host code with
+// MPI_Wtime; on CPU both collapse to a steady-clock stopwatch. StageTimer
+// accumulates named intervals so that per-stage breakdowns (Table 5 style)
+// can be printed from any pipeline.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ifdk {
+
+/// Simple steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall-clock time into named stages.
+///
+/// Not thread-safe by design: each pipeline thread owns its own StageTimer
+/// and the owner merges them (CP.3: minimize shared writable data).
+class StageTimer {
+ public:
+  /// Adds `seconds` to stage `name`.
+  void add(const std::string& name, double seconds) {
+    stages_[name] += seconds;
+  }
+
+  /// Runs `fn` and charges its duration to stage `name`.
+  template <typename Fn>
+  auto time(const std::string& name, Fn&& fn) {
+    Timer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      add(name, t.seconds());
+    } else {
+      auto result = fn();
+      add(name, t.seconds());
+      return result;
+    }
+  }
+
+  double get(const std::string& name) const {
+    auto it = stages_.find(name);
+    return it == stages_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& stages() const { return stages_; }
+
+  /// Merges another timer's stages into this one (summing).
+  void merge(const StageTimer& other) {
+    for (const auto& [name, secs] : other.stages_) stages_[name] += secs;
+  }
+
+ private:
+  std::map<std::string, double> stages_;
+};
+
+}  // namespace ifdk

@@ -1,0 +1,98 @@
+// 3-D float volume container with the two memory layouts the paper contrasts
+// (Section 3.2.3):
+//
+//   kXMajor — the standard layout of Algorithm 2: index (k*Ny + j)*Nx + i,
+//             i (the X axis) contiguous. This is the layout RTK/RabbitCT use
+//             and the layout in which volumes are written to disk (Nz slices
+//             of Nx*Ny).
+//   kZMajor — the proposed layout of Algorithm 4: index (i*Ny + j)*Nz + k,
+//             k (the Z axis) contiguous, so the half-Nz symmetric update
+//             writes two contiguous streams. reshape() converts back.
+#pragma once
+
+#include <cstddef>
+
+#include "common/aligned.h"
+#include "common/error.h"
+
+namespace ifdk {
+
+enum class VolumeLayout {
+  kXMajor,  ///< (k*Ny + j)*Nx + i — standard / on-disk layout
+  kZMajor,  ///< (i*Ny + j)*Nz + k — proposed cache-friendly layout
+};
+
+class Volume {
+ public:
+  Volume() = default;
+
+  Volume(std::size_t nx, std::size_t ny, std::size_t nz,
+         VolumeLayout layout = VolumeLayout::kXMajor, bool zero_fill = true)
+      : nx_(nx), ny_(ny), nz_(nz), layout_(layout),
+        data_(nx * ny * nz, zero_fill) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  std::size_t voxels() const { return nx_ * ny_ * nz_; }
+  std::size_t bytes() const { return voxels() * sizeof(float); }
+  VolumeLayout layout() const { return layout_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    IFDK_ASSERT(i < nx_ && j < ny_ && k < nz_);
+    if (layout_ == VolumeLayout::kXMajor) {
+      return (k * ny_ + j) * nx_ + i;
+    }
+    return (i * ny_ + j) * nz_ + k;
+  }
+
+  float& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[index(i, j, k)];
+  }
+  float at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[index(i, j, k)];
+  }
+
+  void fill(float value) { data_.fill(value); }
+
+  /// The paper's reshape (Alg. 4 line 22): returns a copy of this volume in
+  /// the other layout. Voxel (i,j,k) keeps its logical position.
+  Volume reshaped(VolumeLayout target) const {
+    Volume out(nx_, ny_, nz_, target, /*zero_fill=*/false);
+    if (target == layout_) {
+      for (std::size_t n = 0; n < voxels(); ++n) out.data()[n] = data_[n];
+      return out;
+    }
+    for (std::size_t k = 0; k < nz_; ++k) {
+      for (std::size_t j = 0; j < ny_; ++j) {
+        for (std::size_t i = 0; i < nx_; ++i) {
+          out.at(i, j, k) = at(i, j, k);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Pointer to the start of XY slice k. Only valid for kXMajor, where the
+  /// slice is contiguous (this is what gets written to the PFS, §4.1.3).
+  const float* slice(std::size_t k) const {
+    IFDK_ASSERT(layout_ == VolumeLayout::kXMajor);
+    IFDK_ASSERT(k < nz_);
+    return data_.data() + k * nx_ * ny_;
+  }
+  float* slice(std::size_t k) {
+    IFDK_ASSERT(layout_ == VolumeLayout::kXMajor);
+    IFDK_ASSERT(k < nz_);
+    return data_.data() + k * nx_ * ny_;
+  }
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  VolumeLayout layout_ = VolumeLayout::kXMajor;
+  AlignedBuffer<float> data_;
+};
+
+}  // namespace ifdk

@@ -1,0 +1,161 @@
+#include "fft/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ifdk::fft {
+
+namespace {
+
+// Iterative radix-2 Cooley-Tukey, decimation in time. `sign` is -1 for the
+// forward transform (engineering convention, e^{-i2πkn/N}) and +1 for inverse.
+void radix2(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  IFDK_ASSERT(is_pow2(n));
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+    const Complex wn(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wn;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+// circular convolution of power-of-two length.
+void bluestein(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  const std::size_t m = next_pow2(2 * n + 1);
+
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to avoid catastrophic angle growth for large k.
+    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
+    const double angle =
+        sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> x(m, Complex(0, 0));
+  std::vector<Complex> y(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    y[k] = y[m - k] = std::conj(chirp[k]);
+  }
+
+  radix2(x, -1);
+  radix2(y, -1);
+  for (std::size_t k = 0; k < m; ++k) x[k] *= y[k];
+  radix2(x, +1);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * inv_m * chirp[k];
+  }
+}
+
+void transform(std::vector<Complex>& data, int sign) {
+  const std::size_t n = data.size();
+  IFDK_ASSERT(n > 0);
+  if (n == 1) return;
+  if (is_pow2(n)) {
+    radix2(data, sign);
+  } else {
+    bluestein(data, sign);
+  }
+}
+
+}  // namespace
+
+void forward(std::vector<Complex>& data) { transform(data, -1); }
+
+void inverse(std::vector<Complex>& data) {
+  transform(data, +1);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= inv_n;
+}
+
+std::vector<Complex> forward_real(const std::vector<double>& signal) {
+  std::vector<Complex> data(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = Complex(signal[i], 0);
+  forward(data);
+  return data;
+}
+
+std::vector<double> inverse_real(std::vector<Complex> spectrum) {
+  inverse(spectrum);
+  std::vector<double> out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) out[i] = spectrum[i].real();
+  return out;
+}
+
+std::vector<double> circular_convolve(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  IFDK_ASSERT(a.size() == b.size());
+  auto sa = forward_real(a);
+  auto sb = forward_real(b);
+  for (std::size_t i = 0; i < sa.size(); ++i) sa[i] *= sb[i];
+  return inverse_real(std::move(sa));
+}
+
+RowConvolver::RowConvolver(std::size_t row_length,
+                           const std::vector<double>& kernel)
+    : row_length_(row_length) {
+  IFDK_ASSERT(row_length > 0);
+  IFDK_ASSERT(!kernel.empty());
+  // The ramp kernel is symmetric around its center; linear convolution output
+  // sample i of the original row lives at padded index i + kernel_center.
+  kernel_center_ = kernel.size() / 2;
+  padded_ = next_pow2(row_length + kernel.size() - 1);
+  std::vector<Complex> k(padded_, Complex(0, 0));
+  for (std::size_t i = 0; i < kernel.size(); ++i) k[i] = Complex(kernel[i], 0);
+  forward(k);
+  kernel_spectrum_ = std::move(k);
+}
+
+void RowConvolver::convolve_row(float* row) const {
+  std::vector<Complex> buf(padded_, Complex(0, 0));
+  for (std::size_t i = 0; i < row_length_; ++i) {
+    buf[i] = Complex(static_cast<double>(row[i]), 0);
+  }
+  forward(buf);
+  for (std::size_t i = 0; i < padded_; ++i) buf[i] *= kernel_spectrum_[i];
+  inverse(buf);
+  for (std::size_t i = 0; i < row_length_; ++i) {
+    row[i] = static_cast<float>(buf[i + kernel_center_].real());
+  }
+}
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          -2.0 * kPi * static_cast<double>(k * t) / static_cast<double>(n);
+      out[k] += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+}  // namespace ifdk::fft

@@ -1,0 +1,70 @@
+// FFT substrate for the filtering stage (paper Section 2.2.3).
+//
+// The ramp-filter convolution of Algorithm 1 is executed in the frequency
+// domain via the Convolution Theorem. The paper uses Intel IPP on the CPU;
+// this module is a from-scratch replacement providing:
+//   * an iterative radix-2 Cooley-Tukey transform for power-of-two sizes,
+//   * Bluestein's chirp-z algorithm for arbitrary sizes,
+//   * real-input convenience wrappers and a frequency-domain convolver.
+//
+// All transforms are unnormalized in the forward direction; inverse applies
+// the 1/N factor (matching FFTW/IPP conventions).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace ifdk::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT. `data.size()` may be any positive length; radix-2 is
+/// used when the length is a power of two, Bluestein otherwise.
+void forward(std::vector<Complex>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void inverse(std::vector<Complex>& data);
+
+/// Forward FFT of a real signal; returns the full complex spectrum of length
+/// `signal.size()`.
+std::vector<Complex> forward_real(const std::vector<double>& signal);
+
+/// Inverse FFT returning only the real part (the imaginary part of the result
+/// is discarded; callers use it when the spectrum has Hermitian symmetry).
+std::vector<double> inverse_real(std::vector<Complex> spectrum);
+
+/// Circular convolution of two equal-length real signals via FFT.
+std::vector<double> circular_convolve(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+/// Plan for repeated convolution of many rows with one fixed real kernel:
+/// the kernel spectrum is computed once, each row is transformed, multiplied
+/// and inverse-transformed. This is exactly the per-row work of Algorithm 1
+/// line 4. Rows are zero-padded to `padded_size()` internally.
+class RowConvolver {
+ public:
+  /// `row_length` is Nu; `kernel` is the spatial-domain filter whose length
+  /// determines the zero-padding (linear convolution requires
+  /// padded >= row_length + kernel.size() - 1; we round up to a power of two).
+  RowConvolver(std::size_t row_length, const std::vector<double>& kernel);
+
+  std::size_t row_length() const { return row_length_; }
+  std::size_t padded_size() const { return padded_; }
+
+  /// Convolves one row in place: row[0..Nu) <- (row * kernel)[Nu window].
+  /// The output window is centered so that a symmetric kernel leaves features
+  /// in place (standard FBP filtering alignment).
+  void convolve_row(float* row) const;
+
+ private:
+  std::size_t row_length_;
+  std::size_t padded_;
+  std::size_t kernel_center_;
+  std::vector<Complex> kernel_spectrum_;
+};
+
+/// Naive O(N^2) DFT used only by tests as an oracle.
+std::vector<Complex> naive_dft(const std::vector<Complex>& data);
+
+}  // namespace ifdk::fft

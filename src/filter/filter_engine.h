@@ -1,0 +1,63 @@
+// The CPU filtering stage of Algorithm 1 (paper Section 3.1).
+//
+// For each projection E_i:
+//   1. point-wise multiply by the 2-D cosine table Fcos (cone-beam weight),
+//   2. convolve every row with the 1-D ramp filter Framp via FFT.
+//
+// FDK normalization: the back-projection kernels compute Wdis = 1/z^2 with z
+// in millimetres (Algorithm 2/4), so the full Feldkamp weight
+// (2*pi/Np) * d^2 / z^2 is completed by baking (2*pi/Np) * d^2 into the ramp
+// kernel here, together with the isocenter-plane sample pitch
+// tau = Du * d / D and the half-scan-double-coverage factor 1/2. After this
+// stage a back-projection pass reconstructs density in the phantom's units.
+//
+// The engine is what the paper runs on the CPUs: rows are independent, so a
+// ThreadPool parallelizes across them (the paper uses OpenMP + Intel IPP).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/image.h"
+#include "common/thread_pool.h"
+#include "fft/fft.h"
+#include "filter/ramp.h"
+#include "geometry/cbct.h"
+
+namespace ifdk::filter {
+
+struct FilterOptions {
+  RampWindow window = RampWindow::kRamLak;
+  /// Ramp kernel half-width in samples; 0 means "cover the row" (Nu - 1),
+  /// which makes the FFT convolution exact for the full row support.
+  std::size_t kernel_half_width = 0;
+  /// Optional pool; filtering runs serially when null.
+  ThreadPool* pool = nullptr;
+};
+
+class FilterEngine {
+ public:
+  FilterEngine(const geo::CbctGeometry& geometry, FilterOptions options = {});
+
+  /// Filters one projection in place (cosine weighting + row convolution).
+  void apply(Image2D& projection) const;
+
+  /// Filters a batch in place, parallelizing across projections and rows.
+  void apply_batch(std::vector<Image2D>& projections) const;
+
+  /// The cosine table Fcos of Table 1 (size Nv x Nu), exposed for tests.
+  const Image2D& cosine_table() const { return cosine_; }
+
+  /// The spatial ramp kernel after all normalization, exposed for tests.
+  const std::vector<double>& kernel() const { return kernel_; }
+
+ private:
+  geo::CbctGeometry geometry_;
+  FilterOptions options_;
+  Image2D cosine_;
+  std::vector<double> kernel_;
+  std::unique_ptr<fft::RowConvolver> convolver_;
+};
+
+}  // namespace ifdk::filter

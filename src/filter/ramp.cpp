@@ -1,0 +1,94 @@
+#include "filter/ramp.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+#include "fft/fft.h"
+
+namespace ifdk::filter {
+
+const char* to_string(RampWindow w) {
+  switch (w) {
+    case RampWindow::kRamLak:     return "ram-lak";
+    case RampWindow::kSheppLogan: return "shepp-logan";
+    case RampWindow::kCosine:     return "cosine";
+    case RampWindow::kHamming:    return "hamming";
+    case RampWindow::kHann:       return "hann";
+  }
+  return "?";
+}
+
+RampWindow ramp_window_from_string(const std::string& name) {
+  if (name == "ram-lak") return RampWindow::kRamLak;
+  if (name == "shepp-logan") return RampWindow::kSheppLogan;
+  if (name == "cosine") return RampWindow::kCosine;
+  if (name == "hamming") return RampWindow::kHamming;
+  if (name == "hann") return RampWindow::kHann;
+  throw ConfigError("unknown ramp window: " + name);
+}
+
+namespace {
+
+/// Apodization gain at normalized frequency w in [0, pi] (pi = Nyquist).
+double window_gain(RampWindow window, double w) {
+  switch (window) {
+    case RampWindow::kRamLak:
+      return 1.0;
+    case RampWindow::kSheppLogan:
+      return w == 0.0 ? 1.0 : std::sin(w / 2.0) / (w / 2.0);
+    case RampWindow::kCosine:
+      return std::cos(w / 2.0);
+    case RampWindow::kHamming:
+      return 0.54 + 0.46 * std::cos(w);
+    case RampWindow::kHann:
+      return 0.5 + 0.5 * std::cos(w);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+std::vector<double> make_ramp_kernel(std::size_t half_width, double tau,
+                                     RampWindow window, double scale) {
+  IFDK_ASSERT(half_width > 0);
+  IFDK_ASSERT(tau > 0);
+  const std::size_t len = 2 * half_width + 1;
+
+  // Band-limited ramp sampled in the spatial domain (Kak & Slaney eq. 61):
+  // constructing it here rather than as |w| in the frequency domain avoids
+  // the classic DC-offset (cupping) artifact of naive frequency sampling.
+  std::vector<double> kernel(len, 0.0);
+  const double inv_tau2 = 1.0 / (tau * tau);
+  kernel[half_width] = 0.25 * inv_tau2;
+  for (std::size_t n = 1; n <= half_width; n += 2) {
+    const double value =
+        -inv_tau2 / (kPi * kPi * static_cast<double>(n) * static_cast<double>(n));
+    kernel[half_width - n] = value;
+    kernel[half_width + n] = value;
+  }
+
+  if (window != RampWindow::kRamLak) {
+    // Apodize in the frequency domain, then return to the spatial domain.
+    const std::size_t padded = next_pow2(4 * len);
+    std::vector<fft::Complex> spec(padded, fft::Complex(0, 0));
+    for (std::size_t i = 0; i < len; ++i) {
+      spec[i] = fft::Complex(kernel[i], 0.0);
+    }
+    fft::forward(spec);
+    for (std::size_t b = 0; b < padded; ++b) {
+      // Map FFT bin to |normalized frequency| in [0, pi].
+      const std::size_t folded = b <= padded / 2 ? b : padded - b;
+      const double w =
+          kPi * static_cast<double>(folded) / (static_cast<double>(padded) / 2.0);
+      spec[b] *= window_gain(window, w);
+    }
+    fft::inverse(spec);
+    for (std::size_t i = 0; i < len; ++i) kernel[i] = spec[i].real();
+  }
+
+  for (auto& v : kernel) v *= scale;
+  return kernel;
+}
+
+}  // namespace ifdk::filter

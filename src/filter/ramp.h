@@ -1,0 +1,39 @@
+// Ramp filter construction (the Framp of paper Table 1 / Algorithm 1).
+//
+// The spatial-domain Ram-Lak impulse response is the classical Kak & Slaney
+// band-limited ramp sampled at the (isocenter-rescaled) detector pitch tau:
+//
+//   h[0]      = 1 / (4 tau^2)
+//   h[n even] = 0
+//   h[n odd]  = -1 / (n^2 pi^2 tau^2)
+//
+// Window variants (Shepp-Logan, cosine, Hamming, Hann) multiply the ramp's
+// frequency response by an apodization window; as the paper notes (§2.2.2)
+// the window changes image quality but not the compute cost of the stage.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ifdk::filter {
+
+enum class RampWindow {
+  kRamLak,      ///< pure band-limited ramp (sharpest, noisiest)
+  kSheppLogan,  ///< ramp * sinc
+  kCosine,      ///< ramp * cos
+  kHamming,     ///< ramp * (0.54 + 0.46 cos)
+  kHann,        ///< ramp * (0.5 + 0.5 cos)
+};
+
+const char* to_string(RampWindow w);
+RampWindow ramp_window_from_string(const std::string& name);
+
+/// Builds the spatial-domain filter kernel of length 2*half_width+1 centered
+/// at index half_width. `tau` is the sample pitch the ramp is defined on and
+/// `scale` is an overall multiplier (the FDK normalization the caller bakes
+/// in: delta_beta * d^2 * tau / 2; see FilterEngine).
+std::vector<double> make_ramp_kernel(std::size_t half_width, double tau,
+                                     RampWindow window, double scale);
+
+}  // namespace ifdk::filter

@@ -1,0 +1,168 @@
+#include "geometry/cbct.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ifdk::geo {
+
+double CbctGeometry::theta() const {
+  IFDK_ASSERT(np > 0);
+  return 2.0 * kPi / static_cast<double>(np);
+}
+
+double CbctGeometry::beta(std::size_t s) const {
+  return static_cast<double>(s) * theta();
+}
+
+void CbctGeometry::validate() const {
+  IFDK_REQUIRE(np > 0 && nu > 0 && nv > 0, "projection dimensions must be > 0");
+  IFDK_REQUIRE(nx > 0 && ny > 0 && nz > 0, "volume dimensions must be > 0");
+  IFDK_REQUIRE(du > 0 && dv > 0, "detector pitch must be > 0");
+  IFDK_REQUIRE(dx > 0 && dy > 0 && dz > 0, "voxel pitch must be > 0");
+  IFDK_REQUIRE(d > 0, "source-to-axis distance d must be > 0");
+  IFDK_REQUIRE(D > d, "source-to-detector distance D must exceed d");
+
+  // The in-plane footprint of the volume, magnified onto the detector, must
+  // fit inside the panel; otherwise projections truncate and FDK produces
+  // bright rim artifacts.
+  const double rx = 0.5 * static_cast<double>(nx) * dx;
+  const double ry = 0.5 * static_cast<double>(ny) * dy;
+  const double r_xy = std::sqrt(rx * rx + ry * ry);
+  IFDK_REQUIRE(r_xy < d, "volume intersects the source orbit (d too small)");
+  const double mag_max = D / (d - r_xy);
+  IFDK_REQUIRE(r_xy * mag_max <= 0.5 * static_cast<double>(nu) * du * 1.0001,
+               "detector too narrow for the magnified volume footprint");
+  const double rz = 0.5 * static_cast<double>(nz) * dz;
+  IFDK_REQUIRE(rz * mag_max <= 0.5 * static_cast<double>(nv) * dv * 1.0001,
+               "detector too short for the magnified volume height");
+}
+
+CbctGeometry make_standard_geometry(const Problem& problem) {
+  CbctGeometry g;
+  g.np = problem.in.np;
+  g.nu = problem.in.nu;
+  g.nv = problem.in.nv;
+  g.du = 1.0;
+  g.dv = 1.0;
+  g.nx = problem.out.nx;
+  g.ny = problem.out.ny;
+  g.nz = problem.out.nz;
+
+  // RabbitCT-like proportions: source orbit at twice the panel half-width,
+  // detector at 1.5x the orbit radius (magnification 1.5 at the isocenter).
+  const double half_panel_u = 0.5 * static_cast<double>(g.nu) * g.du;
+  const double half_panel_v = 0.5 * static_cast<double>(g.nv) * g.dv;
+  g.d = 2.0 * half_panel_u;
+  g.D = 1.5 * g.d;
+
+  // Size the voxels so the whole volume provably passes validate(): solve
+  // r_xy * D / (d - r_xy) = safety * half_panel_u for the in-plane radius.
+  const double safety = 0.95;
+  const double target_u = safety * half_panel_u;
+  const double r_xy = target_u * g.d / (g.D + target_u);
+  const double diag =
+      std::sqrt(static_cast<double>(g.nx) * static_cast<double>(g.nx) +
+                static_cast<double>(g.ny) * static_cast<double>(g.ny)) / 2.0;
+  g.dx = g.dy = r_xy / diag;
+
+  const double mag_max = g.D / (g.d - r_xy);
+  const double rz = safety * half_panel_v / mag_max;
+  g.dz = 2.0 * rz / static_cast<double>(g.nz);
+
+  g.validate();
+  return g;
+}
+
+Mat4 make_m0(const CbctGeometry& g) {
+  Mat4 shift = Mat4::identity();
+  shift.at(0, 3) = -(static_cast<double>(g.nx) - 1.0) / 2.0;
+  shift.at(1, 1) = -1.0;
+  shift.at(1, 3) = (static_cast<double>(g.ny) - 1.0) / 2.0;
+  shift.at(2, 2) = -1.0;
+  shift.at(2, 3) = (static_cast<double>(g.nz) - 1.0) / 2.0;
+  return Mat4::diagonal(g.dx, g.dy, g.dz, 1.0) * shift;
+}
+
+Mat4 make_mrot(const CbctGeometry& g, double beta) {
+  Mat4 axis_swap;  // maps (x, y, z) -> (x, -z, y + d): optical axis becomes +Z
+  axis_swap.at(0, 0) = 1.0;
+  axis_swap.at(1, 2) = -1.0;
+  axis_swap.at(2, 1) = 1.0;
+  axis_swap.at(2, 3) = g.d;
+  axis_swap.at(3, 3) = 1.0;
+  return axis_swap * Mat4::rotation_z(beta);
+}
+
+Mat4 make_m1(const CbctGeometry& g) {
+  Mat4 proj;
+  proj.at(0, 0) = g.D;
+  proj.at(0, 2) = (static_cast<double>(g.nu) - 1.0) * g.du / 2.0;
+  proj.at(1, 1) = g.D;
+  proj.at(1, 2) = (static_cast<double>(g.nv) - 1.0) * g.dv / 2.0;
+  proj.at(2, 2) = 1.0;
+  proj.at(3, 3) = 1.0;
+  return Mat4::diagonal(1.0 / g.du, 1.0 / g.dv, 1.0, 1.0) * proj;
+}
+
+Mat34 make_projection_matrix(const CbctGeometry& g, double beta) {
+  return Mat34::from_mat4(make_m1(g) * make_mrot(g, beta) * make_m0(g));
+}
+
+std::vector<Mat34> make_all_projection_matrices(const CbctGeometry& g) {
+  std::vector<Mat34> out;
+  out.reserve(g.np);
+  for (std::size_t s = 0; s < g.np; ++s) {
+    out.push_back(make_projection_matrix(g, g.beta(s)));
+  }
+  return out;
+}
+
+ProjectedPoint project_voxel(const Mat34& p, double i, double j, double k) {
+  const Vec3 xyz = p * Vec4{i, j, k, 1.0};
+  IFDK_ASSERT_MSG(xyz.z != 0.0, "voxel projects through the source");
+  return {xyz.x / xyz.z, xyz.y / xyz.z, xyz.z};
+}
+
+double theorem3_depth(const CbctGeometry& g, double beta, double i, double j) {
+  const double ci = (static_cast<double>(g.nx) - 1.0) / 2.0;
+  const double cj = (static_cast<double>(g.ny) - 1.0) / 2.0;
+  return g.d + std::sin(beta) * (i - ci) * g.dx -
+         std::cos(beta) * (j - cj) * g.dy;
+}
+
+Vec3 source_position(const CbctGeometry& g, double beta) {
+  // Gantry-frame source is the origin; world = Rz(-beta) * A^-1 * gantry with
+  // A^-1 (X,Y,Z) = (X, Z - d, -Y). A^-1 * 0 = (0, -d, 0).
+  const double s = std::sin(beta);
+  const double c = std::cos(beta);
+  return {-g.d * s, -g.d * c, 0.0};
+}
+
+Vec3 detector_pixel_position(const CbctGeometry& g, double beta, double u,
+                             double v) {
+  // Detector pixel (u, v) sits at gantry coordinates
+  // ((u - cu) * Du, (v - cv) * Dv, D); see make_m1.
+  const double cu = (static_cast<double>(g.nu) - 1.0) / 2.0;
+  const double cv = (static_cast<double>(g.nv) - 1.0) / 2.0;
+  const double gx = (u - cu) * g.du;
+  const double gy = (v - cv) * g.dv;
+  const double gz = g.D;
+  // A^-1: (X, Y, Z) -> (X, Z - d, -Y); then rotate by -beta about Z.
+  const double wx = gx;
+  const double wy = gz - g.d;
+  const double wz = -gy;
+  const double s = std::sin(-beta);
+  const double c = std::cos(-beta);
+  return {wx * c - wy * s, wx * s + wy * c, wz};
+}
+
+Vec3 voxel_world_position(const CbctGeometry& g, double i, double j, double k) {
+  const Mat4 m0 = make_m0(g);
+  const Vec4 w = m0 * Vec4{i, j, k, 1.0};
+  return {w.x, w.y, w.z};
+}
+
+}  // namespace ifdk::geo

@@ -1,0 +1,113 @@
+// CBCT geometry (paper Fig. 1 / Table 1) and the projection-matrix chain of
+// Section 3.2.1:
+//
+//   P-hat = M1 * Mrot * M0,   P = P-hat[0:3]
+//
+// with M0 the volume->gantry transform, Mrot the gantry rotation about Z plus
+// the source distance translation, and M1 the perspective mapping onto the
+// flat panel detector (FPD).
+//
+// Units: voxel pitches Dx/Dy/Dz and pixel pitches Du/Dv are mm per
+// voxel/pixel; the distances d (source to rotation axis) and D (source to FPD
+// center) are mm. Projection of a voxel index (i,j,k) is
+//   [x y z]^T = P [i j k 1]^T ,  u = x/z , v = y/z   (detector pixels).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/types.h"
+#include "geometry/vec.h"
+
+namespace ifdk::geo {
+
+/// Full CBCT parameter set (paper Table 1).
+struct CbctGeometry {
+  // Projections (input).
+  std::size_t np = 0;  ///< number of projections over the full 2*pi scan
+  std::size_t nu = 0;  ///< FPD width in pixels
+  std::size_t nv = 0;  ///< FPD height in pixels
+  double du = 1.0;     ///< FPD pixel pitch, U direction [mm/pixel]
+  double dv = 1.0;     ///< FPD pixel pitch, V direction [mm/pixel]
+
+  // Gantry.
+  double d = 0.0;  ///< distance X-ray source -> rotation (Z) axis [mm]
+  double D = 0.0;  ///< distance X-ray source -> FPD center [mm]
+
+  // Volume (output).
+  std::size_t nx = 0, ny = 0, nz = 0;  ///< voxels per dimension
+  double dx = 1.0, dy = 1.0, dz = 1.0; ///< voxel pitch [mm/voxel]
+
+  /// Rotation step angle theta = 2*pi/Np (Table 1).
+  double theta() const;
+
+  /// Gantry angle of projection index s: beta = s * theta.
+  double beta(std::size_t s) const;
+
+  ProjDims proj_dims() const { return {nu, nv, np}; }
+  VolDims vol_dims() const { return {nx, ny, nz}; }
+  Problem problem() const { return {proj_dims(), vol_dims()}; }
+
+  /// Magnification factor at the isocenter, D/d.
+  double magnification() const { return D / d; }
+
+  /// Throws ifdk::ConfigError when the parameter set is inconsistent
+  /// (zero sizes, non-positive distances, detector too small to cover the
+  /// magnified volume footprint, ...).
+  void validate() const;
+};
+
+/// Builds a consistent geometry for the given problem sizes with standard
+/// proportions: the volume is centered at the isocenter, the source orbit
+/// clears the volume diagonal, and the FPD covers the magnified footprint.
+/// This mirrors how RabbitCT/RTK demo geometries are generated and is what
+/// every example/test/bench in this repository uses unless stated otherwise.
+CbctGeometry make_standard_geometry(const Problem& problem);
+
+/// M0 of Section 3.2.1: voxel indices -> physical gantry coordinates
+/// (includes the Y/Z axis flips of the paper's convention).
+Mat4 make_m0(const CbctGeometry& g);
+
+/// Mrot of Section 3.2.1: rotation by beta about Z, then the axis swap that
+/// points the optical axis at the detector plus the source distance d.
+Mat4 make_mrot(const CbctGeometry& g, double beta);
+
+/// M1 of Section 3.2.1: perspective projection onto the FPD in pixel units.
+Mat4 make_m1(const CbctGeometry& g);
+
+/// The paper's Eq. 2: P = (M1 * Mrot * M0)[0:3] for gantry angle beta.
+Mat34 make_projection_matrix(const CbctGeometry& g, double beta);
+
+/// Projection matrices for all Np angles (P_s for s in [0, Np)).
+std::vector<Mat34> make_all_projection_matrices(const CbctGeometry& g);
+
+/// Applies Eq. 1: maps voxel index (i,j,k) through P to detector coordinates
+/// (u, v) and returns the homogeneous depth z as well.
+struct ProjectedPoint {
+  double u = 0;
+  double v = 0;
+  double z = 0;
+};
+ProjectedPoint project_voxel(const Mat34& p, double i, double j, double k);
+
+/// Eq. 3 (Theorem 3): the closed-form depth
+/// z = d + sin(beta)*(i - (Nx-1)/2)*Dx - cos(beta)*(j - (Ny-1)/2)*Dy.
+double theorem3_depth(const CbctGeometry& g, double beta, double i, double j);
+
+// --- World-frame helpers (used by the forward projectors) -----------------
+//
+// "World" is the static physical frame of the volume: millimetres, origin at
+// the volume center O, axes as in Fig. 1b. The source and detector rotate
+// around the Z axis in this frame.
+
+/// X-ray source position at gantry angle beta.
+Vec3 source_position(const CbctGeometry& g, double beta);
+
+/// Center of detector pixel (u, v) at gantry angle beta.
+Vec3 detector_pixel_position(const CbctGeometry& g, double beta, double u,
+                             double v);
+
+/// Physical position of voxel index (i,j,k) (fractional indices allowed).
+Vec3 voxel_world_position(const CbctGeometry& g, double i, double j, double k);
+
+}  // namespace ifdk::geo

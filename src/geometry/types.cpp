@@ -1,0 +1,15 @@
+#include "geometry/types.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ifdk {
+
+std::string Problem::to_string() const {
+  std::ostringstream s;
+  s << in.nu << "x" << in.nv << "x" << in.np << " -> " << out.nx << "x"
+    << out.ny << "x" << out.nz;
+  return s.str();
+}
+
+}  // namespace ifdk

@@ -1,0 +1,60 @@
+// Shared dimension descriptors for projections and volumes.
+//
+// Terminology follows paper Section 2.3: an image reconstruction *problem* is
+// Nu x Nv x Np -> Nx x Ny x Nz (input projections -> output volume).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ifdk {
+
+/// Dimensions of the projection stack (the input).
+struct ProjDims {
+  std::size_t nu = 0;  ///< projection width  (pixels, U axis)
+  std::size_t nv = 0;  ///< projection height (pixels, V axis)
+  std::size_t np = 0;  ///< number of projections
+
+  std::size_t pixels_per_projection() const { return nu * nv; }
+  std::size_t total_pixels() const { return nu * nv * np; }
+  std::size_t bytes_per_projection() const {
+    return pixels_per_projection() * sizeof(float);
+  }
+  std::size_t total_bytes() const { return total_pixels() * sizeof(float); }
+
+  bool operator==(const ProjDims&) const = default;
+};
+
+/// Dimensions of the reconstructed volume (the output).
+struct VolDims {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+
+  std::size_t voxels() const { return nx * ny * nz; }
+  std::size_t bytes() const { return voxels() * sizeof(float); }
+
+  bool operator==(const VolDims&) const = default;
+};
+
+/// A full reconstruction problem, e.g. 2048x2048x4096 -> 4096^3.
+struct Problem {
+  ProjDims in;
+  VolDims out;
+
+  /// alpha as defined under Table 4: ratio of input size to output size.
+  double alpha() const {
+    return static_cast<double>(in.total_pixels()) /
+           static_cast<double>(out.voxels());
+  }
+
+  /// Total voxel updates = Nx*Ny*Nz*Np (the numerator of GUPS).
+  double updates() const {
+    return static_cast<double>(out.voxels()) * static_cast<double>(in.np);
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace ifdk

@@ -1,0 +1,150 @@
+// Small fixed-size vector/matrix types for the CBCT geometry chain.
+//
+// Matrix setup runs in double precision (the paper builds P on the host);
+// kernels consume the 3x4 result as float rows, mirroring the CUDA
+// `__constant float4 ProjMat[32][3]` of Listing 1.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace ifdk::geo {
+
+struct Vec2 {
+  double u = 0, v = 0;
+};
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+  Vec3 normalized() const {
+    const double n = norm();
+    IFDK_ASSERT(n > 0);
+    return {x / n, y / n, z / n};
+  }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+};
+
+struct Vec4 {
+  double x = 0, y = 0, z = 0, w = 0;
+
+  double dot(const Vec4& o) const {
+    return x * o.x + y * o.y + z * o.z + w * o.w;
+  }
+};
+
+/// Row-major 4x4 matrix.
+class Mat4 {
+ public:
+  Mat4() = default;
+
+  static Mat4 identity() {
+    Mat4 m;
+    for (int i = 0; i < 4; ++i) m.at(i, i) = 1.0;
+    return m;
+  }
+
+  static Mat4 diagonal(double a, double b, double c, double d) {
+    Mat4 m;
+    m.at(0, 0) = a;
+    m.at(1, 1) = b;
+    m.at(2, 2) = c;
+    m.at(3, 3) = d;
+    return m;
+  }
+
+  /// Rotation about the Z axis by `beta` radians.
+  static Mat4 rotation_z(double beta) {
+    Mat4 m = identity();
+    m.at(0, 0) = std::cos(beta);
+    m.at(0, 1) = -std::sin(beta);
+    m.at(1, 0) = std::sin(beta);
+    m.at(1, 1) = std::cos(beta);
+    return m;
+  }
+
+  double& at(int r, int c) {
+    IFDK_ASSERT(r >= 0 && r < 4 && c >= 0 && c < 4);
+    return m_[static_cast<std::size_t>(r) * 4 + static_cast<std::size_t>(c)];
+  }
+  double at(int r, int c) const {
+    IFDK_ASSERT(r >= 0 && r < 4 && c >= 0 && c < 4);
+    return m_[static_cast<std::size_t>(r) * 4 + static_cast<std::size_t>(c)];
+  }
+
+  Mat4 operator*(const Mat4& o) const {
+    Mat4 out;
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        double acc = 0;
+        for (int k = 0; k < 4; ++k) acc += at(r, k) * o.at(k, c);
+        out.at(r, c) = acc;
+      }
+    }
+    return out;
+  }
+
+  Vec4 operator*(const Vec4& v) const {
+    return {at(0, 0) * v.x + at(0, 1) * v.y + at(0, 2) * v.z + at(0, 3) * v.w,
+            at(1, 0) * v.x + at(1, 1) * v.y + at(1, 2) * v.z + at(1, 3) * v.w,
+            at(2, 0) * v.x + at(2, 1) * v.y + at(2, 2) * v.z + at(2, 3) * v.w,
+            at(3, 0) * v.x + at(3, 1) * v.y + at(3, 2) * v.z + at(3, 3) * v.w};
+  }
+
+ private:
+  std::array<double, 16> m_{};
+};
+
+/// Row-major 3x4 projection matrix (the paper's P, Eq. 2: the first three
+/// rows of P-hat). Row accessors return Vec4 so kernels can phrase the
+/// projection as inner products exactly like Algorithm 2 line 6.
+class Mat34 {
+ public:
+  Mat34() = default;
+
+  /// Truncates a 4x4 homogeneous matrix to its first three rows.
+  static Mat34 from_mat4(const Mat4& m) {
+    Mat34 out;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 4; ++c) out.at(r, c) = m.at(r, c);
+    }
+    return out;
+  }
+
+  double& at(int r, int c) {
+    IFDK_ASSERT(r >= 0 && r < 3 && c >= 0 && c < 4);
+    return m_[static_cast<std::size_t>(r) * 4 + static_cast<std::size_t>(c)];
+  }
+  double at(int r, int c) const {
+    IFDK_ASSERT(r >= 0 && r < 3 && c >= 0 && c < 4);
+    return m_[static_cast<std::size_t>(r) * 4 + static_cast<std::size_t>(c)];
+  }
+
+  Vec4 row(int r) const { return {at(r, 0), at(r, 1), at(r, 2), at(r, 3)}; }
+
+  Vec3 operator*(const Vec4& v) const {
+    return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+  }
+
+  /// Flat float copy, row-major, for kernel consumption (12 floats).
+  std::array<float, 12> to_float() const {
+    std::array<float, 12> out{};
+    for (std::size_t i = 0; i < 12; ++i) out[i] = static_cast<float>(m_[i]);
+    return out;
+  }
+
+ private:
+  std::array<double, 12> m_{};
+};
+
+}  // namespace ifdk::geo

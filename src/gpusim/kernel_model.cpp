@@ -1,0 +1,95 @@
+#include "gpusim/kernel_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "perfmodel/paper_reference.h"
+
+namespace ifdk::gpusim {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t kNumVariants = 5;
+
+double row_value(const paper::Table4Row& row, bp::KernelVariant variant) {
+  switch (variant) {
+    case bp::KernelVariant::kRtk32:   return row.rtk32;
+    case bp::KernelVariant::kBpTex:   return row.bp_tex;
+    case bp::KernelVariant::kTexTran: return row.tex_tran;
+    case bp::KernelVariant::kBpL1:    return row.bp_l1;
+    case bp::KernelVariant::kL1Tran:  return row.l1_tran;
+  }
+  return kNaN;
+}
+
+}  // namespace
+
+KernelModel::KernelModel() {
+  points_.resize(kNumVariants);
+  for (std::size_t v = 0; v < kNumVariants; ++v) {
+    const auto variant = static_cast<bp::KernelVariant>(v);
+    // Collapse duplicate alphas (Table 4 measures alpha=1 three times) to
+    // the geometric mean of their GUPS.
+    std::map<double, std::pair<double, int>> by_alpha;  // log sum, count
+    for (const auto& row : paper::table4()) {
+      const double gups = row_value(row, variant);
+      if (std::isnan(gups)) continue;
+      auto& [log_sum, count] = by_alpha[row.alpha];
+      log_sum += std::log(gups);
+      count += 1;
+    }
+    for (const auto& [alpha, acc] : by_alpha) {
+      points_[v].push_back(Point{std::log(alpha), acc.first / acc.second});
+    }
+    std::sort(points_[v].begin(), points_[v].end(),
+              [](const Point& a, const Point& b) {
+                return a.log_alpha < b.log_alpha;
+              });
+    IFDK_ASSERT(points_[v].size() >= 2);
+  }
+}
+
+double KernelModel::predict_gups(bp::KernelVariant variant,
+                                 const Problem& problem) const {
+  // RTK's dual-buffer scheme caps the output at half the 16 GB device
+  // memory (Section 5.2): the paper prints N/A for > 8 GB outputs.
+  if (variant == bp::KernelVariant::kRtk32 &&
+      problem.out.bytes() > 8ull << 30) {
+    return kNaN;
+  }
+
+  // Exact Table-4 problems return the measured number untouched.
+  for (const auto& row : paper::table4()) {
+    if (row.problem.in == problem.in && row.problem.out == problem.out) {
+      return row_value(row, variant);
+    }
+  }
+
+  const auto& pts = points_[static_cast<std::size_t>(variant)];
+  const double la = std::log(problem.alpha());
+  if (la <= pts.front().log_alpha) return std::exp(pts.front().log_gups);
+  if (la >= pts.back().log_alpha) return std::exp(pts.back().log_gups);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (la <= pts[i].log_alpha) {
+      const double t = (la - pts[i - 1].log_alpha) /
+                       (pts[i].log_alpha - pts[i - 1].log_alpha);
+      return std::exp(pts[i - 1].log_gups +
+                      t * (pts[i].log_gups - pts[i - 1].log_gups));
+    }
+  }
+  return std::exp(pts.back().log_gups);
+}
+
+double KernelModel::kernel_seconds(bp::KernelVariant variant,
+                                   const Problem& problem) const {
+  const double gups = predict_gups(variant, problem);
+  if (std::isnan(gups)) return kNaN;
+  return problem.updates() / (gups * 1073741824.0);
+}
+
+}  // namespace ifdk::gpusim

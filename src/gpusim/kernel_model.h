@@ -1,0 +1,45 @@
+// V100 back-projection kernel throughput model, calibrated against Table 4.
+//
+// The paper shows kernel GUPS to be governed primarily by the kernel variant
+// and the input/output ratio alpha (small alpha = large output = better GPU
+// utilization; Section 4.1.5 point II builds on exactly this relationship).
+// The model therefore:
+//   * returns the measured Table-4 value for exact problem matches,
+//   * otherwise interpolates log(GUPS) linearly in log(alpha) between the
+//     calibration points of the same variant (clamping at the ends).
+//
+// RTK-32 cannot run outputs above 8 GB (dual-buffer limit, Section 5.2);
+// the model returns NaN there, as the paper prints N/A.
+#pragma once
+
+#include <cstddef>
+
+#include "backproj/backprojector.h"
+#include "geometry/types.h"
+
+namespace ifdk::gpusim {
+
+class KernelModel {
+ public:
+  KernelModel();
+
+  /// Predicted single-V100 GUPS for `variant` on `problem`; NaN when the
+  /// variant cannot run the problem (RTK-32 above 8 GB output).
+  double predict_gups(bp::KernelVariant variant, const Problem& problem) const;
+
+  /// Predicted kernel execution time in seconds
+  /// (updates / (GUPS * 2^30)); NaN when unsupported.
+  double kernel_seconds(bp::KernelVariant variant,
+                        const Problem& problem) const;
+
+ private:
+  struct Point {
+    double log_alpha;
+    double log_gups;
+  };
+  /// Calibration points per variant, sorted by log_alpha; duplicate alphas
+  /// are collapsed to their geometric mean.
+  std::vector<std::vector<Point>> points_;
+};
+
+}  // namespace ifdk::gpusim

@@ -1,0 +1,51 @@
+#include "ifdk/fdk.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace ifdk {
+
+FdkResult reconstruct_fdk(const geo::CbctGeometry& geometry,
+                          std::span<const Image2D> projections,
+                          const FdkOptions& options) {
+  IFDK_REQUIRE(projections.size() == geometry.np,
+               "reconstruct_fdk expects one projection per gantry angle");
+  FdkResult result;
+
+  // Filtering stage (on "CPU", Section 3.1). Projections are copied so the
+  // caller's raw data survives — the distributed pipeline streams instead.
+  std::vector<Image2D> filtered;
+  result.timings.time("filter", [&] {
+    filter::FilterEngine engine(geometry, options.filter);
+    filtered.reserve(projections.size());
+    for (const auto& p : projections) {
+      Image2D copy(p.width(), p.height(), /*zero_fill=*/false);
+      for (std::size_t n = 0; n < p.pixels(); ++n) {
+        copy.data()[n] = p.data()[n];
+      }
+      engine.apply(copy);
+      filtered.push_back(std::move(copy));
+    }
+  });
+
+  // Back-projection stage (on "GPU", Section 3.2/3.3).
+  Volume working(geometry.nx, geometry.ny, geometry.nz,
+                 options.backprojection.layout, /*zero_fill=*/true);
+  result.timings.time("backprojection", [&] {
+    bp::Backprojector bp(geometry, options.backprojection);
+    const auto matrices = geo::make_all_projection_matrices(geometry);
+    bp.accumulate(working, filtered, matrices);
+  });
+
+  if (working.layout() != options.output_layout) {
+    result.timings.time("reshape", [&] {
+      result.volume = working.reshaped(options.output_layout);
+    });
+  } else {
+    result.volume = std::move(working);
+  }
+  return result;
+}
+
+}  // namespace ifdk

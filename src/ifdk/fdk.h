@@ -1,0 +1,39 @@
+// Single-node FDK reference pipeline: filtering (Algorithm 1) followed by
+// back-projection (Algorithm 2 or 4). This is both the correctness oracle
+// for the distributed framework and the single-GPU baseline the paper's
+// Table 4 benchmarks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "backproj/backprojector.h"
+#include "common/image.h"
+#include "common/timer.h"
+#include "common/volume.h"
+#include "filter/filter_engine.h"
+#include "geometry/cbct.h"
+
+namespace ifdk {
+
+struct FdkOptions {
+  filter::FilterOptions filter;
+  bp::BpConfig backprojection;
+  /// Return the volume in this layout regardless of the kernel's working
+  /// layout (a reshape is appended when they differ, Alg. 4 line 22).
+  VolumeLayout output_layout = VolumeLayout::kXMajor;
+};
+
+struct FdkResult {
+  Volume volume;
+  StageTimer timings;  ///< stages: "filter", "backprojection", "reshape"
+};
+
+/// Full FDK reconstruction. `projections` are consumed (filtered in place is
+/// avoided — a copy is filtered) and must be ordered by gantry angle s with
+/// beta = s * 2*pi/Np.
+FdkResult reconstruct_fdk(const geo::CbctGeometry& geometry,
+                          std::span<const Image2D> projections,
+                          const FdkOptions& options = {});
+
+}  // namespace ifdk

@@ -1,0 +1,295 @@
+#include "ifdk/framework.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "backproj/backprojector.h"
+#include "common/circular_buffer.h"
+#include "common/error.h"
+#include "gpusim/kernel_model.h"
+#include "minimpi/minimpi.h"
+
+namespace ifdk {
+
+namespace {
+
+std::string object_name(const std::string& prefix, std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06zu", index);
+  return prefix + buf;
+}
+
+/// Per-rank result handed back to the coordinator after run_world.
+struct RankStats {
+  StageTimer wall;
+  double v_h2d = 0;
+  double v_kernel = 0;
+  double v_d2h = 0;
+  double total = 0;
+};
+
+}  // namespace
+
+void stage_projections(pfs::ParallelFileSystem& fs,
+                       const std::string& input_prefix,
+                       std::span<const Image2D> projections) {
+  for (std::size_t s = 0; s < projections.size(); ++s) {
+    fs.write_object(object_name(input_prefix, s), projections[s].data(),
+                    projections[s].bytes());
+  }
+}
+
+Volume load_volume(const pfs::ParallelFileSystem& fs,
+                   const std::string& output_prefix, const VolDims& dims) {
+  Volume vol(dims.nx, dims.ny, dims.nz, VolumeLayout::kXMajor,
+             /*zero_fill=*/false);
+  for (std::size_t k = 0; k < dims.nz; ++k) {
+    fs.read_object(object_name(output_prefix, k), vol.slice(k),
+                   dims.nx * dims.ny * sizeof(float));
+  }
+  return vol;
+}
+
+IfdkStats run_distributed(const geo::CbctGeometry& geometry,
+                          pfs::ParallelFileSystem& fs,
+                          const IfdkOptions& options) {
+  geometry.validate();
+  const Problem problem = geometry.problem();
+
+  const int rows = options.rows > 0
+                       ? options.rows
+                       : perfmodel::select_rows(problem, options.microbench);
+  IFDK_REQUIRE(options.ranks >= rows && options.ranks % rows == 0,
+               "ranks must be a positive multiple of the row count R");
+  const int cols = options.ranks / rows;
+  IFDK_REQUIRE(geometry.np % static_cast<std::size_t>(options.ranks) == 0,
+               "Np must divide evenly across the rank grid");
+  IFDK_REQUIRE(geometry.nz % (2 * static_cast<std::size_t>(rows)) == 0,
+               "Nz must be divisible by 2*R (each row owns a symmetric "
+               "slab pair)");
+
+  const std::size_t slab_h = geometry.nz / (2 * static_cast<std::size_t>(rows));
+  const std::size_t per_rank =
+      geometry.np / static_cast<std::size_t>(options.ranks);
+  const std::size_t pixels = geometry.nu * geometry.nv;
+
+  std::vector<RankStats> rank_stats(static_cast<std::size_t>(options.ranks));
+
+  mpi::run_world(options.ranks, [&](mpi::Comm& world) {
+    const int rank = world.rank();
+    const int col = rank / rows;
+    const int row = rank % rows;
+    RankStats& stats = rank_stats[static_cast<std::size_t>(rank)];
+    Timer rank_timer;
+
+    // Fig. 3b: AllGather across the column, Reduce across the row.
+    mpi::Comm col_comm = world.split(col, row);
+    mpi::Comm row_comm = world.split(row, col);
+
+    // Per-rank engines. The filter engine is what the Filtering-thread runs
+    // on "CPUs"; the back-projector is the Bp-thread's "GPU" kernel.
+    filter::FilterEngine engine(geometry, options.filter);
+
+    bp::BpConfig bp_cfg;
+    bp_cfg.batch = options.bp_batch;
+    bp_cfg.k_begin = static_cast<std::size_t>(row) * slab_h;
+    bp_cfg.k_half = slab_h;
+    bp::Backprojector backprojector(geometry, bp_cfg);
+    const auto matrices = geo::make_all_projection_matrices(geometry);
+
+    // Device memory: the slab pair plus a batch of projections must fit
+    // (Section 4.1.5's constraint); allocation failure here means R was
+    // chosen too small.
+    gpusim::Device device(options.device);
+    const std::uint64_t slab_bytes =
+        2ull * slab_h * geometry.nx * geometry.ny * sizeof(float);
+    gpusim::DeviceBuffer vol_buf = device.allocate(slab_bytes);
+    gpusim::DeviceBuffer batch_buf = device.allocate(
+        static_cast<std::uint64_t>(options.bp_batch) * pixels * sizeof(float));
+    gpusim::KernelModel kernel_model;
+
+    Volume slab(geometry.nx, geometry.ny, 2 * slab_h, VolumeLayout::kZMajor,
+                /*zero_fill=*/true);
+
+    // Projection index owned by this rank in AllGather round t
+    // (Section 4.1.1: each column handles a contiguous block of Np/C).
+    const std::size_t column_base =
+        static_cast<std::size_t>(col) * per_rank * static_cast<std::size_t>(rows);
+    auto owned_index = [&](std::size_t t) {
+      return column_base + t * static_cast<std::size_t>(rows) +
+             static_cast<std::size_t>(row);
+    };
+
+    struct Filtered {
+      std::size_t index;
+      Image2D image;
+    };
+    CircularBuffer<Filtered> q_filtered(options.queue_capacity);
+    CircularBuffer<std::vector<Filtered>> q_gathered(options.queue_capacity);
+
+    // Worker-thread errors are carried back to the rank body and rethrown
+    // there, so run_world's abort protocol unblocks the other ranks.
+    std::exception_ptr filter_error;
+    std::exception_ptr bp_error;
+
+    // ---- Filtering-thread: load from PFS + filter (Fig. 4a left) ----------
+    StageTimer filter_timer;
+    std::thread filtering_thread([&] {
+      try {
+        for (std::size_t t = 0; t < per_rank; ++t) {
+          const std::size_t s = owned_index(t);
+          Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+          filter_timer.time("load", [&] {
+            fs.read_object(object_name(options.input_prefix, s), img.data(),
+                           img.bytes());
+          });
+          filter_timer.time("filter", [&] { engine.apply(img); });
+          q_filtered.push(Filtered{s, std::move(img)});
+        }
+      } catch (...) {
+        filter_error = std::current_exception();
+      }
+      q_filtered.close();
+    });
+
+    // ---- Bp-thread: H2D + back-projection (Fig. 4a right) -----------------
+    StageTimer bp_timer;
+    std::thread bp_thread([&] {
+      while (auto batch = q_gathered.pop()) {
+        if (bp_error) continue;  // drain remaining rounds after a failure
+        try {
+        // The kernels execute on the CPU against host memory, so transfers
+        // are accounting-only: charge the PCIe cost the modeled V100 would
+        // pay to stage this round (the allocation above reserved the space).
+        for (const Filtered& f : *batch) {
+          device.charge_h2d(f.image.bytes());
+        }
+        std::vector<Image2D> images;
+        std::vector<geo::Mat34> mats;
+        images.reserve(batch->size());
+        mats.reserve(batch->size());
+        for (Filtered& f : *batch) {
+          mats.push_back(matrices[f.index]);
+          images.push_back(std::move(f.image));
+        }
+        bp_timer.time("backprojection", [&] {
+          backprojector.accumulate(slab, images, mats);
+        });
+        // Modeled V100 cost of the same launch on this rank's sub-problem.
+        const Problem sub{{geometry.nu, geometry.nv, images.size()},
+                          {geometry.nx, geometry.ny, 2 * slab_h}};
+        const double v100 =
+            kernel_model.kernel_seconds(bp::KernelVariant::kL1Tran, sub);
+        device.charge_kernel(v100);
+        } catch (...) {
+          bp_error = std::current_exception();
+        }
+      }
+    });
+
+    // ---- Main-thread: AllGather per round (Fig. 4a middle) ----------------
+    StageTimer main_timer;
+    std::vector<float> gather_recv(static_cast<std::size_t>(rows) * pixels);
+    for (std::size_t t = 0; t < per_rank; ++t) {
+      auto mine = q_filtered.pop();
+      if (!mine.has_value()) break;  // filtering thread failed; see below
+      IFDK_ASSERT(mine->index == owned_index(t));
+      main_timer.time("allgather", [&] {
+        if (options.use_ring_allgather) {
+          col_comm.allgather_ring(mine->image.data(), pixels * sizeof(float),
+                                  gather_recv.data());
+        } else {
+          col_comm.allgather(mine->image.data(), pixels * sizeof(float),
+                             gather_recv.data());
+        }
+      });
+      std::vector<Filtered> round;
+      round.reserve(static_cast<std::size_t>(rows));
+      for (int r = 0; r < rows; ++r) {
+        Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+        const float* src =
+            gather_recv.data() + static_cast<std::size_t>(r) * pixels;
+        std::copy(src, src + pixels, img.data());
+        round.push_back(Filtered{
+            column_base + t * static_cast<std::size_t>(rows) +
+                static_cast<std::size_t>(r),
+            std::move(img)});
+      }
+      q_gathered.push(std::move(round));
+    }
+    q_gathered.close();
+
+    filtering_thread.join();
+    bp_thread.join();
+    if (filter_error) std::rethrow_exception(filter_error);
+    if (bp_error) std::rethrow_exception(bp_error);
+    const double compute_span = rank_timer.seconds();
+
+    // ---- Post: D2H, row Reduce, store (Fig. 4b) ----------------------------
+    main_timer.time("d2h", [&] { device.charge_d2h(slab.bytes()); });
+
+    Volume reduced(geometry.nx, geometry.ny, 2 * slab_h, VolumeLayout::kZMajor,
+                   /*zero_fill=*/col == 0);
+    main_timer.time("reduce", [&] {
+      row_comm.reduce(slab.data(), col == 0 ? reduced.data() : nullptr,
+                      slab.voxels(), mpi::ReduceOp::kSum, /*root=*/0);
+    });
+
+    if (col == 0) {
+      // Store the slab pair as global slices: local t < slab_h is global
+      // slice row*h + t; local slab_h + t is global Nz - (row+1)*h + t.
+      main_timer.time("store", [&] {
+        std::vector<float> slice(geometry.nx * geometry.ny);
+        for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
+          const std::size_t global_k =
+              local_k < slab_h
+                  ? static_cast<std::size_t>(row) * slab_h + local_k
+                  : geometry.nz -
+                        (static_cast<std::size_t>(row) + 1) * slab_h +
+                        (local_k - slab_h);
+          for (std::size_t j = 0; j < geometry.ny; ++j) {
+            for (std::size_t i = 0; i < geometry.nx; ++i) {
+              slice[j * geometry.nx + i] =
+                  reduced.data()[(i * geometry.ny + j) * 2 * slab_h + local_k];
+            }
+          }
+          fs.write_object(object_name(options.output_prefix, global_k),
+                          slice.data(), slice.size() * sizeof(float));
+        }
+      });
+    }
+    world.barrier();
+
+    stats.wall.merge(filter_timer);
+    stats.wall.merge(bp_timer);
+    stats.wall.merge(main_timer);
+    stats.wall.add("compute", compute_span);
+    stats.v_h2d = device.virtual_h2d_seconds();
+    stats.v_kernel = device.virtual_kernel_seconds();
+    stats.v_d2h = device.virtual_d2h_seconds();
+    stats.total = rank_timer.seconds();
+  });
+
+  // Merge: report the per-stage maximum across ranks (the critical path).
+  IfdkStats out;
+  out.grid = {rows, cols};
+  for (const RankStats& rs : rank_stats) {
+    for (const auto& [name, secs] : rs.wall.stages()) {
+      out.wall.add(name, std::max(0.0, secs - out.wall.get(name)));
+    }
+    out.device_model.add("v_h2d",
+                         std::max(0.0, rs.v_h2d - out.device_model.get("v_h2d")));
+    out.device_model.add(
+        "v_kernel", std::max(0.0, rs.v_kernel - out.device_model.get("v_kernel")));
+    out.device_model.add(
+        "v_d2h", std::max(0.0, rs.v_d2h - out.device_model.get("v_d2h")));
+    out.wall_total = std::max(out.wall_total, rs.total);
+  }
+  return out;
+}
+
+}  // namespace ifdk

@@ -1,0 +1,91 @@
+// The iFDK distributed framework (paper Section 4).
+//
+// Nranks = R * C ranks form a 2-D grid (Fig. 3a; one rank per simulated
+// GPU). Ranks are numbered column-major as in the paper's figure: column
+// c = rank / R holds ranks c*R .. c*R + R - 1.
+//
+//   * Each *column* loads and filters a disjoint 1/C of the projections;
+//     rank (r, c) loads indices { c*Np/C + t*R + r } and the column
+//     AllGathers one projection per rank per round (Section 4.1.3).
+//   * Each *row* owns one symmetric pair of Z-slabs of the volume
+//     ("2*R sub-volumes", Fig. 3a) and back-projects its column's
+//     projections into it with the proposed Algorithm-4 kernel.
+//   * A single MPI-Reduce per row combines the C partial slab pairs
+//     (Fig. 3b), and the row root stores the slabs to the PFS as Nz slices
+//     of Nx x Ny (Section 4.1.3).
+//
+// Inside every rank three threads pipeline the work through two circular
+// buffers exactly as Fig. 4a: Filtering-thread -> Main-thread (AllGather) ->
+// Bp-thread. Wall-clock per stage is recorded per rank and merged; a
+// gpusim::Device per rank enforces the 16 GB memory constraint and keeps the
+// modeled-V100 time ledger.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/image.h"
+#include "common/timer.h"
+#include "common/volume.h"
+#include "filter/filter_engine.h"
+#include "geometry/cbct.h"
+#include "gpusim/device.h"
+#include "perfmodel/model.h"
+#include "pfs/pfs.h"
+
+namespace ifdk {
+
+struct IfdkOptions {
+  /// Total ranks (= simulated GPUs). Must be a multiple of the row count.
+  int ranks = 4;
+  /// Rows R of the 2-D grid; 0 = choose via Eq. (7) + the memory constraint
+  /// (Section 4.1.5) using `microbench`.
+  int rows = 0;
+  perfmodel::MicroBench microbench;
+  filter::FilterOptions filter;
+  /// Ramp window etc.; the back-projection kernel is always the proposed
+  /// Algorithm 4 in slab-pair mode.
+  std::size_t bp_batch = 32;
+  std::size_t queue_capacity = 8;  ///< circular-buffer depth (Fig. 4a)
+  /// Use the ring AllGather instead of gather+bcast for the column
+  /// collective (identical results; the bandwidth-optimal algorithm the
+  /// simulator's cost model assumes).
+  bool use_ring_allgather = false;
+  gpusim::DeviceSpec device;
+  std::string input_prefix = "proj/";
+  std::string output_prefix = "vol/slice_";
+};
+
+struct IfdkStats {
+  perfmodel::GridShape grid;
+  /// Wall-clock stage seconds, max over ranks (the pipeline-critical rank):
+  /// "load", "filter", "allgather", "backprojection", "d2h", "reduce",
+  /// "store", "compute" (load+filter+allgather+bp span), "total".
+  StageTimer wall;
+  /// Modeled V100 seconds summed over the device ledger of the *slowest*
+  /// rank: "v_h2d", "v_kernel", "v_d2h".
+  StageTimer device_model;
+  double wall_total = 0;
+};
+
+/// Runs the full distributed pipeline: reads projections
+/// `<input_prefix><s>` (raw float Nu*Nv objects, s in [0, Np)) from `fs`,
+/// writes slices `<output_prefix><k>` (raw float Nx*Ny objects, k in
+/// [0, Nz)). Requires Np % ranks == 0 and even Nz divisible by 2*rows.
+IfdkStats run_distributed(const geo::CbctGeometry& geometry,
+                          pfs::ParallelFileSystem& fs,
+                          const IfdkOptions& options);
+
+/// Helper: stores all projections of a stack into `fs` under
+/// `<input_prefix><s>` so examples/tests can stage inputs the way a scanner
+/// or the RTK forward projector would.
+void stage_projections(pfs::ParallelFileSystem& fs,
+                       const std::string& input_prefix,
+                       std::span<const Image2D> projections);
+
+/// Helper: reads the reconstructed volume back from slice objects.
+Volume load_volume(const pfs::ParallelFileSystem& fs,
+                   const std::string& output_prefix, const VolDims& dims);
+
+}  // namespace ifdk

@@ -1,0 +1,140 @@
+#include "imgio/imgio.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ifdk::imgio {
+
+void write_mhd(const Volume& volume, const std::string& path_base,
+               double spacing_x, double spacing_y, double spacing_z) {
+  IFDK_REQUIRE(volume.layout() == VolumeLayout::kXMajor,
+               "MHD export expects the on-disk (X-major) layout");
+  {
+    std::ofstream raw(path_base + ".raw", std::ios::binary);
+    if (!raw) throw IoError("cannot open " + path_base + ".raw for writing");
+    raw.write(reinterpret_cast<const char*>(volume.data()),
+              static_cast<std::streamsize>(volume.bytes()));
+    if (!raw) throw IoError("short write to " + path_base + ".raw");
+  }
+  std::ofstream mhd(path_base + ".mhd");
+  if (!mhd) throw IoError("cannot open " + path_base + ".mhd for writing");
+  // Strip any directory part for the data-file reference.
+  std::string raw_name = path_base + ".raw";
+  const auto slash = raw_name.find_last_of('/');
+  if (slash != std::string::npos) raw_name = raw_name.substr(slash + 1);
+  mhd << "ObjectType = Image\n"
+      << "NDims = 3\n"
+      << "BinaryData = True\n"
+      << "BinaryDataByteOrderMSB = False\n"
+      << "DimSize = " << volume.nx() << " " << volume.ny() << " "
+      << volume.nz() << "\n"
+      << "ElementSpacing = " << spacing_x << " " << spacing_y << " "
+      << spacing_z << "\n"
+      << "ElementType = MET_FLOAT\n"
+      << "ElementDataFile = " << raw_name << "\n";
+}
+
+Volume read_raw_volume(const std::string& path_base, std::size_t nx,
+                       std::size_t ny, std::size_t nz) {
+  Volume volume(nx, ny, nz, VolumeLayout::kXMajor, /*zero_fill=*/false);
+  std::ifstream raw(path_base + ".raw", std::ios::binary);
+  if (!raw) throw IoError("cannot open " + path_base + ".raw for reading");
+  raw.read(reinterpret_cast<char*>(volume.data()),
+           static_cast<std::streamsize>(volume.bytes()));
+  if (raw.gcount() != static_cast<std::streamsize>(volume.bytes())) {
+    throw IoError("short read from " + path_base + ".raw");
+  }
+  return volume;
+}
+
+void write_pgm(const Image2D& image, const std::string& path, float lo,
+               float hi) {
+  if (lo == hi) {
+    lo = hi = image.data()[0];
+    for (std::size_t n = 0; n < image.pixels(); ++n) {
+      lo = std::min(lo, image.data()[n]);
+      hi = std::max(hi, image.data()[n]);
+    }
+    if (lo == hi) hi = lo + 1.0f;  // constant image -> all black
+  }
+  std::ofstream pgm(path, std::ios::binary);
+  if (!pgm) throw IoError("cannot open " + path + " for writing");
+  pgm << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  const float scale = 255.0f / (hi - lo);
+  for (std::size_t n = 0; n < image.pixels(); ++n) {
+    const float v = std::clamp((image.data()[n] - lo) * scale, 0.0f, 255.0f);
+    pgm.put(static_cast<char>(static_cast<unsigned char>(v)));
+  }
+  if (!pgm) throw IoError("short write to " + path);
+}
+
+void write_slice_pgm(const Volume& volume, std::size_t k,
+                     const std::string& path) {
+  IFDK_REQUIRE(volume.layout() == VolumeLayout::kXMajor,
+               "slice export expects the X-major layout");
+  IFDK_REQUIRE(k < volume.nz(), "slice index out of range");
+  Image2D slice(volume.nx(), volume.ny(), /*zero_fill=*/false);
+  const float* src = volume.slice(k);
+  std::copy(src, src + slice.pixels(), slice.data());
+  write_pgm(slice, path);
+}
+
+void write_projection_raw(const Image2D& image, const std::string& path) {
+  std::ofstream raw(path, std::ios::binary);
+  if (!raw) throw IoError("cannot open " + path + " for writing");
+  raw.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.bytes()));
+  if (!raw) throw IoError("short write to " + path);
+}
+
+Image2D read_projection_raw(const std::string& path, std::size_t nu,
+                            std::size_t nv) {
+  Image2D image(nu, nv, /*zero_fill=*/false);
+  std::ifstream raw(path, std::ios::binary);
+  if (!raw) throw IoError("cannot open " + path + " for reading");
+  raw.read(reinterpret_cast<char*>(image.data()),
+           static_cast<std::streamsize>(image.bytes()));
+  if (raw.gcount() != static_cast<std::streamsize>(image.bytes())) {
+    throw IoError("short read from " + path);
+  }
+  return image;
+}
+
+Image2D read_projection_u16(const std::string& path, std::size_t nu,
+                            std::size_t nv, float scale) {
+  std::vector<std::uint16_t> raw_pixels(nu * nv);
+  std::ifstream raw(path, std::ios::binary);
+  if (!raw) throw IoError("cannot open " + path + " for reading");
+  const auto bytes =
+      static_cast<std::streamsize>(raw_pixels.size() * sizeof(std::uint16_t));
+  raw.read(reinterpret_cast<char*>(raw_pixels.data()), bytes);
+  if (raw.gcount() != bytes) throw IoError("short read from " + path);
+  Image2D image(nu, nv, /*zero_fill=*/false);
+  for (std::size_t n = 0; n < raw_pixels.size(); ++n) {
+    image.data()[n] = static_cast<float>(raw_pixels[n]) * scale;
+  }
+  return image;
+}
+
+void write_projection_u16(const Image2D& image, const std::string& path,
+                          float max_value) {
+  IFDK_REQUIRE(max_value > 0, "u16 export needs a positive full-scale value");
+  std::vector<std::uint16_t> raw_pixels(image.pixels());
+  const float scale = 65535.0f / max_value;
+  for (std::size_t n = 0; n < raw_pixels.size(); ++n) {
+    const float v = std::clamp(image.data()[n] * scale, 0.0f, 65535.0f);
+    raw_pixels[n] = static_cast<std::uint16_t>(v + 0.5f);
+  }
+  std::ofstream raw(path, std::ios::binary);
+  if (!raw) throw IoError("cannot open " + path + " for writing");
+  raw.write(reinterpret_cast<const char*>(raw_pixels.data()),
+            static_cast<std::streamsize>(raw_pixels.size() *
+                                         sizeof(std::uint16_t)));
+  if (!raw) throw IoError("short write to " + path);
+}
+
+}  // namespace ifdk::imgio

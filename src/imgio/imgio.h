@@ -1,0 +1,57 @@
+// Volume and image I/O against the real filesystem.
+//
+// The paper verifies outputs by rendering volumes in ImageJ (Section 5.1);
+// this module writes the formats that workflow expects:
+//   * RAW + MHD — the MetaImage header ITK/ImageJ/RTK read natively,
+//   * PGM       — single slices / projections for quick eyeballing,
+// plus raw round-trip helpers used by the examples.
+#pragma once
+
+#include <string>
+
+#include "common/image.h"
+#include "common/volume.h"
+
+namespace ifdk::imgio {
+
+/// Writes `<path_base>.raw` (float32 little-endian, X fastest) and
+/// `<path_base>.mhd` describing it. The volume must be kXMajor.
+/// `spacing_*` are the voxel pitches recorded in the header [mm].
+void write_mhd(const Volume& volume, const std::string& path_base,
+               double spacing_x = 1.0, double spacing_y = 1.0,
+               double spacing_z = 1.0);
+
+/// Reads a volume back from `<path_base>.raw` given its dimensions
+/// (header parsing is intentionally out of scope — the repo writes its own).
+Volume read_raw_volume(const std::string& path_base, std::size_t nx,
+                       std::size_t ny, std::size_t nz);
+
+/// Writes an 8-bit PGM, linearly mapping [lo, hi] -> [0, 255]; when
+/// lo == hi the image's own min/max are used.
+void write_pgm(const Image2D& image, const std::string& path, float lo = 0.0f,
+               float hi = 0.0f);
+
+/// Writes XY slice k of an X-major volume as PGM (auto-scaled).
+void write_slice_pgm(const Volume& volume, std::size_t k,
+                     const std::string& path);
+
+// --- projection I/O (scanner-style raw frames) -----------------------------
+
+/// Writes one projection as raw float32 (u fastest).
+void write_projection_raw(const Image2D& image, const std::string& path);
+
+/// Reads a raw float32 projection of known dimensions.
+Image2D read_projection_raw(const std::string& path, std::size_t nu,
+                            std::size_t nv);
+
+/// Reads a raw little-endian uint16 projection (what flat panel detectors
+/// actually emit) and scales it to float by `scale` (value = raw * scale).
+Image2D read_projection_u16(const std::string& path, std::size_t nu,
+                            std::size_t nv, float scale = 1.0f);
+
+/// Writes a projection as raw uint16, mapping [0, max_value] -> [0, 65535]
+/// (the inverse of read_projection_u16 with scale = max_value / 65535).
+void write_projection_u16(const Image2D& image, const std::string& path,
+                          float max_value);
+
+}  // namespace ifdk::imgio

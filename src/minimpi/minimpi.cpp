@@ -1,0 +1,444 @@
+#include "minimpi/minimpi.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace ifdk::mpi {
+
+namespace detail {
+
+namespace {
+
+/// splitmix64 mix, used to derive communicator ids deterministically.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+/// Shared state of one rank world: per-rank mailboxes plus an abort flag so
+/// that an exception on one rank unblocks every other rank.
+class World {
+ public:
+  explicit World(int size) : boxes_(static_cast<std::size_t>(size)) {}
+
+  void post(std::uint64_t comm_id, int dest_world, int src_comm_rank, int tag,
+            const void* data, std::size_t bytes) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(dest_world)];
+    std::vector<char> payload(bytes);
+    if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      check_alive();
+      box.queues[Key{comm_id, src_comm_rank, tag}].push_back(
+          std::move(payload));
+    }
+    box.cv.notify_all();
+  }
+
+  void fetch(std::uint64_t comm_id, int my_world, int src_comm_rank, int tag,
+             void* data, std::size_t bytes) {
+    Mailbox& box = boxes_[static_cast<std::size_t>(my_world)];
+    const Key key{comm_id, src_comm_rank, tag};
+    std::unique_lock<std::mutex> lock(box.mutex);
+    box.cv.wait(lock, [&] {
+      if (aborted_.load(std::memory_order_relaxed)) return true;
+      auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    check_alive();
+    auto& queue = box.queues[key];
+    std::vector<char> payload = std::move(queue.front());
+    queue.pop_front();
+    IFDK_ASSERT_MSG(payload.size() == bytes,
+                    "matched message has a different size than the receive "
+                    "buffer (mismatched send/recv pair)");
+    if (bytes > 0) std::memcpy(data, payload.data(), bytes);
+  }
+
+  void abort() {
+    aborted_.store(true);
+    for (auto& box : boxes_) {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.cv.notify_all();
+    }
+  }
+
+  void check_alive() const {
+    if (aborted_.load(std::memory_order_relaxed)) {
+      throw Error("minimpi world aborted because another rank failed");
+    }
+  }
+
+ private:
+  using Key = std::tuple<std::uint64_t, int, int>;  // comm, src rank, tag
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<Key, std::deque<std::vector<char>>> queues;
+  };
+
+  std::vector<Mailbox> boxes_;
+  std::atomic<bool> aborted_{false};
+};
+
+}  // namespace detail
+
+namespace {
+
+// Collective operations use a reserved tag space far above user tags.
+constexpr int kCollectiveTagBase = 1 << 24;
+
+float apply_op(ReduceOp op, float a, float b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMax: return a > b ? a : b;
+    case ReduceOp::kMin: return a < b ? a : b;
+  }
+  return a;
+}
+
+}  // namespace
+
+Comm::Comm(std::shared_ptr<detail::World> world, std::uint64_t comm_id,
+           std::vector<int> members, int rank)
+    : world_(std::move(world)),
+      comm_id_(comm_id),
+      members_(std::move(members)),
+      rank_(rank) {}
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  IFDK_ASSERT(dest >= 0 && dest < size());
+  IFDK_ASSERT_MSG(tag >= 0 && tag < kCollectiveTagBase,
+                  "user tags must be below the collective tag space");
+  world_->post(comm_id_, members_[static_cast<std::size_t>(dest)], rank_, tag,
+               data, bytes);
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
+  IFDK_ASSERT(src >= 0 && src < size());
+  IFDK_ASSERT(tag >= 0 && tag < kCollectiveTagBase);
+  world_->fetch(comm_id_, members_[static_cast<std::size_t>(rank_)], src, tag,
+                data, bytes);
+}
+
+void Comm::barrier() {
+  // Two-phase flat barrier through rank 0: notify, then release.
+  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  char token = 0;
+  if (rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      world_->fetch(comm_id_, my_world, r, tag, &token, 1);
+    }
+    for (int r = 1; r < size(); ++r) {
+      world_->post(comm_id_, members_[static_cast<std::size_t>(r)], 0, tag + 1,
+                   &token, 1);
+    }
+  } else {
+    world_->post(comm_id_, members_[0], rank_, tag, &token, 1);
+    world_->fetch(comm_id_, my_world, 0, tag + 1, &token, 1);
+  }
+  collective_seq_++;  // account for the release tag as well
+}
+
+void Comm::bcast(void* data, std::size_t bytes, int root) {
+  IFDK_ASSERT(root >= 0 && root < size());
+  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      world_->post(comm_id_, members_[static_cast<std::size_t>(r)], root, tag,
+                   data, bytes);
+    }
+  } else {
+    world_->fetch(comm_id_, my_world, root, tag, data, bytes);
+  }
+}
+
+void Comm::gather(const void* send_data, std::size_t bytes_per_rank,
+                  void* recv, int root) {
+  IFDK_ASSERT(root >= 0 && root < size());
+  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  if (rank_ == root) {
+    IFDK_ASSERT_MSG(recv != nullptr, "gather root requires a receive buffer");
+    char* out = static_cast<char*>(recv);
+    std::memcpy(out + static_cast<std::size_t>(root) * bytes_per_rank,
+                send_data, bytes_per_rank);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      world_->fetch(comm_id_, my_world, r, tag,
+                    out + static_cast<std::size_t>(r) * bytes_per_rank,
+                    bytes_per_rank);
+    }
+  } else {
+    world_->post(comm_id_, members_[static_cast<std::size_t>(root)], rank_,
+                 tag, send_data, bytes_per_rank);
+  }
+}
+
+Comm::Request::Request(Request&& other) noexcept { *this = std::move(other); }
+
+Comm::Request& Comm::Request::operator=(Request&& other) noexcept {
+  if (this != &other) {
+    IFDK_ASSERT_MSG(comm_ == nullptr || done_,
+                    "overwriting an unwaited Request");
+    comm_ = other.comm_;
+    peer_ = other.peer_;
+    tag_ = other.tag_;
+    data_ = other.data_;
+    bytes_ = other.bytes_;
+    is_recv_ = other.is_recv_;
+    done_ = other.done_;
+    other.comm_ = nullptr;
+    other.done_ = true;
+  }
+  return *this;
+}
+
+Comm::Request::~Request() {
+  IFDK_ASSERT_MSG(comm_ == nullptr || done_,
+                  "Request destroyed without wait()");
+}
+
+void Comm::Request::wait() {
+  IFDK_ASSERT_MSG(comm_ != nullptr, "wait() on an empty Request");
+  IFDK_ASSERT_MSG(!done_, "wait() called twice");
+  if (is_recv_) {
+    comm_->recv(peer_, tag_, data_, bytes_);
+  }
+  // isend was buffered at post time: nothing left to do.
+  done_ = true;
+}
+
+Comm::Request Comm::isend(int dest, int tag, const void* data,
+                          std::size_t bytes) {
+  // Buffered-send semantics: post() copies the payload, so completion is
+  // immediate and the caller's buffer is free.
+  send(dest, tag, data, bytes);
+  Request req;
+  req.comm_ = this;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  req.is_recv_ = false;
+  return req;
+}
+
+Comm::Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
+  Request req;
+  req.comm_ = this;
+  req.peer_ = src;
+  req.tag_ = tag;
+  req.data_ = data;
+  req.bytes_ = bytes;
+  req.is_recv_ = true;
+  return req;
+}
+
+void Comm::wait_all(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (r.valid()) r.wait();
+  }
+}
+
+void Comm::sendrecv(int dest, const void* send_data, int src, void* recv_data,
+                    std::size_t bytes, int tag) {
+  // Sends are buffered (post() never blocks on the receiver), so posting
+  // first and then receiving is deadlock-free for any communication graph.
+  send(dest, tag, send_data, bytes);
+  recv(src, tag, recv_data, bytes);
+}
+
+void Comm::allgather(const void* send_data, std::size_t bytes_per_rank,
+                     void* recv) {
+  // gather to rank 0 + bcast; both use their own collective tags.
+  gather(send_data, bytes_per_rank, recv, 0);
+  bcast(recv, bytes_per_rank * static_cast<std::size_t>(size()), 0);
+}
+
+void Comm::allgather_ring(const void* send_data, std::size_t bytes_per_rank,
+                          void* recv) {
+  const int p = size();
+  const int tag =
+      kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  char* out = static_cast<char*>(recv);
+  auto block = [&](int r) {
+    return out + static_cast<std::size_t>(r) * bytes_per_rank;
+  };
+  std::memcpy(block(rank_), send_data, bytes_per_rank);
+  if (p == 1) return;
+
+  const int next = (rank_ + 1) % p;
+  const int prev = (rank_ + p - 1) % p;
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  // Step s: forward the block originated by rank (rank - s) to the right
+  // neighbour; after p-1 steps every rank holds every block.
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (rank_ + p - s) % p;
+    const int recv_block = (rank_ + p - s - 1) % p;
+    world_->post(comm_id_, members_[static_cast<std::size_t>(next)], rank_,
+                 tag + s, block(send_block), bytes_per_rank);
+    world_->fetch(comm_id_, my_world, prev, tag + s, block(recv_block),
+                  bytes_per_rank);
+  }
+  collective_seq_ += static_cast<std::uint64_t>(p);  // tags consumed
+}
+
+void Comm::reduce(const float* send_data, float* recv, std::size_t count,
+                  ReduceOp op, int root) {
+  IFDK_ASSERT(root >= 0 && root < size());
+  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  const std::size_t bytes = count * sizeof(float);
+  if (rank_ == root) {
+    IFDK_ASSERT_MSG(recv != nullptr, "reduce root requires a receive buffer");
+    // Deterministic order: start from rank 0's contribution and fold ranks
+    // in ascending order, regardless of arrival order.
+    std::vector<float> incoming(count);
+    if (root == 0) {
+      std::memcpy(recv, send_data, bytes);
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r == root && root == 0) continue;
+      if (r == 0 && root != 0) {
+        world_->fetch(comm_id_, my_world, r, tag, recv, bytes);
+        continue;
+      }
+      const float* contribution;
+      if (r == root) {
+        contribution = send_data;
+      } else {
+        world_->fetch(comm_id_, my_world, r, tag, incoming.data(), bytes);
+        contribution = incoming.data();
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        recv[i] = apply_op(op, recv[i], contribution[i]);
+      }
+    }
+  } else {
+    world_->post(comm_id_, members_[static_cast<std::size_t>(root)], rank_,
+                 tag, send_data, bytes);
+  }
+}
+
+void Comm::reduce_tree(const float* send_data, float* recv, std::size_t count,
+                       ReduceOp op, int root) {
+  IFDK_ASSERT(root >= 0 && root < size());
+  const int p = size();
+  const int tag =
+      kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int my_world = members_[static_cast<std::size_t>(rank_)];
+  // Rotate ranks so the tree is rooted at `root`.
+  const int vrank = (rank_ - root + p) % p;
+  std::vector<float> acc(send_data, send_data + count);
+  std::vector<float> incoming(count);
+  const std::size_t bytes = count * sizeof(float);
+
+  // Binomial tree: in round k, virtual ranks with bit k set send their
+  // partial to vrank - 2^k and drop out; others fold the received partial.
+  for (int mask = 1; mask < p; mask <<= 1) {
+    if (vrank & mask) {
+      const int dst = ((vrank - mask) + root) % p;
+      world_->post(comm_id_, members_[static_cast<std::size_t>(dst)], rank_,
+                   tag, acc.data(), bytes);
+      break;
+    }
+    const int src_v = vrank + mask;
+    if (src_v < p) {
+      const int src = (src_v + root) % p;
+      world_->fetch(comm_id_, my_world, src, tag, incoming.data(), bytes);
+      for (std::size_t i = 0; i < count; ++i) {
+        acc[i] = apply_op(op, acc[i], incoming[i]);
+      }
+    }
+  }
+  if (rank_ == root) {
+    IFDK_ASSERT_MSG(recv != nullptr, "reduce root requires a receive buffer");
+    std::memcpy(recv, acc.data(), bytes);
+  }
+}
+
+void Comm::allreduce(const float* send_data, float* recv, std::size_t count,
+                     ReduceOp op) {
+  reduce(send_data, recv, count, op, 0);
+  bcast(recv, count * sizeof(float), 0);
+}
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key, old rank) across the parent communicator, then
+  // every rank locally derives its group membership — the textbook
+  // MPI_Comm_split algorithm.
+  struct Entry {
+    int color;
+    int key;
+    int old_rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(size()));
+  allgather(&mine, sizeof(Entry), all.data());
+
+  std::vector<Entry> group;
+  for (const Entry& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.old_rank) < std::tie(b.key, b.old_rank);
+  });
+
+  std::vector<int> world_members;
+  int new_rank = -1;
+  for (const Entry& e : group) {
+    if (e.old_rank == rank_) new_rank = static_cast<int>(world_members.size());
+    world_members.push_back(members_[static_cast<std::size_t>(e.old_rank)]);
+  }
+  IFDK_ASSERT(new_rank >= 0);
+
+  const std::uint64_t new_id = detail::mix64(
+      comm_id_ ^ (split_seq_ << 32) ^ (static_cast<std::uint64_t>(color) + 1));
+  ++split_seq_;
+  return Comm(world_, new_id, std::move(world_members), new_rank);
+}
+
+void run_world(int size, const std::function<void(Comm&)>& body) {
+  IFDK_REQUIRE(size > 0, "world size must be positive");
+  auto world = std::make_shared<detail::World>(size);
+
+  std::vector<std::thread> threads;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  threads.reserve(static_cast<std::size_t>(size));
+  std::vector<int> everyone(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) everyone[static_cast<std::size_t>(r)] = r;
+
+  for (int r = 0; r < size; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(world, /*comm_id=*/0, everyone, r);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world->abort();  // unblock every other rank
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ifdk::mpi

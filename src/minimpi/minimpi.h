@@ -1,0 +1,177 @@
+// minimpi: an in-process message-passing runtime with MPI semantics.
+//
+// The paper runs iFDK over Intel MPI on InfiniBand; this repository has no
+// MPI installation, so the framework is written against this interface
+// instead. Ranks are threads inside one process; messages are copied between
+// rank-private mailboxes, so the programming model is identical to MPI's
+// (no shared mutable state between ranks except through explicit messages —
+// see the LLNL MPI programming model and Core Guidelines CP.mess).
+//
+// Supported surface (everything iFDK needs, Section 4.1):
+//   * point-to-point: send / recv with tags,
+//   * collectives: barrier, bcast, gather, allgather, reduce, allreduce,
+//   * communicator split (used to form the R x C rank grid of Fig. 3a).
+//
+// Collectives are implemented over point-to-point with deterministic
+// (rank-ordered) reduction, so distributed results are reproducible and
+// comparable against single-node references in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ifdk::mpi {
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+namespace detail {
+class World;
+}  // namespace detail
+
+/// A communicator: a subset of ranks with private tag space. Copyable handle
+/// (like an MPI_Comm); all members must call collectives in the same order.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  // -- point to point ------------------------------------------------------
+
+  /// Blocking (buffered) send: copies `bytes` into the destination mailbox
+  /// and returns. dest is a rank within this communicator.
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive of exactly `bytes` from `src` with `tag`.
+  void recv(int src, int tag, void* data, std::size_t bytes);
+
+  template <typename T>
+  void send_span(int dest, int tag, std::span<const T> data) {
+    send(dest, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void recv_span(int src, int tag, std::span<T> data) {
+    recv(src, tag, data.data(), data.size_bytes());
+  }
+
+  // -- nonblocking point to point -------------------------------------------
+
+  /// Handle to an outstanding nonblocking operation. wait() must be called
+  /// exactly once before destruction (asserted), mirroring MPI_Request
+  /// semantics without the free-floating MPI_REQUEST_NULL states.
+  class Request {
+   public:
+    Request() = default;
+    Request(Request&&) noexcept;
+    Request& operator=(Request&&) noexcept;
+    Request(const Request&) = delete;
+    Request& operator=(const Request&) = delete;
+    ~Request();
+
+    /// Blocks until the operation completed (for isend: the payload was
+    /// buffered at the destination; for irecv: the data arrived).
+    void wait();
+    bool valid() const { return comm_ != nullptr; }
+
+   private:
+    friend class Comm;
+    Comm* comm_ = nullptr;
+    int peer_ = -1;
+    int tag_ = -1;
+    void* data_ = nullptr;
+    std::size_t bytes_ = 0;
+    bool is_recv_ = false;
+    bool done_ = false;
+  };
+
+  /// Nonblocking send: the payload is copied immediately (buffered send), so
+  /// the source buffer may be reused as soon as isend returns; wait() is a
+  /// cheap formality kept for API symmetry.
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Nonblocking receive: the message is matched and copied at wait() time.
+  /// The receive buffer must stay alive until then.
+  Request irecv(int src, int tag, void* data, std::size_t bytes);
+
+  /// Waits on all requests in order.
+  static void wait_all(std::span<Request> requests);
+
+  // -- collectives ---------------------------------------------------------
+
+  void barrier();
+
+  /// Broadcast `bytes` from `root` to every rank.
+  void bcast(void* data, std::size_t bytes, int root);
+
+  /// Every rank contributes `bytes_per_rank`; rank `root` receives the
+  /// concatenation ordered by rank. `recv` may be null on non-root ranks.
+  void gather(const void* send_data, std::size_t bytes_per_rank, void* recv,
+              int root);
+
+  /// Simultaneous send to `dest` and receive from `src` (same tag space as
+  /// send/recv; deadlock-free like MPI_Sendrecv).
+  void sendrecv(int dest, const void* send_data, int src, void* recv_data,
+                std::size_t bytes, int tag);
+
+  /// AllGather (the Fig. 3b column collective): every rank ends up with the
+  /// rank-ordered concatenation of all contributions. Dispatches to the
+  /// configured algorithm (gather+bcast by default; ring available).
+  void allgather(const void* send_data, std::size_t bytes_per_rank,
+                 void* recv);
+
+  /// Ring AllGather: P-1 neighbour exchange steps, each moving one block —
+  /// the bandwidth-optimal algorithm large MPI implementations use for big
+  /// payloads (and the one the cluster simulator's cost model assumes).
+  /// Output is identical to allgather().
+  void allgather_ring(const void* send_data, std::size_t bytes_per_rank,
+                      void* recv);
+
+  /// Element-wise float reduction to `root` (the Fig. 3b row collective).
+  /// Reduction order is fixed (ascending rank), making results deterministic.
+  void reduce(const float* send_data, float* recv, std::size_t count,
+              ReduceOp op, int root);
+
+  /// Binomial-tree reduce: log2(P) rounds instead of P-1 messages at the
+  /// root. Floating-point summation order differs from reduce() (pairwise
+  /// instead of linear), so results are deterministic but not bitwise equal
+  /// to the linear algorithm.
+  void reduce_tree(const float* send_data, float* recv, std::size_t count,
+                   ReduceOp op, int root);
+
+  /// reduce followed by bcast.
+  void allreduce(const float* send_data, float* recv, std::size_t count,
+                 ReduceOp op);
+
+  // -- communicator management ---------------------------------------------
+
+  /// Splits into sub-communicators by color; ranks with equal color join the
+  /// same sub-communicator, ordered by (key, old rank). Must be called by
+  /// every member.
+  Comm split(int color, int key);
+
+ private:
+  friend void run_world(int size, const std::function<void(Comm&)>& body);
+
+  Comm(std::shared_ptr<detail::World> world, std::uint64_t comm_id,
+       std::vector<int> members, int rank);
+
+  std::shared_ptr<detail::World> world_;
+  std::uint64_t comm_id_ = 0;
+  std::vector<int> members_;  ///< world ranks, index = rank in this comm
+  int rank_ = -1;             ///< my rank within this communicator
+  std::uint64_t collective_seq_ = 0;  ///< per-comm collective matching
+  std::uint64_t split_seq_ = 0;       ///< per-comm split id generation
+};
+
+/// Launches `size` rank threads, each running `body(comm)` with a world
+/// communicator, and joins them. Exceptions thrown by any rank are rethrown
+/// (the first one) after all ranks have been joined or aborted.
+void run_world(int size, const std::function<void(Comm&)>& body);
+
+}  // namespace ifdk::mpi

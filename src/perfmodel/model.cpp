@@ -1,0 +1,86 @@
+#include "perfmodel/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ifdk::perfmodel {
+
+int select_rows(const Problem& problem, const MicroBench& mb) {
+  const std::uint64_t volume_bytes = problem.out.bytes();
+  // Eq. (7): R = sizeof(float) * Nx*Ny*Nz / Nsub_vol, rounded up to a power
+  // of two (Section 4.1.5: "the value of R is often power of two").
+  std::uint64_t r = div_ceil(volume_bytes, mb.sub_volume_bytes);
+  r = next_pow2(std::max<std::uint64_t>(1, r));
+
+  // Memory constraint: 4 * (Nx*Ny*Nz/R + Nu*Nv*Nbatch) <= Ngpu_mem_size.
+  const std::uint64_t batch_bytes =
+      problem.in.bytes_per_projection() * mb.batch;
+  while (volume_bytes / r + batch_bytes > mb.gpu_memory_bytes) {
+    r *= 2;
+    IFDK_REQUIRE(r <= (1ull << 24),
+                 "no feasible R: a projection batch alone exceeds GPU memory");
+  }
+  return static_cast<int>(r);
+}
+
+GridShape make_grid(const Problem& problem, int gpus, const MicroBench& mb) {
+  const int rows = select_rows(problem, mb);
+  IFDK_REQUIRE(gpus >= rows, "fewer GPUs than the minimum rows R");
+  IFDK_REQUIRE(gpus % rows == 0,
+               "GPU count must be a multiple of R so that C = Ngpus / R");
+  return GridShape{rows, gpus / rows};
+}
+
+Breakdown predict(const Problem& problem, const GridShape& grid,
+                  const MicroBench& mb) {
+  IFDK_REQUIRE(grid.rows >= 1 && grid.columns >= 1, "grid must be non-empty");
+  const double bytes_in = static_cast<double>(problem.in.total_bytes());
+  const double bytes_out = static_cast<double>(problem.out.bytes());
+  const double np = static_cast<double>(problem.in.np);
+  const double r = grid.rows;
+  const double c = grid.columns;
+  const double gpn = mb.gpus_per_node;
+
+  Breakdown b;
+  // Eq. (8): aggregate read of all projections.
+  b.t_load = bytes_in / mb.bw_load;
+  // Eq. (9): Tflt = Np * Ngpu_per_node / (C * R * THflt).
+  b.t_flt = np * gpn / (c * r * mb.th_flt);
+  // Eq. (10).
+  b.t_allgather = np / (c * r * mb.th_allgather);
+  // Eq. (11): each node pushes its column-share of projections over its
+  // NPCIe links.
+  b.t_h2d = bytes_in * gpn /
+            (c * mb.bw_pcie * static_cast<double>(mb.pcie_per_node));
+  // Eq. (12): THbp in projections/s per rank for this sub-volume size.
+  const double sub_voxels =
+      static_cast<double>(problem.out.voxels()) / r;
+  const double th_bp = mb.bp_gups * 1073741824.0 / sub_voxels;  // proj/s
+  b.t_bp = b.t_h2d + np / (c * th_bp);
+  // Eq. (13).
+  b.t_trans = bytes_out / (r * mb.th_trans);
+  // Eq. (14): each node pulls Ngpu_per_node sub-volumes of Vol/R bytes.
+  b.t_d2h = bytes_out * gpn /
+            (r * mb.bw_pcie * static_cast<double>(mb.pcie_per_node));
+  // Eq. (15): one reduction of the sub-volume per row group; no reduction at
+  // all when C == 1 (the figures' N/A case).
+  b.t_reduce = grid.columns > 1 ? bytes_out / (r * mb.th_reduce) : 0.0;
+  // Eq. (16).
+  b.t_store = bytes_out / mb.bw_store;
+
+  // Eq. (17)-(19).
+  b.t_compute = std::max({b.t_load, b.t_flt, b.t_allgather, b.t_bp});
+  b.t_post = b.t_trans + b.t_d2h + b.t_reduce + b.t_store;
+  b.t_runtime = b.t_compute + b.t_post;
+  return b;
+}
+
+double predicted_gups(const Problem& problem, const Breakdown& breakdown) {
+  return gups(problem.out.nx, problem.out.ny, problem.out.nz, problem.in.np,
+              breakdown.t_runtime);
+}
+
+}  // namespace ifdk::perfmodel

@@ -1,0 +1,89 @@
+// The iFDK performance model of paper Section 4.2: Equations (8)-(19),
+// the R-selection rule of Section 4.1.5 (Eq. 7 + the device-memory
+// constraint), and GUPS accounting.
+//
+// Micro-benchmark constants default to the paper's measured ABCI values
+// (Section 5.3.3); substitute your own MicroBench to model another system.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/types.h"
+
+namespace ifdk::perfmodel {
+
+/// Constants measured by micro-benchmarks on the target system (Section
+/// 4.2.1). Defaults are ABCI's values as published in the paper.
+struct MicroBench {
+  /// PFS aggregate read bandwidth. The paper reports only the *write* path
+  /// (28.5 GB/s sequential); its model bars (Fig. 5a: compute 0.9 s at 2048
+  /// GPUs, i.e. Tload < Tbp ~ 0.8 s for a 256 GB input) imply an aggregate
+  /// read bandwidth of several hundred GB/s — consistent with ABCI's GPFS
+  /// read capability with many concurrent clients. 400 GB/s reproduces the
+  /// published model series.
+  double bw_load = 400e9;         ///< PFS aggregate read bandwidth [B/s]
+  double bw_store = 28.5e9;       ///< PFS aggregate write bandwidth [B/s]
+  double th_flt = 366.0;          ///< filtering throughput [proj/s per node]
+  double th_allgather = 4.07;     ///< AllGather throughput [proj/s per rank]
+  double bp_gups = 200.0;         ///< back-projection kernel GUPS (L1-Tran)
+  double th_trans = 400e9;        ///< on-GPU volume transpose [B/s]
+  double th_reduce = 8.0e9 / 2.7; ///< MPI-Reduce throughput [B/s per group]
+  double bw_pcie = 11.9e9;        ///< one PCIe gen3 x16 link [B/s]
+  int pcie_per_node = 2;
+  int gpus_per_node = 4;
+  int cpus_per_node = 2;
+  std::uint64_t gpu_memory_bytes = 16ull << 30;
+  std::uint64_t sub_volume_bytes = 8ull << 30;  ///< Nsub_vol (Section 5.3)
+  std::size_t batch = 32;                       ///< Nbatch of Listing 1
+};
+
+/// The 2-D rank grid (Table 2): R rows x C columns, Nranks = R * C (Eq. 4),
+/// one rank per GPU (Eq. 6).
+struct GridShape {
+  int rows = 1;     ///< R
+  int columns = 1;  ///< C
+
+  int ranks() const { return rows * columns; }
+};
+
+/// Eq. (7) + the §4.1.5 memory constraint: the smallest power-of-two R such
+/// that the per-GPU sub-volume plus a projection batch fits in device memory.
+/// R is also bounded below by sizeof(float)*Nx*Ny*Nz / Nsub_vol.
+int select_rows(const Problem& problem, const MicroBench& mb = {});
+
+/// Grid for a given GPU count: R from select_rows, C = gpus / R.
+/// Throws ConfigError when gpus is not a multiple of R.
+GridShape make_grid(const Problem& problem, int gpus,
+                    const MicroBench& mb = {});
+
+/// All component times of Section 4.2.2 (seconds).
+struct Breakdown {
+  double t_load = 0;       ///< Eq. (8)
+  double t_flt = 0;        ///< Eq. (9)
+  double t_allgather = 0;  ///< Eq. (10)
+  double t_h2d = 0;        ///< Eq. (11)
+  double t_bp = 0;         ///< Eq. (12) (includes t_h2d)
+  double t_trans = 0;      ///< Eq. (13)
+  double t_d2h = 0;        ///< Eq. (14)
+  double t_reduce = 0;     ///< Eq. (15); 0 when C == 1 (paper's N/A)
+  double t_store = 0;      ///< Eq. (16)
+
+  double t_compute = 0;    ///< Eq. (17): max(load, flt, allgather, bp)
+  double t_post = 0;       ///< Eq. (18): d2h + reduce + store (trans folded)
+  double t_runtime = 0;    ///< Eq. (19)
+
+  /// Table 5's overlap factor: (Tflt + TAllGather + Tbp) / Tcompute.
+  double delta() const {
+    return t_compute > 0 ? (t_flt + t_allgather + t_bp) / t_compute : 0.0;
+  }
+};
+
+/// Evaluates Equations (8)-(19) for `problem` on `grid`.
+Breakdown predict(const Problem& problem, const GridShape& grid,
+                  const MicroBench& mb = {});
+
+/// End-to-end GUPS (Section 2.3) from a predicted runtime.
+double predicted_gups(const Problem& problem, const Breakdown& breakdown);
+
+}  // namespace ifdk::perfmodel

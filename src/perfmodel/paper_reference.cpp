@@ -1,0 +1,131 @@
+#include "perfmodel/paper_reference.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ifdk::paper {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Problem make_problem(std::size_t nu, std::size_t nv, std::size_t np,
+                     std::size_t nx, std::size_t ny, std::size_t nz) {
+  return Problem{{nu, nv, np}, {nx, ny, nz}};
+}
+}  // namespace
+
+const std::vector<Table4Row>& table4() {
+  static const std::vector<Table4Row> rows = {
+      // 512^2 x 1k input
+      {make_problem(512, 512, 1024, 128, 128, 128), 128, 65.3, 38.8, 46.5, 23.7, 118.0},
+      {make_problem(512, 512, 1024, 256, 256, 256), 16, 107.4, 96.2, 98.9, 28.0, 188.6},
+      {make_problem(512, 512, 1024, 512, 512, 512), 2, 115.1, 105.8, 106.1, 34.0, 206.0},
+      {make_problem(512, 512, 1024, 1024, 1024, 1024), 1, 118.1, 107.3, 107.3, 64.9, 211.4},
+      {make_problem(512, 512, 1024, 1024, 1024, 2048), 1.0 / 8, kNaN, 107.4, 107.6, 112.1, 212.7},
+      // 1k^3 input
+      {make_problem(1024, 1024, 1024, 128, 128, 128), 512, 41.9, 13.8, 13.5, 5.7, 27.2},
+      {make_problem(1024, 1024, 1024, 256, 256, 256), 64, 77.4, 35.9, 43.2, 12.8, 83.7},
+      {make_problem(1024, 1024, 1024, 512, 512, 512), 8, 115.7, 95.5, 98.1, 25.1, 190.3},
+      {make_problem(1024, 1024, 1024, 1024, 1024, 1024), 1, 117.9, 105.8, 105.8, 34.0, 205.7},
+      {make_problem(1024, 1024, 1024, 1024, 1024, 2048), 1.0 / 2, kNaN, 106.3, 106.5, 65.0, 207.9},
+      // 2k^2 x 1k input
+      {make_problem(2048, 2048, 1024, 128, 128, 128), 1024, 16.1, 5.8, 8.5, 2.8, 7.7},
+      {make_problem(2048, 2048, 1024, 256, 256, 256), 256, 38.6, 12.7, 12.6, 4.4, 24.1},
+      {make_problem(2048, 2048, 1024, 512, 512, 512), 32, 80.2, 35.5, 42.5, 13.9, 81.6},
+      {make_problem(2048, 2048, 1024, 1024, 1024, 1024), 4, 116.9, 94.4, 97.8, 23.9, 186.9},
+      {make_problem(2048, 2048, 1024, 1024, 1024, 2048), 1, kNaN, 102.9, 104.1, 33.4, 198.7},
+  };
+  return rows;
+}
+
+const std::vector<Table5Row>& table5() {
+  // volume_n, gpus, cpus, Tflt, bound?, TAllGather, Tbp, Tcompute, delta
+  static const std::vector<Table5Row> rows = {
+      {4096, 32, 16, 1.4, false, 31.4, 54.8, 70.2, 1.2},
+      {4096, 64, 32, 0.8, false, 20.7, 27.5, 35.6, 1.4},
+      {4096, 128, 64, 0.7, true, 15.2, 14.0, 18.9, 1.6},
+      {4096, 256, 128, 0.7, true, 7.4, 7.0, 10.2, 1.5},
+      {8192, 256, 128, 0.7, true, 46.9, 83.0, 101.3, 1.3},
+      {8192, 512, 256, 0.7, true, 26.9, 41.5, 53.1, 1.3},
+      {8192, 1024, 512, 0.7, true, 17.0, 20.8, 29.7, 1.3},
+      {8192, 2048, 1024, 0.7, true, 8.6, 10.4, 17.2, 1.2},
+  };
+  return rows;
+}
+
+const std::vector<Fig5Bar>& fig5a() {
+  // gpus, compute, d2h, store, reduce, model: compute, d2h, store, reduce
+  static const std::vector<Fig5Bar> bars = {
+      {32, 70.2, 4.8, 11.2, kNaN, 54.8, 2.6, 9.0, kNaN},
+      {64, 35.6, 4.8, 11.2, 4.4, 27.5, 2.6, 9.0, 2.4},
+      {128, 18.9, 4.8, 11.2, 5.0, 14.0, 2.6, 9.0, 2.7},
+      {256, 10.2, 4.8, 11.2, 4.8, 7.0, 2.6, 9.0, 2.8},
+      {512, 5.6, 4.8, 11.2, 4.7, 3.5, 2.6, 9.0, 2.9},
+      {1024, 3.3, 4.8, 11.2, 4.7, 1.8, 2.6, 9.0, 3.0},
+      {2048, 2.1, 4.8, 11.2, 4.7, 0.9, 2.6, 9.0, 4.2},
+  };
+  return bars;
+}
+
+const std::vector<Fig5Bar>& fig5b() {
+  static const std::vector<Fig5Bar> bars = {
+      {256, 101.3, 4.8, 78.7, kNaN, 83.0, 2.6, 71.8, kNaN},
+      {512, 53.1, 4.8, 78.7, 5.4, 41.5, 2.6, 71.8, 5.1},
+      {1024, 29.7, 4.8, 78.7, 7.6, 20.8, 2.6, 71.8, 7.1},
+      {2048, 17.2, 4.8, 78.7, 6.5, 10.4, 2.6, 71.8, 5.7},
+  };
+  return bars;
+}
+
+const std::vector<Fig5Bar>& fig5c() {
+  static const std::vector<Fig5Bar> bars = {
+      {32, 9.9, 4.8, 11.2, kNaN, 7.6, 2.6, 9.0, kNaN},
+      {64, 10.0, 4.8, 11.2, 4.4, 7.6, 2.6, 9.0, 2.4},
+      {128, 10.1, 4.8, 11.2, 4.8, 7.6, 2.6, 9.0, 2.7},
+      {256, 10.8, 4.8, 11.2, 4.8, 7.6, 2.6, 9.0, 2.8},
+      {512, 10.9, 4.8, 11.2, 4.8, 7.6, 2.6, 9.0, 2.9},
+      {1024, 11.0, 4.8, 11.2, 4.9, 7.6, 2.6, 9.0, 3.0},
+      {2048, 11.0, 4.8, 11.2, 4.8, 7.6, 2.6, 9.0, 4.2},
+  };
+  return bars;
+}
+
+const std::vector<Fig5Bar>& fig5d() {
+  static const std::vector<Fig5Bar> bars = {
+      {256, 28.9, 4.8, 78.7, kNaN, 20.8, 2.6, 71.8, kNaN},
+      {512, 29.1, 4.8, 78.7, 5.3, 20.8, 2.6, 71.8, 5.1},
+      {1024, 30.0, 4.8, 78.7, 7.6, 20.8, 2.6, 71.8, 7.1},
+      {2048, 30.6, 4.8, 78.7, 7.2, 20.8, 2.6, 71.8, 5.7},
+  };
+  return bars;
+}
+
+const std::vector<Fig6Point>& fig6_2048() {
+  static const std::vector<Fig6Point> pts = {
+      {4, 406},   {8, 694},    {16, 1134},  {32, 1680},  {64, 2229},
+      {128, 2643}, {256, 2952}, {512, 3151}, {1024, 3274}, {2048, 3495},
+  };
+  return pts;
+}
+
+const std::vector<Fig6Point>& fig6_4096() {
+  static const std::vector<Fig6Point> pts = {
+      {32, 5851},   {64, 9134},   {128, 13240},
+      {256, 17361}, {512, 20480}, {1024, 22599},
+  };
+  return pts;
+}
+
+const std::vector<Fig6Point>& fig6_8192() {
+  static const std::vector<Fig6Point> pts = {
+      {256, 19778}, {512, 33376}, {1024, 49863}, {2048, 74359},
+  };
+  return pts;
+}
+
+const AbciConstants& abci() {
+  static const AbciConstants c{};
+  return c;
+}
+
+}  // namespace ifdk::paper

@@ -1,0 +1,121 @@
+// Digitized reference numbers from the paper's evaluation (Tables 4 and 5,
+// Figures 5a-5d, 6). Benches print these next to our measured/simulated
+// values, tests check *shape* agreement (ordering, scaling slopes,
+// crossovers), and gpusim::KernelModel interpolates Table 4 to price kernel
+// launches at V100 speed.
+//
+// Sources: Table 4 (back-projection GUPS on one V100), Table 5 (Tcompute
+// breakdown), the stacked-bar labels of Figures 5a-5d, and the data labels of
+// Figure 6. "N/A" entries are NaN.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/types.h"
+
+namespace ifdk::paper {
+
+// ---------------------------------------------------------------------------
+// Table 4: back-projection kernel performance on a Tesla V100 (GUPS).
+// ---------------------------------------------------------------------------
+
+struct Table4Row {
+  Problem problem;
+  double alpha;     ///< input/output size ratio as printed in the paper
+  double rtk32;     ///< RTK-32 (N/A = NaN: output exceeds RTK's dual buffer)
+  double bp_tex;
+  double tex_tran;
+  double bp_l1;
+  double l1_tran;
+};
+
+/// All 15 problem rows of Table 4.
+const std::vector<Table4Row>& table4();
+
+// ---------------------------------------------------------------------------
+// Table 5: breakdown of Tcompute (seconds) for the strong-scaling runs.
+// ---------------------------------------------------------------------------
+
+struct Table5Row {
+  std::size_t volume_n;   ///< 4096 or 8192 (volume is n^3)
+  int gpus;
+  int cpus;
+  double t_flt;           ///< paper prints "<0.7" for most rows; stored value
+  bool t_flt_is_bound;    ///< true when the paper printed an upper bound
+  double t_allgather;
+  double t_bp;
+  double t_compute;
+  double delta;           ///< (Tflt + TAllGather + Tbp) / Tcompute
+};
+
+const std::vector<Table5Row>& table5();
+
+// ---------------------------------------------------------------------------
+// Figures 5a-5d: stacked runtime bars (seconds). NaN = N/A (C = 1: no
+// inter-rank reduction).
+// ---------------------------------------------------------------------------
+
+struct Fig5Bar {
+  int gpus;
+  double compute;   ///< measured Tcompute
+  double d2h;       ///< measured TD2H
+  double store;     ///< measured Tstore
+  double reduce;    ///< measured Treduce (NaN when C = 1)
+  double model_compute;  ///< the paper's "potential peak" model values
+  double model_d2h;
+  double model_store;
+  double model_reduce;
+};
+
+/// Fig. 5a: strong scaling 2048^2 x 4096 -> 4096^3 (R=32).
+const std::vector<Fig5Bar>& fig5a();
+/// Fig. 5b: strong scaling 2048^2 x 4096 -> 8192^3 (R=256).
+const std::vector<Fig5Bar>& fig5b();
+/// Fig. 5c: weak scaling -> 4096^3, Np = 16 * Ngpus.
+const std::vector<Fig5Bar>& fig5c();
+/// Fig. 5d: weak scaling -> 8192^3, Np = 4 * Ngpus.
+const std::vector<Fig5Bar>& fig5d();
+
+// ---------------------------------------------------------------------------
+// Figure 6: end-to-end GUPS (input 2048^2 x 4096).
+// ---------------------------------------------------------------------------
+
+struct Fig6Point {
+  int gpus;
+  double gups;
+};
+
+const std::vector<Fig6Point>& fig6_2048();  ///< output 2048^3
+const std::vector<Fig6Point>& fig6_4096();  ///< output 4096^3
+const std::vector<Fig6Point>& fig6_8192();  ///< output 8192^3
+
+// ---------------------------------------------------------------------------
+// Section 5.3.3 micro-benchmark constants (the paper's measured ABCI values).
+// ---------------------------------------------------------------------------
+
+struct AbciConstants {
+  double pcie_bandwidth_bytes_per_s = 11.9e9;  ///< one PCIe gen3 x16
+  int pcie_per_node = 2;                        ///< two switches per node
+  int gpus_per_node = 4;
+  int cpus_per_node = 2;
+  double pfs_write_bytes_per_s = 28.5e9;        ///< GPFS sequential write
+  double pfs_read_bytes_per_s = 28.5e9;         ///< assumed symmetric
+  double bp_gups_single_gpu = 200.0;            ///< proposed kernel, §5.3.3
+  /// Filtering throughput per node (2048^2 projections/s), back-computed
+  /// from Table 5 row 1: Tflt = Np / (Nnodes * THflt) => 4096/(8*1.4) ~ 366.
+  double filter_proj_per_s_per_node = 366.0;
+  /// Effective per-rank AllGather throughput (projections/s), back-computed
+  /// from Table 5 row 1: TAllGather = Np/(C*R*TH) => 4096/(32*31.4) ~ 4.07.
+  double allgather_proj_per_s = 4.07;
+  /// MPI-Reduce throughput per rank-group for 8 GB sub-volumes (GB/s),
+  /// from §5.3.3: "reduce 8GB ... by dual InfiniBand per node ~ 2.7s".
+  double reduce_bytes_per_s = 8.0e9 / 2.7;
+  double gpu_memory_bytes = 16.0 * (1ull << 30);
+  double sub_volume_bytes = 8.0 * (1ull << 30);  ///< Nsub_vol used in §5.3
+};
+
+const AbciConstants& abci();
+
+}  // namespace ifdk::paper

@@ -1,0 +1,105 @@
+#include "pfs/pfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/math_util.h"
+
+namespace ifdk::pfs {
+
+ParallelFileSystem::ParallelFileSystem(PfsConfig config)
+    : config_(std::move(config)) {
+  IFDK_REQUIRE(config_.read_bandwidth_bytes_per_s > 0 &&
+                   config_.write_bandwidth_bytes_per_s > 0,
+               "PFS bandwidth must be positive");
+  IFDK_REQUIRE(config_.stripe_bytes > 0 && config_.num_targets > 0,
+               "PFS striping must be positive");
+}
+
+void ParallelFileSystem::write_object(const std::string& name,
+                                      const void* data, std::size_t bytes) {
+  std::vector<char> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_[name] = std::move(payload);
+}
+
+void ParallelFileSystem::read_object(const std::string& name, void* data,
+                                     std::size_t bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw IoError("PFS object not found: " + name);
+  }
+  if (it->second.size() != bytes) {
+    throw IoError("PFS object " + name + " has " +
+                  human_bytes(it->second.size()) + ", caller expected " +
+                  human_bytes(bytes));
+  }
+  if (bytes > 0) std::memcpy(data, it->second.data(), bytes);
+}
+
+bool ParallelFileSystem::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(name) > 0;
+}
+
+std::size_t ParallelFileSystem::object_size(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    throw IoError("PFS object not found: " + name);
+  }
+  return it->second.size();
+}
+
+void ParallelFileSystem::remove_object(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_.erase(name);
+}
+
+std::vector<std::string> ParallelFileSystem::list_objects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, payload] : objects_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t ParallelFileSystem::total_bytes_stored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, payload] : objects_) total += payload.size();
+  return total;
+}
+
+double ParallelFileSystem::estimate_read_seconds(std::uint64_t total_bytes,
+                                                 int ranks) const {
+  IFDK_ASSERT(ranks >= 1);
+  // Shared aggregate bandwidth: rank count affects only the per-rank latency
+  // overlap, not the transfer term (Eq. 8's BWload is an aggregate).
+  return config_.latency_s +
+         static_cast<double>(total_bytes) / config_.read_bandwidth_bytes_per_s;
+}
+
+double ParallelFileSystem::estimate_write_seconds(std::uint64_t total_bytes,
+                                                  int ranks) const {
+  IFDK_ASSERT(ranks >= 1);
+  return config_.latency_s + static_cast<double>(total_bytes) /
+                                 config_.write_bandwidth_bytes_per_s;
+}
+
+std::uint64_t ParallelFileSystem::stripes_for(std::uint64_t bytes) const {
+  return bytes == 0 ? 0 : div_ceil(bytes, config_.stripe_bytes);
+}
+
+double ParallelFileSystem::stripe_utilization(std::uint64_t bytes) const {
+  const std::uint64_t stripes = stripes_for(bytes);
+  if (stripes == 0) return 0.0;
+  const std::uint64_t busy =
+      std::min<std::uint64_t>(stripes,
+                              static_cast<std::uint64_t>(config_.num_targets));
+  return static_cast<double>(busy) / static_cast<double>(config_.num_targets);
+}
+
+}  // namespace ifdk::pfs

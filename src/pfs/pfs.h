@@ -1,0 +1,77 @@
+// Parallel file system model (the GPFS of the paper's testbed).
+//
+// Functionally this is a thread-safe in-memory object store with Lustre/GPFS
+// style striping metadata; economically it models what iFDK's Eq. (8) and
+// Eq. (16) assume: reads and writes are limited by a *shared aggregate*
+// bandwidth (28.5 GB/s sequential write on ABCI's GPFS), independent of how
+// many ranks participate. estimate_* returns the modeled stage time; the
+// IOR-like microbenchmark in bench_microbench sweeps it the way the paper
+// runs LLNL IOR.
+//
+// Projections are objects named by index; volumes are stored as Nz slices of
+// Nx*Ny floats each (Section 4.1.3), so the store also captures the paper's
+// observation that slice size vs stripe size tuning matters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ifdk::pfs {
+
+struct PfsConfig {
+  double read_bandwidth_bytes_per_s = 28.5e9;
+  double write_bandwidth_bytes_per_s = 28.5e9;
+  /// Per-operation latency (metadata + first-byte).
+  double latency_s = 0.5e-3;
+  /// Stripe layout (for utilization accounting).
+  std::uint64_t stripe_bytes = 16ull << 20;
+  int num_targets = 64;  ///< number of storage targets ("OSTs")
+};
+
+class ParallelFileSystem {
+ public:
+  explicit ParallelFileSystem(PfsConfig config = {});
+
+  // -- functional object store (thread-safe) -------------------------------
+
+  void write_object(const std::string& name, const void* data,
+                    std::size_t bytes);
+  /// Reads the whole object; throws IoError when missing or size mismatches.
+  void read_object(const std::string& name, void* data,
+                   std::size_t bytes) const;
+  bool exists(const std::string& name) const;
+  std::size_t object_size(const std::string& name) const;
+  void remove_object(const std::string& name);
+  std::vector<std::string> list_objects() const;
+  std::uint64_t total_bytes_stored() const;
+
+  // -- cost model -----------------------------------------------------------
+
+  /// Modeled wall time for `ranks` clients collectively reading
+  /// `total_bytes` (shared-bandwidth: time does not improve with more ranks
+  /// once the aggregate link saturates).
+  double estimate_read_seconds(std::uint64_t total_bytes, int ranks = 1) const;
+  double estimate_write_seconds(std::uint64_t total_bytes,
+                                int ranks = 1) const;
+
+  /// Number of stripes an object of `bytes` spans (ceil) and the fraction of
+  /// targets a single such object can keep busy — the file-striping
+  /// utilization the paper's Tstore gap analysis points at (§5.3.3).
+  std::uint64_t stripes_for(std::uint64_t bytes) const;
+  double stripe_utilization(std::uint64_t bytes) const;
+
+  const PfsConfig& config() const { return config_; }
+
+ private:
+  PfsConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<char>> objects_;
+};
+
+}  // namespace ifdk::pfs

@@ -1,0 +1,197 @@
+#include "phantom/phantom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace ifdk::phantom {
+
+namespace {
+
+/// Rotates (x, y) by -phi about Z (into the ellipsoid's own frame).
+geo::Vec3 to_ellipsoid_frame(const Ellipsoid& e, const geo::Vec3& p) {
+  const geo::Vec3 q = p - e.center;
+  const double c = std::cos(e.phi);
+  const double s = std::sin(e.phi);
+  return {q.x * c + q.y * s, -q.x * s + q.y * c, q.z};
+}
+
+geo::Vec3 rotate_dir(const Ellipsoid& e, const geo::Vec3& d) {
+  const double c = std::cos(e.phi);
+  const double s = std::sin(e.phi);
+  return {d.x * c + d.y * s, -d.x * s + d.y * c, d.z};
+}
+
+}  // namespace
+
+bool Ellipsoid::contains(const geo::Vec3& p) const {
+  const geo::Vec3 q = to_ellipsoid_frame(*this, p);
+  const double nx = q.x / semi_axes.x;
+  const double ny = q.y / semi_axes.y;
+  const double nz = q.z / semi_axes.z;
+  return nx * nx + ny * ny + nz * nz <= 1.0;
+}
+
+double Ellipsoid::intersect_length(const geo::Vec3& origin,
+                                   const geo::Vec3& dir) const {
+  // Map the ray into the frame where the ellipsoid is the unit sphere and
+  // solve |o + t d|^2 = 1 for t.
+  const geo::Vec3 o_e = to_ellipsoid_frame(*this, origin);
+  const geo::Vec3 d_e = rotate_dir(*this, dir);
+  const geo::Vec3 o{o_e.x / semi_axes.x, o_e.y / semi_axes.y,
+                    o_e.z / semi_axes.z};
+  const geo::Vec3 d{d_e.x / semi_axes.x, d_e.y / semi_axes.y,
+                    d_e.z / semi_axes.z};
+
+  const double a = d.dot(d);
+  if (a == 0.0) return 0.0;
+  const double b = 2.0 * o.dot(d);
+  const double c = o.dot(o) - 1.0;
+  const double disc = b * b - 4.0 * a * c;
+  if (disc <= 0.0) return 0.0;
+  const double sqrt_disc = std::sqrt(disc);
+  const double t1 = (-b - sqrt_disc) / (2.0 * a);
+  const double t2 = (-b + sqrt_disc) / (2.0 * a);
+  // Geometric chord length in the *original* units: (t2 - t1) * |dir|.
+  return (t2 - t1) * dir.norm();
+}
+
+double Phantom::density_at(const geo::Vec3& p) const {
+  double acc = 0.0;
+  for (const auto& e : ellipsoids) {
+    if (e.contains(p)) acc += e.density;
+  }
+  return acc;
+}
+
+double Phantom::line_integral(const geo::Vec3& origin,
+                              const geo::Vec3& dir) const {
+  double acc = 0.0;
+  for (const auto& e : ellipsoids) {
+    acc += e.density * e.intersect_length(origin, dir);
+  }
+  return acc;
+}
+
+namespace {
+
+Ellipsoid make(double a, double b, double c, double x0, double y0, double z0,
+               double phi_deg, double density) {
+  Ellipsoid e;
+  e.semi_axes = {a, b, c};
+  e.center = {x0, y0, z0};
+  e.phi = phi_deg * kPi / 180.0;
+  e.density = density;
+  return e;
+}
+
+}  // namespace
+
+Phantom shepp_logan() {
+  // The classical 3-D Shepp-Logan head (Kak & Slaney values extended to 3-D;
+  // same table as MATLAB's phantom3d and RTK's SheppLoganPhantomSource).
+  Phantom p;
+  p.ellipsoids = {
+      make(0.6900, 0.9200, 0.810, 0.00, 0.0000, 0.000, 0.0, 1.00),
+      make(0.6624, 0.8740, 0.780, 0.00, -0.0184, 0.000, 0.0, -0.98),
+      make(0.1100, 0.3100, 0.220, 0.22, 0.0000, 0.000, -18.0, -0.02),
+      make(0.1600, 0.4100, 0.280, -0.22, 0.0000, 0.000, 18.0, -0.02),
+      make(0.2100, 0.2500, 0.410, 0.00, 0.3500, -0.150, 0.0, 0.01),
+      make(0.0460, 0.0460, 0.050, 0.00, 0.1000, 0.250, 0.0, 0.01),
+      make(0.0460, 0.0460, 0.050, 0.00, -0.1000, 0.250, 0.0, 0.01),
+      make(0.0460, 0.0230, 0.050, -0.08, -0.6050, 0.000, 0.0, 0.01),
+      make(0.0230, 0.0230, 0.020, 0.00, -0.6060, 0.000, 0.0, 0.01),
+      make(0.0230, 0.0460, 0.020, 0.06, -0.6050, 0.000, 0.0, 0.01),
+  };
+  return p;
+}
+
+Phantom modified_shepp_logan() {
+  Phantom p = shepp_logan();
+  const double densities[] = {1.0, -0.8, -0.2, -0.2, 0.1,
+                              0.1, 0.1,  0.1,  0.1,  0.1};
+  for (std::size_t i = 0; i < p.ellipsoids.size(); ++i) {
+    p.ellipsoids[i].density = densities[i];
+  }
+  return p;
+}
+
+Phantom industrial_part() {
+  Phantom p;
+  // Aluminium block (flattened ellipsoid) ...
+  p.ellipsoids.push_back(make(0.8, 0.8, 0.5, 0, 0, 0, 0, 2.70));
+  // ... with a 3x3 grid of drilled holes (negative density cylinders
+  // approximated by tall thin ellipsoids) ...
+  for (int gx = -1; gx <= 1; ++gx) {
+    for (int gy = -1; gy <= 1; ++gy) {
+      p.ellipsoids.push_back(
+          make(0.05, 0.05, 0.45, 0.4 * gx, 0.4 * gy, 0, 0, -2.70));
+    }
+  }
+  // ... two thin internal cracks (defects an inspector must find) ...
+  p.ellipsoids.push_back(make(0.30, 0.012, 0.08, 0.18, 0.22, 0.20, 30, -2.70));
+  p.ellipsoids.push_back(make(0.22, 0.010, 0.06, -0.25, -0.15, -0.22, -45, -2.70));
+  // ... and one dense tungsten inclusion.
+  p.ellipsoids.push_back(make(0.04, 0.04, 0.04, -0.3, 0.3, 0.1, 0, 16.6));
+  return p;
+}
+
+double phantom_scale(const geo::CbctGeometry& g) {
+  const double hx = 0.5 * static_cast<double>(g.nx) * g.dx;
+  const double hy = 0.5 * static_cast<double>(g.ny) * g.dy;
+  const double hz = 0.5 * static_cast<double>(g.nz) * g.dz;
+  return std::min({hx, hy, hz});
+}
+
+Volume voxelize(const Phantom& phantom, const geo::CbctGeometry& g,
+                VolumeLayout layout) {
+  Volume vol(g.nx, g.ny, g.nz, layout, /*zero_fill=*/false);
+  const double inv_scale = 1.0 / phantom_scale(g);
+  for (std::size_t k = 0; k < g.nz; ++k) {
+    for (std::size_t j = 0; j < g.ny; ++j) {
+      for (std::size_t i = 0; i < g.nx; ++i) {
+        const geo::Vec3 w = geo::voxel_world_position(
+            g, static_cast<double>(i), static_cast<double>(j),
+            static_cast<double>(k));
+        const geo::Vec3 n = w * inv_scale;
+        vol.at(i, j, k) = static_cast<float>(phantom.density_at(n));
+      }
+    }
+  }
+  return vol;
+}
+
+Image2D project(const Phantom& phantom, const geo::CbctGeometry& g,
+                double beta) {
+  Image2D img(g.nu, g.nv, /*zero_fill=*/false);
+  const double scale = phantom_scale(g);
+  const double inv_scale = 1.0 / scale;
+  const geo::Vec3 src = geo::source_position(g, beta) * inv_scale;
+  for (std::size_t v = 0; v < g.nv; ++v) {
+    for (std::size_t u = 0; u < g.nu; ++u) {
+      const geo::Vec3 pix =
+          geo::detector_pixel_position(g, beta, static_cast<double>(u),
+                                       static_cast<double>(v)) *
+          inv_scale;
+      const geo::Vec3 dir = pix - src;
+      // line_integral is in normalized units; scale restores millimetres so
+      // FDK reconstructs the phantom's density values directly.
+      img.at(u, v) = static_cast<float>(phantom.line_integral(src, dir) * scale);
+    }
+  }
+  return img;
+}
+
+std::vector<Image2D> project_all(const Phantom& phantom,
+                                 const geo::CbctGeometry& g) {
+  std::vector<Image2D> out;
+  out.reserve(g.np);
+  for (std::size_t s = 0; s < g.np; ++s) {
+    out.push_back(project(phantom, g, g.beta(s)));
+  }
+  return out;
+}
+
+}  // namespace ifdk::phantom

@@ -1,0 +1,116 @@
+#include "postproc/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ifdk::postproc {
+
+namespace {
+
+/// RLE word stream: records of (run_length u16, value u16), both
+/// little-endian. Runs are capped at 65535 and split when longer.
+void append_run(std::vector<std::uint8_t>& out, std::uint16_t value,
+                std::size_t length) {
+  while (length > 0) {
+    const std::uint16_t run =
+        static_cast<std::uint16_t>(std::min<std::size_t>(length, 65535));
+    out.push_back(static_cast<std::uint8_t>(run & 0xff));
+    out.push_back(static_cast<std::uint8_t>(run >> 8));
+    out.push_back(static_cast<std::uint8_t>(value & 0xff));
+    out.push_back(static_cast<std::uint8_t>(value >> 8));
+    length -= run;
+  }
+}
+
+}  // namespace
+
+CompressedVolume compress(const Volume& volume, int bits) {
+  IFDK_REQUIRE(bits >= 8 && bits <= 16, "quantization depth must be 8..16");
+  CompressedVolume out;
+  out.nx = volume.nx();
+  out.ny = volume.ny();
+  out.nz = volume.nz();
+  out.layout = volume.layout();
+  out.bits = bits;
+
+  const float* data = volume.data();
+  const std::size_t n = volume.voxels();
+  IFDK_REQUIRE(n > 0, "cannot compress an empty volume");
+
+  float lo = data[0], hi = data[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    lo = std::min(lo, data[i]);
+    hi = std::max(hi, data[i]);
+  }
+  out.min_value = lo;
+  out.max_value = hi;
+  const float range = hi - lo;
+  const auto levels =
+      static_cast<std::uint32_t>((1u << bits) - 1);
+  const float scale = range > 0 ? static_cast<float>(levels) / range : 0.0f;
+
+  // Quantize + RLE in one pass.
+  out.payload.reserve(n / 8);  // heuristic
+  std::uint16_t current = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto q = static_cast<std::uint16_t>(
+        std::lround((data[i] - lo) * scale));
+    if (run > 0 && q == current) {
+      ++run;
+    } else {
+      if (run > 0) append_run(out.payload, current, run);
+      current = q;
+      run = 1;
+    }
+  }
+  if (run > 0) append_run(out.payload, current, run);
+  return out;
+}
+
+Volume decompress(const CompressedVolume& compressed) {
+  Volume volume(compressed.nx, compressed.ny, compressed.nz,
+                compressed.layout, /*zero_fill=*/false);
+  const std::size_t n = volume.voxels();
+  const auto levels =
+      static_cast<std::uint32_t>((1u << compressed.bits) - 1);
+  const float range = compressed.max_value - compressed.min_value;
+  const float scale = levels > 0 ? range / static_cast<float>(levels) : 0.0f;
+
+  float* data = volume.data();
+  std::size_t written = 0;
+  const auto& p = compressed.payload;
+  IFDK_REQUIRE(p.size() % 4 == 0, "corrupt RLE stream (truncated record)");
+  for (std::size_t off = 0; off < p.size(); off += 4) {
+    const std::size_t run = static_cast<std::size_t>(p[off]) |
+                            (static_cast<std::size_t>(p[off + 1]) << 8);
+    const std::uint16_t q = static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(p[off + 2]) |
+        (static_cast<std::uint16_t>(p[off + 3]) << 8));
+    IFDK_REQUIRE(written + run <= n, "corrupt RLE stream (overflows volume)");
+    const float value = compressed.min_value + scale * static_cast<float>(q);
+    std::fill(data + written, data + written + run, value);
+    written += run;
+  }
+  IFDK_REQUIRE(written == n, "corrupt RLE stream (short of volume size)");
+  return volume;
+}
+
+double psnr_db(const Volume& a, const Volume& b) {
+  IFDK_REQUIRE(a.voxels() == b.voxels(), "volume sizes differ");
+  double peak = 0, mse = 0;
+  for (std::size_t i = 0; i < a.voxels(); ++i) {
+    peak = std::max(peak, std::abs(static_cast<double>(a.data()[i])));
+    const double d = a.data()[i] - b.data()[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.voxels());
+  if (mse == 0) return std::numeric_limits<double>::infinity();
+  IFDK_REQUIRE(peak > 0, "PSNR undefined for an all-zero reference");
+  return 10.0 * std::log10(peak * peak / mse);
+}
+
+}  // namespace ifdk::postproc

@@ -1,0 +1,52 @@
+// Volume compression (paper Section 8, future work: "we intend to
+// investigate compression ... of the high-resolution volumes").
+//
+// High-resolution CT volumes are huge (256 GB at 4K, 2 TB at 8K) but highly
+// compressible: most voxels are air, and tissue/material plateaus are long
+// runs after quantization. The codec here is
+//
+//   float32  --(linear quantization, configurable bits)-->  uint16
+//            --(run-length encoding of equal words)------->  byte stream
+//
+// i.e. a lossy-then-lossless stage pair whose error is bounded by half a
+// quantization step. Compression ratio and PSNR are first-class outputs so
+// the store-stage savings can be fed back into the performance model (a
+// compressed 8K store at ratio r cuts Tstore by r).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/volume.h"
+
+namespace ifdk::postproc {
+
+struct CompressedVolume {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  VolumeLayout layout = VolumeLayout::kXMajor;
+  float min_value = 0;   ///< quantization range
+  float max_value = 0;
+  int bits = 16;         ///< quantization depth (<= 16)
+  std::vector<std::uint8_t> payload;  ///< RLE stream
+
+  std::size_t compressed_bytes() const { return payload.size(); }
+  std::size_t original_bytes() const { return nx * ny * nz * sizeof(float); }
+  double ratio() const {
+    return payload.empty()
+               ? 0.0
+               : static_cast<double>(original_bytes()) /
+                     static_cast<double>(compressed_bytes());
+  }
+};
+
+/// Compresses a volume with `bits`-deep quantization (8..16).
+CompressedVolume compress(const Volume& volume, int bits = 16);
+
+/// Reconstructs the volume; values differ from the original by at most half
+/// a quantization step of the stored range.
+Volume decompress(const CompressedVolume& compressed);
+
+/// Peak signal-to-noise ratio between two volumes in dB (peak = max |a|).
+double psnr_db(const Volume& a, const Volume& b);
+
+}  // namespace ifdk::postproc

@@ -1,0 +1,87 @@
+#include "postproc/visualize.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ifdk::postproc {
+
+namespace {
+
+template <typename Accumulate>
+Image2D project_axis(const Volume& v, Axis axis, Accumulate&& acc,
+                     bool average) {
+  IFDK_REQUIRE(v.layout() == VolumeLayout::kXMajor,
+               "visualization expects the X-major layout");
+  std::size_t w = 0, h = 0, depth = 0;
+  switch (axis) {
+    case Axis::kX: w = v.ny(); h = v.nz(); depth = v.nx(); break;
+    case Axis::kY: w = v.nx(); h = v.nz(); depth = v.ny(); break;
+    case Axis::kZ: w = v.nx(); h = v.ny(); depth = v.nz(); break;
+  }
+  Image2D img(w, h, /*zero_fill=*/true);
+  for (std::size_t b = 0; b < h; ++b) {
+    for (std::size_t a = 0; a < w; ++a) {
+      float result = 0.0f;
+      bool first = true;
+      for (std::size_t d = 0; d < depth; ++d) {
+        float sample = 0;
+        switch (axis) {
+          case Axis::kX: sample = v.at(d, a, b); break;
+          case Axis::kY: sample = v.at(a, d, b); break;
+          case Axis::kZ: sample = v.at(a, b, d); break;
+        }
+        if (first) {
+          result = sample;
+          first = false;
+        } else {
+          result = acc(result, sample);
+        }
+      }
+      if (average && depth > 0) result /= static_cast<float>(depth);
+      img.at(a, b) = result;
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+Image2D mip(const Volume& volume, Axis axis) {
+  return project_axis(volume, axis,
+                      [](float a, float b) { return std::max(a, b); },
+                      /*average=*/false);
+}
+
+Image2D average_projection(const Volume& volume, Axis axis) {
+  return project_axis(volume, axis, [](float a, float b) { return a + b; },
+                      /*average=*/true);
+}
+
+TriPlanar tri_planar(const Volume& volume) {
+  IFDK_REQUIRE(volume.layout() == VolumeLayout::kXMajor,
+               "visualization expects the X-major layout");
+  TriPlanar out;
+  out.axial = Image2D(volume.nx(), volume.ny(), false);
+  const float* slice = volume.slice(volume.nz() / 2);
+  std::copy(slice, slice + out.axial.pixels(), out.axial.data());
+
+  out.coronal = Image2D(volume.nx(), volume.nz(), false);
+  const std::size_t jc = volume.ny() / 2;
+  for (std::size_t k = 0; k < volume.nz(); ++k) {
+    for (std::size_t i = 0; i < volume.nx(); ++i) {
+      out.coronal.at(i, k) = volume.at(i, jc, k);
+    }
+  }
+
+  out.sagittal = Image2D(volume.ny(), volume.nz(), false);
+  const std::size_t ic = volume.nx() / 2;
+  for (std::size_t k = 0; k < volume.nz(); ++k) {
+    for (std::size_t j = 0; j < volume.ny(); ++j) {
+      out.sagittal.at(j, k) = volume.at(ic, j, k);
+    }
+  }
+  return out;
+}
+
+}  // namespace ifdk::postproc

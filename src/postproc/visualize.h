@@ -1,0 +1,36 @@
+// Volume visualization (paper Section 8, future work: "... and
+// visualization of the high-resolution volumes").
+//
+// Three renderers radiologists and NDT inspectors actually use:
+//   * MIP  — maximum intensity projection along a principal axis (the
+//            default vessel/defect view),
+//   * average (thick-slab) projection — synthetic radiograph,
+//   * orthogonal tri-planar slices — the standard viewer layout.
+#pragma once
+
+#include <cstddef>
+
+#include "common/image.h"
+#include "common/volume.h"
+
+namespace ifdk::postproc {
+
+enum class Axis { kX, kY, kZ };
+
+/// Maximum intensity projection along `axis`; the result spans the two
+/// remaining axes (X->(y,z), Y->(x,z), Z->(x,y)). Volume must be kXMajor.
+Image2D mip(const Volume& volume, Axis axis);
+
+/// Mean projection along `axis` (a synthetic radiograph).
+Image2D average_projection(const Volume& volume, Axis axis);
+
+/// The three central orthogonal slices: axial (XY at z-center), coronal
+/// (XZ at y-center), sagittal (YZ at x-center).
+struct TriPlanar {
+  Image2D axial;
+  Image2D coronal;
+  Image2D sagittal;
+};
+TriPlanar tri_planar(const Volume& volume);
+
+}  // namespace ifdk::postproc

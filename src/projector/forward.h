@@ -1,0 +1,49 @@
+// Ray-driven forward projection through a voxel volume.
+//
+// The FDK pipeline itself never needs this (projections come from the
+// scanner, or analytically from the phantom), but two parts of the
+// reproduction do:
+//   * the iterative solvers of Section 6.2 (ART/SART/MLEM) need a matched
+//     forward operator A to pair with the back-projection A^T;
+//   * tests cross-check the analytic ellipsoid projector against ray
+//     marching through the voxelized phantom.
+//
+// The sampler marches the source->pixel ray across the volume's bounding box
+// with trilinear interpolation at `step_fraction * min_pitch` steps (the
+// standard Siddon/Joseph-style sampling used by RTK's voxel projectors).
+#pragma once
+
+#include <cstddef>
+
+#include "common/image.h"
+#include "common/thread_pool.h"
+#include "common/volume.h"
+#include "geometry/cbct.h"
+
+namespace ifdk::projector {
+
+struct ForwardOptions {
+  /// Step length as a fraction of the smallest voxel pitch.
+  double step_fraction = 0.5;
+  ThreadPool* pool = nullptr;
+};
+
+class ForwardProjector {
+ public:
+  ForwardProjector(const geo::CbctGeometry& geometry,
+                   ForwardOptions options = {});
+
+  /// Renders the cone-beam projection of `volume` at gantry angle beta.
+  /// The volume must be kXMajor.
+  Image2D project(const Volume& volume, double beta) const;
+
+  /// Trilinear sample of the volume at fractional voxel index (i, j, k);
+  /// returns 0 outside. Exposed for the iterative solvers.
+  static float sample(const Volume& volume, double i, double j, double k);
+
+ private:
+  geo::CbctGeometry geometry_;
+  ForwardOptions options_;
+};
+
+}  // namespace ifdk::projector

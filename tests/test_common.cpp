@@ -1,0 +1,303 @@
+// Unit tests for the common substrate: aligned buffers, circular buffer,
+// thread pool, RNG, math helpers, CLI parser, and table printer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/circular_buffer.h"
+#include "common/cli.h"
+#include "common/image.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "common/volume.h"
+
+namespace ifdk {
+namespace {
+
+TEST(AlignedBuffer, AllocatesCacheLineAligned) {
+  AlignedBuffer<float> buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, ZeroFillWorks) {
+  AlignedBuffer<float> buf(257, /*zero_fill=*/true);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[3] = 42;
+  int* raw = a.data();
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(CircularBuffer, FifoOrder) {
+  CircularBuffer<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(CircularBuffer, TryPushFailsWhenFull) {
+  CircularBuffer<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(CircularBuffer, CloseDrainsThenSignalsEnd) {
+  CircularBuffer<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.push(3));
+}
+
+TEST(CircularBuffer, ProducerConsumerStress) {
+  // A bounded queue between one producer and one consumer must deliver every
+  // item exactly once, in order — the property the iFDK pipeline relies on.
+  constexpr int kItems = 20000;
+  CircularBuffer<int> q(16);
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto v = q.pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < kItems; ++i) q.push(i);
+  q.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(CircularBuffer, BlockingPushUnblocksOnPop) {
+  CircularBuffer<int> q(1);
+  q.push(0);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.push(1);
+    pushed = true;
+  });
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(MathUtil, DivCeilAndRoundUp) {
+  EXPECT_EQ(div_ceil(10, 3), 4u);
+  EXPECT_EQ(div_ceil(9, 3), 3u);
+  EXPECT_EQ(round_up(10, 4), 12u);
+  EXPECT_EQ(round_up(12, 4), 12u);
+}
+
+TEST(MathUtil, GupsDefinition) {
+  // Paper Section 2.3: GUPS = Nx*Ny*Nz*Np / (T * 2^30). A 1024^3 volume from
+  // 1024 projections in 1 second is exactly 1024 GUPS.
+  EXPECT_DOUBLE_EQ(gups(1024, 1024, 1024, 1024, 1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(gups(1024, 1024, 1024, 1024, 2.0), 512.0);
+  EXPECT_EQ(gups(1024, 1024, 1024, 1024, 0.0), 0.0);
+}
+
+TEST(MathUtil, Rmse) {
+  const float a[4] = {0, 0, 0, 0};
+  const float b[4] = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(rmse(a, b, 4), 1.0);
+  EXPECT_DOUBLE_EQ(rmse(a, a, 4), 0.0);
+}
+
+TEST(Cli, ParsesKeyValueForms) {
+  CliParser cli("prog", "test");
+  cli.option("size", "128", "problem size")
+      .option("verbose", "false", "enable verbose output");
+  const char* argv[] = {"prog", "--size=256", "--verbose=true", "input.raw"};
+  cli.parse(4, argv);
+  EXPECT_EQ(cli.get_int("size"), 256);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.raw");
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli("prog", "test");
+  cli.option("np", "64", "projections");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("np"), 64);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser cli("prog", "test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), ConfigError);
+}
+
+TEST(TextTable, RendersAlignedWithNa) {
+  TextTable t({"gpus", "time(s)", "reduce(s)"});
+  t.row().add(static_cast<std::int64_t>(32)).add(70.2, 1).add(
+      std::nan(""), 1);
+  t.row().add(static_cast<std::int64_t>(64)).add(35.6, 1).add(5.0, 1);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("N/A"), std::string::npos);
+  EXPECT_NE(s.find("70.2"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(StageTimer, AccumulatesAndMerges) {
+  StageTimer a;
+  a.add("bp", 1.5);
+  a.add("bp", 0.5);
+  StageTimer b;
+  b.add("bp", 1.0);
+  b.add("flt", 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("bp"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("flt"), 2.0);
+  EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
+}
+
+TEST(Image2D, TransposeRoundTrip) {
+  Image2D img(5, 3);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t u = 0; u < 5; ++u) {
+      img.at(u, v) = static_cast<float>(10 * v + u);
+    }
+  }
+  const Image2D t = img.transposed();
+  EXPECT_EQ(t.width(), 3u);
+  EXPECT_EQ(t.height(), 5u);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t u = 0; u < 5; ++u) {
+      EXPECT_EQ(t.at(v, u), img.at(u, v));
+    }
+  }
+  const Image2D rt = t.transposed();
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t u = 0; u < 5; ++u) {
+      EXPECT_EQ(rt.at(u, v), img.at(u, v));
+    }
+  }
+}
+
+TEST(Volume, LayoutIndexing) {
+  Volume x(4, 3, 2, VolumeLayout::kXMajor);
+  Volume z(4, 3, 2, VolumeLayout::kZMajor);
+  // X-major: i contiguous. Z-major: k contiguous.
+  EXPECT_EQ(x.index(1, 0, 0) - x.index(0, 0, 0), 1u);
+  EXPECT_EQ(z.index(0, 0, 1) - z.index(0, 0, 0), 1u);
+}
+
+TEST(Volume, ReshapePreservesValues) {
+  Volume v(3, 4, 5, VolumeLayout::kZMajor);
+  float n = 0;
+  for (std::size_t k = 0; k < 5; ++k) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t i = 0; i < 3; ++i) v.at(i, j, k) = n++;
+    }
+  }
+  const Volume x = v.reshaped(VolumeLayout::kXMajor);
+  for (std::size_t k = 0; k < 5; ++k) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(x.at(i, j, k), v.at(i, j, k));
+      }
+    }
+  }
+  // X-major slices are contiguous Nx*Ny planes.
+  EXPECT_EQ(x.slice(1) - x.slice(0),
+            static_cast<std::ptrdiff_t>(x.nx() * x.ny()));
+}
+
+}  // namespace
+}  // namespace ifdk

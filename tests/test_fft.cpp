@@ -1,0 +1,174 @@
+// FFT substrate tests: transforms against a naive DFT oracle, round trips,
+// Parseval, convolution identities, and the RowConvolver used by the
+// filtering stage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace ifdk::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> out(n);
+  for (auto& v : out) {
+    v = Complex(rng.next_double() * 2 - 1, rng.next_double() * 2 - 1);
+  }
+  return out;
+}
+
+double max_err(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto signal = random_signal(n, n);
+  auto oracle = naive_dft(signal);
+  forward(signal);
+  EXPECT_LT(max_err(signal, oracle), 1e-8 * static_cast<double>(n))
+      << "size " << n;
+}
+
+TEST_P(FftSizes, RoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  auto signal = random_signal(n, 17 * n + 1);
+  auto copy = signal;
+  forward(signal);
+  inverse(signal);
+  EXPECT_LT(max_err(signal, copy), 1e-10 * static_cast<double>(n));
+}
+
+// Power-of-two sizes exercise radix-2; the rest exercise Bluestein,
+// including primes (13, 127) and highly composite non-pow2 (96, 100).
+INSTANTIATE_TEST_SUITE_P(AllSizes, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 13, 16, 32, 64, 96, 100,
+                                           127, 128, 256, 1000, 1024));
+
+TEST(Fft, ParsevalTheorem) {
+  const std::size_t n = 512;
+  auto signal = random_signal(n, 99);
+  double time_energy = 0;
+  for (const auto& v : signal) time_energy += std::norm(v);
+  forward(signal);
+  double freq_energy = 0;
+  for (const auto& v : signal) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Complex> delta(64, Complex(0, 0));
+  delta[0] = Complex(1, 0);
+  forward(delta);
+  for (const auto& v : delta) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  const std::size_t n = 128;
+  auto a = random_signal(n, 1);
+  auto b = random_signal(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  forward(a);
+  forward(b);
+  forward(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + 3.0 * b[i])), 1e-9);
+  }
+}
+
+TEST(Fft, CircularConvolutionMatchesDirect) {
+  const std::size_t n = 64;
+  Rng rng(5);
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.next_double();
+  for (auto& v : b) v = rng.next_double();
+
+  auto fast = circular_convolve(a, b);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double direct = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      direct += a[j] * b[(i + n - j) % n];
+    }
+    EXPECT_NEAR(fast[i], direct, 1e-9) << "lag " << i;
+  }
+}
+
+TEST(RowConvolver, IdentityKernelPreservesRow) {
+  // A centered unit impulse kernel must return the row unchanged.
+  std::vector<double> kernel(9, 0.0);
+  kernel[4] = 1.0;
+  RowConvolver conv(32, kernel);
+  std::vector<float> row(32);
+  for (std::size_t i = 0; i < row.size(); ++i) row[i] = static_cast<float>(i);
+  auto expected = row;
+  conv.convolve_row(row.data());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_NEAR(row[i], expected[i], 1e-4f);
+  }
+}
+
+TEST(RowConvolver, BoxKernelSmooths) {
+  std::vector<double> kernel(3, 1.0 / 3.0);
+  RowConvolver conv(16, kernel);
+  std::vector<float> row(16, 0.0f);
+  row[8] = 3.0f;
+  conv.convolve_row(row.data());
+  EXPECT_NEAR(row[7], 1.0f, 1e-4f);
+  EXPECT_NEAR(row[8], 1.0f, 1e-4f);
+  EXPECT_NEAR(row[9], 1.0f, 1e-4f);
+  EXPECT_NEAR(row[5], 0.0f, 1e-4f);
+}
+
+TEST(RowConvolver, MatchesDirectLinearConvolution) {
+  Rng rng(11);
+  std::vector<double> kernel(17);
+  for (auto& v : kernel) v = rng.next_double() - 0.5;
+  const std::size_t n = 40;
+  std::vector<float> row(n);
+  for (auto& v : row) v = static_cast<float>(rng.next_double());
+  std::vector<float> orig(row);
+
+  RowConvolver conv(n, kernel);
+  conv.convolve_row(row.data());
+
+  const std::ptrdiff_t center = static_cast<std::ptrdiff_t>(kernel.size() / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    double direct = 0;
+    for (std::size_t t = 0; t < kernel.size(); ++t) {
+      // Linear convolution: out[i + center] = sum_t kernel[t] * in[i + center - t]
+      const std::ptrdiff_t src = static_cast<std::ptrdiff_t>(i) + center -
+                                 static_cast<std::ptrdiff_t>(t);
+      if (src >= 0 && src < static_cast<std::ptrdiff_t>(n)) {
+        direct += kernel[t] * orig[static_cast<std::size_t>(src)];
+      }
+    }
+    EXPECT_NEAR(row[i], direct, 1e-4) << "sample " << i;
+  }
+}
+
+TEST(RowConvolver, PaddedSizeIsPowerOfTwoAndSufficient) {
+  std::vector<double> kernel(33, 0.1);
+  RowConvolver conv(100, kernel);
+  EXPECT_TRUE(is_pow2(conv.padded_size()));
+  EXPECT_GE(conv.padded_size(), 100 + 33 - 1);
+}
+
+}  // namespace
+}  // namespace ifdk::fft

@@ -1,0 +1,230 @@
+// Geometry tests: matrix algebra, the projection-matrix chain of Section
+// 3.2.1, and the three theorems the proposed back-projection algorithm
+// depends on (checked numerically over a sweep of voxels and angles).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "geometry/cbct.h"
+#include "geometry/types.h"
+#include "geometry/vec.h"
+
+namespace ifdk::geo {
+namespace {
+
+CbctGeometry test_geometry() {
+  Problem problem;
+  problem.in = {64, 64, 90};
+  problem.out = {48, 48, 48};
+  return make_standard_geometry(problem);
+}
+
+TEST(Vec, Mat4MultiplicationIdentity) {
+  const Mat4 id = Mat4::identity();
+  Mat4 m = Mat4::rotation_z(0.7);
+  const Mat4 prod = id * m;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(prod.at(r, c), m.at(r, c));
+    }
+  }
+}
+
+TEST(Vec, RotationZIsOrthogonal) {
+  const Mat4 rot = Mat4::rotation_z(1.234);
+  // R * R^T = I for the upper 3x3 block.
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      double acc = 0;
+      for (int k = 0; k < 3; ++k) acc += rot.at(r, k) * rot.at(c, k);
+      EXPECT_NEAR(acc, r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Vec, CrossProductRightHanded) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  const Vec3 z = x.cross(y);
+  EXPECT_DOUBLE_EQ(z.x, 0);
+  EXPECT_DOUBLE_EQ(z.y, 0);
+  EXPECT_DOUBLE_EQ(z.z, 1);
+}
+
+TEST(Geometry, StandardGeometryValidates) {
+  const CbctGeometry g = test_geometry();
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GT(g.d, 0);
+  EXPECT_GT(g.D, g.d);
+  EXPECT_NEAR(g.theta(), 2.0 * kPi / 90.0, 1e-12);
+}
+
+TEST(Geometry, ValidateRejectsBrokenConfigs) {
+  CbctGeometry g = test_geometry();
+  g.D = g.d * 0.5;  // detector inside the orbit
+  EXPECT_THROW(g.validate(), ConfigError);
+
+  CbctGeometry g2 = test_geometry();
+  g2.dx *= 100.0;  // volume far larger than the detector can cover
+  EXPECT_THROW(g2.validate(), ConfigError);
+
+  CbctGeometry g3 = test_geometry();
+  g3.np = 0;
+  EXPECT_THROW(g3.validate(), ConfigError);
+}
+
+TEST(Geometry, CenterVoxelProjectsToDetectorCenter) {
+  // The volume center sits on the rotation axis, so for every angle it must
+  // project to the detector center ((Nu-1)/2, (Nv-1)/2) at depth d.
+  const CbctGeometry g = test_geometry();
+  const double ci = (static_cast<double>(g.nx) - 1) / 2;
+  const double cj = (static_cast<double>(g.ny) - 1) / 2;
+  const double ck = (static_cast<double>(g.nz) - 1) / 2;
+  for (std::size_t s = 0; s < g.np; s += 7) {
+    const Mat34 p = make_projection_matrix(g, g.beta(s));
+    const ProjectedPoint pt = project_voxel(p, ci, cj, ck);
+    EXPECT_NEAR(pt.u, (static_cast<double>(g.nu) - 1) / 2, 1e-9);
+    EXPECT_NEAR(pt.v, (static_cast<double>(g.nv) - 1) / 2, 1e-9);
+    EXPECT_NEAR(pt.z, g.d, 1e-9);
+  }
+}
+
+TEST(Geometry, Theorem1SymmetryAboutXYPlane) {
+  // Theorem 1: voxels (i,j,k) and (i,j,Nz-1-k) project to the same u and to
+  // v values symmetric about the detector's horizontal center line:
+  // vA + vB = Nv - 1.
+  const CbctGeometry g = test_geometry();
+  for (std::size_t s = 0; s < g.np; s += 11) {
+    const Mat34 p = make_projection_matrix(g, g.beta(s));
+    for (double i : {0.0, 10.0, 33.0, 47.0}) {
+      for (double j : {0.0, 17.0, 47.0}) {
+        for (double k : {0.0, 5.0, 20.0}) {
+          const auto a = project_voxel(p, i, j, k);
+          const auto b = project_voxel(
+              p, i, j, static_cast<double>(g.nz) - 1.0 - k);
+          EXPECT_NEAR(a.u, b.u, 1e-9);
+          EXPECT_NEAR(a.v + b.v, static_cast<double>(g.nv) - 1.0, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, Theorem2ConstantUAlongZ) {
+  // Theorem 2: along a vertical line (fixed i, j) the projected u is constant.
+  const CbctGeometry g = test_geometry();
+  for (std::size_t s = 0; s < g.np; s += 13) {
+    const Mat34 p = make_projection_matrix(g, g.beta(s));
+    const auto ref = project_voxel(p, 12.0, 30.0, 0.0);
+    for (double k = 1; k < static_cast<double>(g.nz); k += 3) {
+      const auto pt = project_voxel(p, 12.0, 30.0, k);
+      EXPECT_NEAR(pt.u, ref.u, 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(Geometry, Theorem3DepthClosedForm) {
+  // Theorem 3 / Eq. 3: z = d + sin(b)*(i-ci)*Dx - cos(b)*(j-cj)*Dy,
+  // independent of k.
+  const CbctGeometry g = test_geometry();
+  for (std::size_t s = 0; s < g.np; s += 5) {
+    const double beta = g.beta(s);
+    const Mat34 p = make_projection_matrix(g, beta);
+    for (double i : {3.0, 24.0, 40.0}) {
+      for (double j : {1.0, 23.0, 46.0}) {
+        const double expected = theorem3_depth(g, beta, i, j);
+        for (double k : {0.0, 11.0, 31.0, 47.0}) {
+          const auto pt = project_voxel(p, i, j, k);
+          EXPECT_NEAR(pt.z, expected, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, ProjectionMatrixMatchesWorldFrameRayCast) {
+  // Cross-validation of the two coordinate paths: projecting a voxel through
+  // P must land where the world-frame ray from the source through the voxel
+  // pierces the detector plane.
+  const CbctGeometry g = test_geometry();
+  for (std::size_t s = 0; s < g.np; s += 17) {
+    const double beta = g.beta(s);
+    const Mat34 p = make_projection_matrix(g, beta);
+    for (double i : {5.0, 20.0, 42.0}) {
+      for (double j : {8.0, 30.0}) {
+        for (double k : {4.0, 25.0, 44.0}) {
+          const auto pt = project_voxel(p, i, j, k);
+          // World-frame: the pixel the matrix predicts must be collinear with
+          // source -> voxel.
+          const Vec3 src = source_position(g, beta);
+          const Vec3 vox = voxel_world_position(g, i, j, k);
+          const Vec3 pix = detector_pixel_position(g, beta, pt.u, pt.v);
+          const Vec3 d1 = (vox - src).normalized();
+          const Vec3 d2 = (pix - src).normalized();
+          EXPECT_NEAR(d1.dot(d2), 1.0, 1e-10);
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, SourceOrbitsAtRadiusD) {
+  const CbctGeometry g = test_geometry();
+  for (std::size_t s = 0; s < g.np; s += 3) {
+    const Vec3 src = source_position(g, g.beta(s));
+    EXPECT_NEAR(src.norm(), g.d, 1e-9);
+    EXPECT_NEAR(src.z, 0.0, 1e-12);  // orbit lies in the XY plane
+  }
+}
+
+TEST(Geometry, DetectorCenterOppositeSource) {
+  // The detector center must lie on the ray from the source through the
+  // isocenter at distance D from the source.
+  const CbctGeometry g = test_geometry();
+  const double cu = (static_cast<double>(g.nu) - 1) / 2;
+  const double cv = (static_cast<double>(g.nv) - 1) / 2;
+  for (std::size_t s = 0; s < g.np; s += 9) {
+    const double beta = g.beta(s);
+    const Vec3 src = source_position(g, beta);
+    const Vec3 det = detector_pixel_position(g, beta, cu, cv);
+    EXPECT_NEAR((det - src).norm(), g.D, 1e-9);
+    // Collinear with the isocenter (origin).
+    const Vec3 to_origin = (Vec3{0, 0, 0} - src).normalized();
+    const Vec3 to_det = (det - src).normalized();
+    EXPECT_NEAR(to_origin.dot(to_det), 1.0, 1e-12);
+  }
+}
+
+TEST(Geometry, ProblemAlphaAndGups) {
+  // alpha for 512^2 x 1k -> 128^3 is 128 (Table 4 first row).
+  Problem problem;
+  problem.in = {512, 512, 1024};
+  problem.out = {128, 128, 128};
+  EXPECT_DOUBLE_EQ(problem.alpha(), 128.0);
+
+  Problem p2;
+  p2.in = {2048, 2048, 1024};
+  p2.out = {1024, 1024, 2048};
+  EXPECT_DOUBLE_EQ(p2.alpha(), 2.0);  // (2k*2k*1k)/(1k*1k*2k)
+}
+
+TEST(Geometry, AllProjectionMatricesCount) {
+  const CbctGeometry g = test_geometry();
+  const auto mats = make_all_projection_matrices(g);
+  EXPECT_EQ(mats.size(), g.np);
+}
+
+TEST(Geometry, FloatConversionRoundTrips) {
+  const CbctGeometry g = test_geometry();
+  const Mat34 p = make_projection_matrix(g, 0.3);
+  const auto f = p.to_float();
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(f[static_cast<std::size_t>(r * 4 + c)], p.at(r, c),
+                  std::abs(p.at(r, c)) * 1e-6 + 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifdk::geo

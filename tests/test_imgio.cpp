@@ -1,0 +1,135 @@
+// imgio tests: MHD/RAW round trip, header contents, PGM structure, and error
+// paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "imgio/imgio.h"
+
+namespace ifdk::imgio {
+namespace {
+
+class ImgioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "ifdk_imgio_test";
+  }
+  void TearDown() override {
+    std::remove((base_ + ".raw").c_str());
+    std::remove((base_ + ".mhd").c_str());
+    std::remove((base_ + ".pgm").c_str());
+  }
+  std::string base_;
+};
+
+TEST_F(ImgioTest, MhdRawRoundTrip) {
+  Volume vol(5, 4, 3);
+  for (std::size_t n = 0; n < vol.voxels(); ++n) {
+    vol.data()[n] = static_cast<float>(n) * 0.25f - 3.0f;
+  }
+  write_mhd(vol, base_, 0.5, 0.5, 1.25);
+  const Volume back = read_raw_volume(base_, 5, 4, 3);
+  for (std::size_t n = 0; n < vol.voxels(); ++n) {
+    EXPECT_EQ(back.data()[n], vol.data()[n]);
+  }
+}
+
+TEST_F(ImgioTest, MhdHeaderContents) {
+  Volume vol(8, 8, 2);
+  write_mhd(vol, base_, 0.5, 0.5, 1.25);
+  std::ifstream mhd(base_ + ".mhd");
+  std::stringstream ss;
+  ss << mhd.rdbuf();
+  const std::string header = ss.str();
+  EXPECT_NE(header.find("DimSize = 8 8 2"), std::string::npos);
+  EXPECT_NE(header.find("ElementSpacing = 0.5 0.5 1.25"), std::string::npos);
+  EXPECT_NE(header.find("ElementType = MET_FLOAT"), std::string::npos);
+  EXPECT_NE(header.find("ElementDataFile = ifdk_imgio_test.raw"),
+            std::string::npos);
+}
+
+TEST_F(ImgioTest, MhdRejectsZMajor) {
+  Volume vol(4, 4, 4, VolumeLayout::kZMajor);
+  EXPECT_THROW(write_mhd(vol, base_), ConfigError);
+}
+
+TEST_F(ImgioTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_raw_volume(base_ + "_nope", 2, 2, 2), IoError);
+}
+
+TEST_F(ImgioTest, PgmStructureAndScaling) {
+  Image2D img(4, 2);
+  img.at(0, 0) = -1.0f;
+  img.at(3, 1) = 1.0f;
+  write_pgm(img, base_ + ".pgm");
+  std::ifstream pgm(base_ + ".pgm", std::ios::binary);
+  std::string magic, dims;
+  std::getline(pgm, magic);
+  EXPECT_EQ(magic, "P5");
+  std::getline(pgm, dims);
+  EXPECT_EQ(dims, "4 2");
+  std::string maxval;
+  std::getline(pgm, maxval);
+  EXPECT_EQ(maxval, "255");
+  unsigned char pixels[8];
+  pgm.read(reinterpret_cast<char*>(pixels), 8);
+  EXPECT_EQ(pgm.gcount(), 8);
+  EXPECT_EQ(pixels[0], 0);    // min maps to black
+  EXPECT_EQ(pixels[7], 255);  // max maps to white
+  EXPECT_EQ(pixels[1], 127);  // zeros land mid-scale
+}
+
+TEST_F(ImgioTest, SliceExport) {
+  Volume vol(3, 3, 2);
+  vol.at(1, 1, 1) = 5.0f;
+  write_slice_pgm(vol, 1, base_ + ".pgm");
+  std::ifstream pgm(base_ + ".pgm", std::ios::binary);
+  EXPECT_TRUE(pgm.good());
+  EXPECT_THROW(write_slice_pgm(vol, 2, base_ + ".pgm"), ConfigError);
+}
+
+
+TEST_F(ImgioTest, ProjectionRawRoundTrip) {
+  Image2D img(6, 4);
+  for (std::size_t n = 0; n < img.pixels(); ++n) {
+    img.data()[n] = static_cast<float>(n) * -0.75f;
+  }
+  write_projection_raw(img, base_ + ".raw");
+  const Image2D back = read_projection_raw(base_ + ".raw", 6, 4);
+  for (std::size_t n = 0; n < img.pixels(); ++n) {
+    EXPECT_EQ(back.data()[n], img.data()[n]);
+  }
+  EXPECT_THROW(read_projection_raw(base_ + ".raw", 8, 8), IoError);
+}
+
+TEST_F(ImgioTest, ProjectionU16RoundTripBoundedError) {
+  Image2D img(8, 8);
+  for (std::size_t n = 0; n < img.pixels(); ++n) {
+    img.data()[n] = static_cast<float>(n % 13) * 0.77f;
+  }
+  const float full_scale = 12.0f * 0.77f;
+  write_projection_u16(img, base_ + ".raw", full_scale);
+  const Image2D back =
+      read_projection_u16(base_ + ".raw", 8, 8, full_scale / 65535.0f);
+  // 16-bit quantization error is bounded by half a step.
+  const float step = full_scale / 65535.0f;
+  for (std::size_t n = 0; n < img.pixels(); ++n) {
+    EXPECT_NEAR(back.data()[n], img.data()[n], 0.51f * step);
+  }
+}
+
+TEST_F(ImgioTest, U16ClampsOutOfRange) {
+  Image2D img(2, 1);
+  img.at(0, 0) = -5.0f;   // below range -> 0
+  img.at(1, 0) = 100.0f;  // above full scale -> 65535
+  write_projection_u16(img, base_ + ".raw", 1.0f);
+  const Image2D back = read_projection_u16(base_ + ".raw", 2, 1, 1.0f / 65535.0f);
+  EXPECT_EQ(back.at(0, 0), 0.0f);
+  EXPECT_NEAR(back.at(1, 0), 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace ifdk::imgio

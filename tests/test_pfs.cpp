@@ -1,0 +1,124 @@
+// PFS model tests: object-store semantics, concurrent access, the
+// shared-aggregate-bandwidth cost model, and striping accounting.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "pfs/pfs.h"
+
+namespace ifdk::pfs {
+namespace {
+
+TEST(Pfs, WriteReadRoundTrip) {
+  ParallelFileSystem fs;
+  std::vector<float> data{1.5f, -2.5f, 3.25f};
+  fs.write_object("proj/0", data.data(), data.size() * sizeof(float));
+  ASSERT_TRUE(fs.exists("proj/0"));
+  EXPECT_EQ(fs.object_size("proj/0"), data.size() * sizeof(float));
+
+  std::vector<float> back(3, 0.0f);
+  fs.read_object("proj/0", back.data(), back.size() * sizeof(float));
+  EXPECT_EQ(back, data);
+}
+
+TEST(Pfs, MissingObjectThrows) {
+  ParallelFileSystem fs;
+  char buf[4];
+  EXPECT_THROW(fs.read_object("nope", buf, 4), IoError);
+  EXPECT_THROW(fs.object_size("nope"), IoError);
+  EXPECT_FALSE(fs.exists("nope"));
+}
+
+TEST(Pfs, SizeMismatchThrows) {
+  ParallelFileSystem fs;
+  const int value = 7;
+  fs.write_object("x", &value, sizeof(value));
+  char buf[8];
+  EXPECT_THROW(fs.read_object("x", buf, 8), IoError);
+}
+
+TEST(Pfs, OverwriteAndRemove) {
+  ParallelFileSystem fs;
+  const int a = 1, b = 2;
+  fs.write_object("x", &a, sizeof(a));
+  fs.write_object("x", &b, sizeof(b));
+  int out = 0;
+  fs.read_object("x", &out, sizeof(out));
+  EXPECT_EQ(out, 2);
+  fs.remove_object("x");
+  EXPECT_FALSE(fs.exists("x"));
+}
+
+TEST(Pfs, ListAndTotalBytes) {
+  ParallelFileSystem fs;
+  const char data[100] = {};
+  fs.write_object("vol/slice_000", data, 100);
+  fs.write_object("vol/slice_001", data, 50);
+  EXPECT_EQ(fs.list_objects().size(), 2u);
+  EXPECT_EQ(fs.total_bytes_stored(), 150u);
+}
+
+TEST(Pfs, ConcurrentWritersAndReaders) {
+  // Many ranks store projection objects simultaneously (exactly what the
+  // iFDK store stage does); every object must arrive intact.
+  ParallelFileSystem fs;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fs, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int payload = t * 1000 + i;
+        fs.write_object("obj_" + std::to_string(t) + "_" + std::to_string(i),
+                        &payload, sizeof(payload));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fs.list_objects().size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  int out = 0;
+  fs.read_object("obj_3_17", &out, sizeof(out));
+  EXPECT_EQ(out, 3017);
+}
+
+TEST(Pfs, CostModelMatchesPaperTstore) {
+  // Eq. (16) with ABCI's GPFS: storing a 4096^3 volume (256 GiB) at
+  // 28.5 GB/s takes ~9.6 s (the paper's model bar prints 9.0 with GB=1e9:
+  // 256e9/28.5e9 ~ 9.0).
+  ParallelFileSystem fs;
+  const std::uint64_t vol4k = 4096ull * 4096 * 4096 * 4;
+  const double t = fs.estimate_write_seconds(vol4k);
+  EXPECT_NEAR(t, static_cast<double>(vol4k) / 28.5e9, 0.01);
+  // 8K volume: 2 TiB -> ~77 s, an ~8x jump (the figure 5b store bar).
+  const std::uint64_t vol8k = 8192ull * 8192 * 8192 * 4;
+  EXPECT_NEAR(fs.estimate_write_seconds(vol8k) / t, 8.0, 0.1);
+}
+
+TEST(Pfs, AggregateBandwidthDoesNotScaleWithRanks) {
+  // The defining property of the shared PFS link (and why Tstore is flat in
+  // Figs. 5a-5d): more writers do not make the store faster.
+  ParallelFileSystem fs;
+  const std::uint64_t bytes = 100ull << 30;
+  const double t1 = fs.estimate_write_seconds(bytes, 1);
+  const double t512 = fs.estimate_write_seconds(bytes, 512);
+  EXPECT_NEAR(t1, t512, 1e-9);
+}
+
+TEST(Pfs, StripeAccounting) {
+  PfsConfig cfg;
+  cfg.stripe_bytes = 1 << 20;
+  cfg.num_targets = 8;
+  ParallelFileSystem fs(cfg);
+  EXPECT_EQ(fs.stripes_for(0), 0u);
+  EXPECT_EQ(fs.stripes_for(1), 1u);
+  EXPECT_EQ(fs.stripes_for(1 << 20), 1u);
+  EXPECT_EQ(fs.stripes_for((1 << 20) + 1), 2u);
+  // A 4 MiB slice keeps 4 of 8 targets busy; a 64 MiB slice saturates.
+  EXPECT_DOUBLE_EQ(fs.stripe_utilization(4 << 20), 0.5);
+  EXPECT_DOUBLE_EQ(fs.stripe_utilization(64 << 20), 1.0);
+}
+
+}  // namespace
+}  // namespace ifdk::pfs

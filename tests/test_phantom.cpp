@@ -1,0 +1,224 @@
+// Phantom tests: ellipsoid geometry, analytic line integrals against
+// closed-form chords, Shepp-Logan structure, and consistency between the
+// voxelized phantom and its analytic projections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "geometry/cbct.h"
+#include "phantom/phantom.h"
+
+namespace ifdk::phantom {
+namespace {
+
+TEST(Ellipsoid, SphereChordLengths) {
+  Ellipsoid e;
+  e.center = {0, 0, 0};
+  e.semi_axes = {1, 1, 1};
+  e.density = 1.0;
+
+  // Diameter through the center.
+  EXPECT_NEAR(e.intersect_length({-2, 0, 0}, {1, 0, 0}), 2.0, 1e-12);
+  // Chord at half radius: length 2*sqrt(1 - 0.25) = sqrt(3).
+  EXPECT_NEAR(e.intersect_length({-2, 0.5, 0}, {1, 0, 0}), std::sqrt(3.0),
+              1e-12);
+  // Tangent and miss.
+  EXPECT_NEAR(e.intersect_length({-2, 1.0, 0}, {1, 0, 0}), 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(e.intersect_length({-2, 1.5, 0}, {1, 0, 0}), 0.0);
+}
+
+TEST(Ellipsoid, ChordIndependentOfDirScale) {
+  Ellipsoid e;
+  e.semi_axes = {0.5, 0.7, 0.9};
+  e.center = {0.1, -0.2, 0.05};
+  const geo::Vec3 origin{-3, 0, 0};
+  const geo::Vec3 dir{1, 0.07, -0.02};
+  const double len1 = e.intersect_length(origin, dir);
+  const double len2 = e.intersect_length(origin, dir * 5.0);
+  EXPECT_GT(len1, 0);
+  EXPECT_NEAR(len1, len2, 1e-10);
+}
+
+TEST(Ellipsoid, AnisotropicAxes) {
+  Ellipsoid e;
+  e.semi_axes = {2, 1, 0.5};
+  // Along X: full chord 2a = 4; along Z: 2c = 1.
+  EXPECT_NEAR(e.intersect_length({-5, 0, 0}, {1, 0, 0}), 4.0, 1e-12);
+  EXPECT_NEAR(e.intersect_length({0, 0, -5}, {0, 0, 1}), 1.0, 1e-12);
+}
+
+TEST(Ellipsoid, RotationAboutZ) {
+  // Rotating a prolate ellipsoid by 90 degrees swaps its X/Y chords.
+  Ellipsoid e;
+  e.semi_axes = {2, 1, 1};
+  e.phi = kPi / 2.0;
+  EXPECT_NEAR(e.intersect_length({-5, 0, 0}, {1, 0, 0}), 2.0, 1e-9);
+  EXPECT_NEAR(e.intersect_length({0, -5, 0}, {0, 1, 0}), 4.0, 1e-9);
+}
+
+TEST(Ellipsoid, ContainsMatchesBoundary) {
+  Ellipsoid e;
+  e.semi_axes = {0.5, 0.25, 0.75};
+  e.center = {0.2, 0.0, -0.1};
+  EXPECT_TRUE(e.contains({0.2, 0.0, -0.1}));
+  EXPECT_TRUE(e.contains({0.2 + 0.49, 0.0, -0.1}));
+  EXPECT_FALSE(e.contains({0.2 + 0.51, 0.0, -0.1}));
+  EXPECT_FALSE(e.contains({0.2, 0.26, -0.1}));
+}
+
+TEST(SheppLogan, HasTenEllipsoidsAndSkullShell) {
+  const Phantom p = shepp_logan();
+  ASSERT_EQ(p.ellipsoids.size(), 10u);
+  // Skull: outer density 1.0 shell around a -0.98 interior.
+  EXPECT_DOUBLE_EQ(p.ellipsoids[0].density, 1.0);
+  EXPECT_DOUBLE_EQ(p.ellipsoids[1].density, -0.98);
+  // Density at the head center: 1.0 - 0.98 = 0.02 plus nothing else there.
+  EXPECT_NEAR(p.density_at({0, 0, 0}), 0.02, 1e-12);
+  // Outside everything.
+  EXPECT_DOUBLE_EQ(p.density_at({0.99, 0.99, 0.99}), 0.0);
+}
+
+TEST(SheppLogan, DensityRangeIsTissueLike) {
+  const Phantom p = shepp_logan();
+  // Sample a grid; all values must lie in [0, 1.02] (air to bone).
+  for (double x = -1; x <= 1; x += 0.125) {
+    for (double y = -1; y <= 1; y += 0.125) {
+      for (double z = -1; z <= 1; z += 0.25) {
+        const double d = p.density_at({x, y, z});
+        EXPECT_GE(d, -1e-12);
+        EXPECT_LE(d, 1.02 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SheppLogan, ModifiedVariantHasHigherContrast) {
+  const Phantom m = modified_shepp_logan();
+  // Ventricle contrast: interior 0.2 vs 0.01 per the Toft values.
+  EXPECT_NEAR(m.density_at({0, 0.35, -0.15}), 1.0 - 0.8 + 0.1, 1e-12);
+}
+
+TEST(IndustrialPart, DefectsRemoveMaterial) {
+  const Phantom p = industrial_part();
+  // Block material.
+  EXPECT_NEAR(p.density_at({0.0, 0.18, 0.0}), 2.70, 1e-12);
+  // Inside a drilled hole: block + hole = 0.
+  EXPECT_NEAR(p.density_at({0.4, 0.4, 0.0}), 0.0, 1e-12);
+  // Tungsten inclusion is denser than the block.
+  EXPECT_GT(p.density_at({-0.3, 0.3, 0.1}), 10.0);
+}
+
+TEST(Phantom, LineIntegralMatchesRiemannSum) {
+  // Property check: the analytic integral equals a fine Riemann sum of
+  // density_at along the same ray.
+  const Phantom p = shepp_logan();
+  const geo::Vec3 origin{-2.0, -0.3, 0.1};
+  const geo::Vec3 target{2.0, 0.25, -0.05};
+  const geo::Vec3 dir = target - origin;
+
+  const double analytic = p.line_integral(origin, dir);
+
+  const int steps = 20000;
+  double riemann = 0;
+  const double dl = dir.norm() / steps;
+  for (int s = 0; s < steps; ++s) {
+    const double t = (s + 0.5) / steps;
+    riemann += p.density_at(origin + dir * t) * dl;
+  }
+  EXPECT_NEAR(analytic, riemann, 2e-3);
+}
+
+TEST(Projection, CenterRayIntegratesHeadDiameter) {
+  geo::CbctGeometry g = geo::make_standard_geometry(
+      {{64, 64, 8}, {32, 32, 32}});
+  const Phantom p = shepp_logan();
+  const Image2D img = project(p, g, 0.0);
+  EXPECT_EQ(img.width(), 64u);
+  EXPECT_EQ(img.height(), 64u);
+
+  // The central ray passes through the skull along Y (at beta=0 the source is
+  // at -Y): expected integral = 2*b_outer*1.0 - 2*b_inner*0.98 - small
+  // internal structures; compute exactly from the phantom.
+  const double scale = phantom_scale(g);
+  const geo::Vec3 src = geo::source_position(g, 0.0) * (1.0 / scale);
+  const geo::Vec3 pix =
+      geo::detector_pixel_position(g, 0.0, 31.5, 31.5) * (1.0 / scale);
+  const double expected = p.line_integral(src, pix - src) * scale;
+  // Bilinear center of the detector is between pixels; compare the average of
+  // the 4 center pixels with the exact center ray loosely.
+  const double measured = 0.25 * (img.at(31, 31) + img.at(32, 31) +
+                                  img.at(31, 32) + img.at(32, 32));
+  EXPECT_NEAR(measured, expected, 0.05 * std::abs(expected) + 1e-3);
+}
+
+TEST(Projection, CornersSeeAir) {
+  geo::CbctGeometry g =
+      geo::make_standard_geometry({{64, 64, 8}, {32, 32, 32}});
+  const Image2D img = project(shepp_logan(), g, 0.0);
+  EXPECT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_EQ(img.at(63, 0), 0.0f);
+  EXPECT_EQ(img.at(0, 63), 0.0f);
+  EXPECT_EQ(img.at(63, 63), 0.0f);
+}
+
+TEST(Projection, OppositeAnglesConserveMass) {
+  // The total detected attenuation at beta and beta+pi must agree closely:
+  // both views integrate the same object (exactly equal only in the
+  // parallel-beam limit; within a few percent at this cone angle).
+  geo::CbctGeometry g =
+      geo::make_standard_geometry({{64, 64, 8}, {32, 32, 32}});
+  const Phantom p = shepp_logan();
+  const Image2D a = project(p, g, 0.0);
+  const Image2D b = project(p, g, kPi);
+  double sum_a = 0, sum_b = 0;
+  for (std::size_t i = 0; i < a.pixels(); ++i) {
+    sum_a += a.data()[i];
+    sum_b += b.data()[i];
+  }
+  EXPECT_GT(sum_a, 0);
+  // The Shepp-Logan mass is off-center (ventricles at y ~ -0.6), so the two
+  // views magnify it differently; ~10% asymmetry is expected at this cone
+  // angle and shrinks as d grows. 15% bounds it while still catching sign
+  // or geometry errors (which produce >2x differences).
+  EXPECT_NEAR(sum_a, sum_b, 0.15 * sum_a);
+}
+
+TEST(Voxelize, MatchesDensityAtVoxelCenters) {
+  geo::CbctGeometry g =
+      geo::make_standard_geometry({{64, 64, 8}, {16, 16, 16}});
+  const Phantom p = shepp_logan();
+  const Volume vol = voxelize(p, g);
+  const double inv_scale = 1.0 / phantom_scale(g);
+  for (std::size_t k = 0; k < g.nz; k += 5) {
+    for (std::size_t j = 0; j < g.ny; j += 3) {
+      for (std::size_t i = 0; i < g.nx; i += 3) {
+        const geo::Vec3 w =
+            geo::voxel_world_position(g, static_cast<double>(i),
+                                      static_cast<double>(j),
+                                      static_cast<double>(k)) *
+            inv_scale;
+        EXPECT_FLOAT_EQ(vol.at(i, j, k),
+                        static_cast<float>(p.density_at(w)));
+      }
+    }
+  }
+}
+
+TEST(Voxelize, LayoutsAgree) {
+  geo::CbctGeometry g =
+      geo::make_standard_geometry({{64, 64, 8}, {12, 12, 12}});
+  const Phantom p = shepp_logan();
+  const Volume x = voxelize(p, g, VolumeLayout::kXMajor);
+  const Volume z = voxelize(p, g, VolumeLayout::kZMajor);
+  for (std::size_t k = 0; k < g.nz; ++k) {
+    for (std::size_t j = 0; j < g.ny; ++j) {
+      for (std::size_t i = 0; i < g.nx; ++i) {
+        EXPECT_EQ(x.at(i, j, k), z.at(i, j, k));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ifdk::phantom

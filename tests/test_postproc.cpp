@@ -1,0 +1,165 @@
+// Post-processing tests: compression round trips with bounded error across
+// quantization depths, RLE efficiency on CT-like sparse volumes, corrupt
+// stream rejection, and the three visualization renderers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "phantom/phantom.h"
+#include "postproc/compression.h"
+#include "postproc/visualize.h"
+
+namespace ifdk::postproc {
+namespace {
+
+Volume test_volume() {
+  const auto g = geo::make_standard_geometry({{64, 64, 8}, {24, 24, 24}});
+  return phantom::voxelize(phantom::shepp_logan(), g);
+}
+
+class CompressionBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionBits, RoundTripErrorBoundedByQuantStep) {
+  const int bits = GetParam();
+  const Volume vol = test_volume();
+  const CompressedVolume c = compress(vol, bits);
+  const Volume back = decompress(c);
+
+  ASSERT_EQ(back.voxels(), vol.voxels());
+  const float range = c.max_value - c.min_value;
+  const float step = range / static_cast<float>((1 << bits) - 1);
+  for (std::size_t n = 0; n < vol.voxels(); ++n) {
+    EXPECT_LE(std::abs(back.data()[n] - vol.data()[n]), 0.5f * step + 1e-7f)
+        << "voxel " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CompressionBits,
+                         ::testing::Values(8, 10, 12, 16));
+
+TEST(Compression, MoreBitsMorePsnr) {
+  const Volume vol = test_volume();
+  double prev = 0;
+  for (int bits : {8, 12, 16}) {
+    const double p = psnr_db(vol, decompress(compress(vol, bits)));
+    EXPECT_GT(p, prev) << bits;
+    prev = p;
+  }
+  EXPECT_GT(prev, 80.0);  // 16-bit is visually lossless on [0,1] data
+}
+
+TEST(Compression, SparseVolumesCompressWell) {
+  // A CT volume is mostly air; the Shepp-Logan at 24^3 compresses several
+  // fold, and an empty volume compresses enormously.
+  const Volume vol = test_volume();
+  const CompressedVolume c = compress(vol);
+  EXPECT_GT(c.ratio(), 2.0);
+
+  Volume empty(64, 64, 64);
+  const CompressedVolume ce = compress(empty);
+  EXPECT_GT(ce.ratio(), 1000.0);
+}
+
+TEST(Compression, ConstantVolumeIsExact) {
+  Volume vol(8, 8, 8, VolumeLayout::kXMajor, false);
+  vol.fill(3.25f);
+  const Volume back = decompress(compress(vol));
+  for (std::size_t n = 0; n < vol.voxels(); ++n) {
+    EXPECT_EQ(back.data()[n], 3.25f);
+  }
+  EXPECT_EQ(psnr_db(vol, back), std::numeric_limits<double>::infinity());
+}
+
+TEST(Compression, PreservesLayoutMetadata) {
+  Volume z(4, 5, 6, VolumeLayout::kZMajor);
+  z.at(1, 2, 3) = 1.0f;
+  const Volume back = decompress(compress(z));
+  EXPECT_EQ(back.layout(), VolumeLayout::kZMajor);
+  EXPECT_EQ(back.nx(), 4u);
+  EXPECT_EQ(back.ny(), 5u);
+  EXPECT_EQ(back.nz(), 6u);
+}
+
+TEST(Compression, RejectsCorruptStreams) {
+  const Volume vol = test_volume();
+  CompressedVolume c = compress(vol);
+  c.payload.pop_back();  // truncate
+  EXPECT_THROW(decompress(c), ConfigError);
+
+  CompressedVolume short_stream = compress(vol);
+  short_stream.payload.resize(short_stream.payload.size() / 2 / 4 * 4);
+  EXPECT_THROW(decompress(short_stream), ConfigError);
+}
+
+TEST(Compression, LongRunsSplitCorrectly) {
+  // > 65535 identical voxels exercises the run-splitting path.
+  Volume vol(64, 64, 32, VolumeLayout::kXMajor);  // 131072 zeros
+  vol.data()[0] = 1.0f;
+  vol.data()[vol.voxels() - 1] = 1.0f;
+  const Volume back = decompress(compress(vol));
+  EXPECT_EQ(back.data()[0], 1.0f);
+  EXPECT_EQ(back.data()[vol.voxels() - 1], 1.0f);
+  EXPECT_EQ(back.data()[vol.voxels() / 2], 0.0f);
+}
+
+TEST(Visualize, MipFindsHotVoxel) {
+  Volume vol(8, 10, 12);
+  vol.at(2, 3, 4) = 5.0f;
+  const Image2D z = mip(vol, Axis::kZ);
+  EXPECT_EQ(z.width(), 8u);
+  EXPECT_EQ(z.height(), 10u);
+  EXPECT_EQ(z.at(2, 3), 5.0f);
+  EXPECT_EQ(z.at(0, 0), 0.0f);
+
+  const Image2D x = mip(vol, Axis::kX);
+  EXPECT_EQ(x.width(), 10u);
+  EXPECT_EQ(x.height(), 12u);
+  EXPECT_EQ(x.at(3, 4), 5.0f);
+
+  const Image2D y = mip(vol, Axis::kY);
+  EXPECT_EQ(y.at(2, 4), 5.0f);
+}
+
+TEST(Visualize, MipHandlesNegativeBackground) {
+  Volume vol(4, 4, 4, VolumeLayout::kXMajor, false);
+  vol.fill(-2.0f);
+  vol.at(1, 1, 1) = -1.0f;
+  const Image2D z = mip(vol, Axis::kZ);
+  EXPECT_EQ(z.at(1, 1), -1.0f);  // max of negatives, not zero
+  EXPECT_EQ(z.at(0, 0), -2.0f);
+}
+
+TEST(Visualize, AverageProjectionIsMean) {
+  Volume vol(2, 2, 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    vol.at(0, 0, k) = static_cast<float>(k);  // 0,1,2,3 -> mean 1.5
+  }
+  const Image2D z = average_projection(vol, Axis::kZ);
+  EXPECT_FLOAT_EQ(z.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(z.at(1, 1), 0.0f);
+}
+
+TEST(Visualize, TriPlanarDimensionsAndValues) {
+  Volume vol(6, 8, 10);
+  vol.at(3, 4, 5) = 7.0f;  // exactly at all three central planes
+  const TriPlanar tp = tri_planar(vol);
+  EXPECT_EQ(tp.axial.width(), 6u);
+  EXPECT_EQ(tp.axial.height(), 8u);
+  EXPECT_EQ(tp.coronal.width(), 6u);
+  EXPECT_EQ(tp.coronal.height(), 10u);
+  EXPECT_EQ(tp.sagittal.width(), 8u);
+  EXPECT_EQ(tp.sagittal.height(), 10u);
+  EXPECT_EQ(tp.axial.at(3, 4), 7.0f);
+  EXPECT_EQ(tp.coronal.at(3, 5), 7.0f);
+  EXPECT_EQ(tp.sagittal.at(4, 5), 7.0f);
+}
+
+TEST(Visualize, RejectsZMajor) {
+  Volume z(4, 4, 4, VolumeLayout::kZMajor);
+  EXPECT_THROW(mip(z, Axis::kZ), ConfigError);
+  EXPECT_THROW(tri_planar(z), ConfigError);
+}
+
+}  // namespace
+}  // namespace ifdk::postproc
