@@ -7,6 +7,7 @@
 
 #include "backproj/backprojector.h"
 #include "bench_common.h"
+#include "common/thread_pool.h"
 #include "filter/filter_engine.h"
 
 namespace {
@@ -50,6 +51,33 @@ void BM_BackprojectProposed(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BackprojectProposed)->Unit(benchmark::kMillisecond);
+
+void BM_BackprojectProposedPooled(benchmark::State& state) {
+  // The thread-pooled Algorithm-4 kernel with cache-blocked k-slab
+  // scheduling; compare against BM_BackprojectProposed (the single-threaded
+  // path) for the parallel speedup.
+  const bench::Scene& scene = shared_scene();
+  const auto matrices = geo::make_all_projection_matrices(scene.g);
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  bp::BpConfig cfg = bp::config_for(bp::KernelVariant::kL1Tran);
+  cfg.pool = &pool;
+  bp::Backprojector kernel(scene.g, cfg);
+  Volume vol(scene.g.nx, scene.g.ny, scene.g.nz, cfg.layout);
+  for (auto _ : state) {
+    kernel.accumulate(vol, scene.projections, matrices);
+  }
+  state.counters["GUPS"] = benchmark::Counter(
+      static_cast<double>(scene.g.problem().updates()) * state.iterations() /
+          1073741824.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BackprojectProposedPooled)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()  // work runs on pool threads; CPU time of this thread
+                     // (and rates derived from it) would be meaningless
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0);  // 0 = hardware_concurrency
 
 void BM_FilterProjection(benchmark::State& state) {
   const bench::Scene& scene = shared_scene();

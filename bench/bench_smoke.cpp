@@ -1,0 +1,112 @@
+// The perf-trajectory anchor: a fast small-geometry microbench of the hot
+// kernels that writes machine-readable BENCH_smoke.json. CI runs it on every
+// build (ctest label `bench`), so the repo accumulates one JSON point per
+// revision — the trajectory the ROADMAP's "hardware-speed" goal is plotted
+// against.
+//
+// Usage: bench_smoke [output.json]   (default: BENCH_smoke.json in $PWD)
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backproj/backprojector.h"
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "filter/filter_engine.h"
+#include "geometry/cbct.h"
+
+namespace {
+
+using namespace ifdk;
+
+struct Result {
+  std::string name;
+  double seconds = 0.0;
+  double gups = 0.0;  ///< voxel updates per second / 2^30
+};
+
+Result time_backprojection(const char* name, const bench::Scene& scene,
+                           bp::BpConfig cfg, int runs) {
+  const auto matrices = geo::make_all_projection_matrices(scene.g);
+  bp::Backprojector kernel(scene.g, cfg);
+  Volume vol(scene.g.nx, scene.g.ny, scene.g.nz, cfg.layout);
+  Result r{name, 0.0, 0.0};
+  r.seconds = bench::median_seconds(
+      runs, [&] { kernel.accumulate(vol, scene.projections, matrices); });
+  r.gups = static_cast<double>(scene.g.problem().updates()) / r.seconds /
+           1073741824.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_smoke.json";
+  constexpr int kRuns = 5;
+
+  const bench::Scene scene = bench::make_scene({{96, 96, 32}, {48, 48, 48}});
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  ThreadPool pool(hw);
+
+  std::vector<Result> results;
+  results.push_back(time_backprojection(
+      "backproject_standard_serial", scene,
+      bp::config_for(bp::KernelVariant::kRtk32), kRuns));
+  results.push_back(time_backprojection(
+      "backproject_proposed_serial", scene,
+      bp::config_for(bp::KernelVariant::kL1Tran), kRuns));
+  bp::BpConfig pooled = bp::config_for(bp::KernelVariant::kL1Tran);
+  pooled.pool = &pool;
+  results.push_back(time_backprojection("backproject_proposed_pooled", scene,
+                                        pooled, kRuns));
+
+  {
+    filter::FilterEngine engine(scene.g);
+    Image2D img(scene.g.nu, scene.g.nv, false);
+    Result r{"filter_projection", 0.0, 0.0};
+    r.seconds = bench::median_seconds(kRuns, [&] {
+      for (std::size_t n = 0; n < img.pixels(); ++n) {
+        img.data()[n] = scene.projections[0].data()[n];
+      }
+      engine.apply(img);
+    });
+    results.push_back(r);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_smoke: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"smoke\",\n");
+  std::fprintf(out,
+               "  \"geometry\": {\"nu\": %zu, \"nv\": %zu, \"np\": %zu, "
+               "\"nx\": %zu, \"ny\": %zu, \"nz\": %zu},\n",
+               scene.g.nu, scene.g.nv, scene.g.np, scene.g.nx, scene.g.ny,
+               scene.g.nz);
+  std::fprintf(out, "  \"threads\": %zu,\n  \"results\": [\n", hw);
+  for (std::size_t n = 0; n < results.size(); ++n) {
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, \"gups\": %.4f}%s\n",
+                 results[n].name.c_str(), results[n].seconds, results[n].gups,
+                 n + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  std::printf("wrote %s\n", out_path.c_str());
+  for (const auto& r : results) {
+    std::printf("  %-28s %9.3f ms  %7.3f GUPS\n", r.name.c_str(),
+                r.seconds * 1e3, r.gups);
+  }
+  const double serial = results[1].seconds;
+  const double pooledt = results[2].seconds;
+  if (pooledt > 0.0) {
+    std::printf("  pooled speedup over serial proposed: %.2fx (%zu threads)\n",
+                serial / pooledt, hw);
+  }
+  return 0;
+}

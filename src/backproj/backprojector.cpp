@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "backproj/interp2.h"
+#include "backproj/slab_schedule.h"
 #include "common/error.h"
 
 namespace ifdk::bp {
@@ -175,6 +176,26 @@ void Backprojector::run_proposed(Volume& volume,
   const std::size_t nzl = slab ? 2 * config_.k_half : nz;
   const bool odd = !slab && (nz % 2) != 0;
   const float v_mirror = static_cast<float>(nv) - 1.0f;
+  // Pair iterations per column: the symmetric kernel walks half the depth
+  // (each step also updates the mirror voxel), the ablated one all of it.
+  const std::size_t t_count = config_.symmetry ? half : nz;
+
+  // Schedule: serial runs the whole space as one block; with a pool the
+  // space is tiled into cache-blocked (i-block × k-slab) tasks. Tasks with
+  // identical shapes produce bitwise-identical volumes because the hoisted
+  // Theorem-2/3 terms are k-independent and per-voxel accumulation order
+  // over the batch never changes.
+  std::vector<SlabTask> tasks;
+  if (config_.pool != nullptr) {
+    SlabPlanParams plan;
+    plan.nx = nx;
+    plan.t_count = t_count;
+    plan.batch = std::min(config_.batch, projections.size());
+    plan.num_threads = config_.pool->size();
+    tasks = plan_slab_tasks(plan);
+  } else {
+    tasks.push_back(SlabTask{0, nx, 0, t_count});
+  }
 
   for (std::size_t first = 0; first < projections.size();
        first += config_.batch) {
@@ -188,14 +209,20 @@ void Backprojector::run_proposed(Volume& volume,
 
     // Algorithm 4 line 3: transpose the batch once; its cost is a small
     // fraction of the stage (paper §3.2.3) and is included in the timing.
+    // The transposes are independent, so the pool does them batch-wide.
     std::vector<Image2D> transposed;
     std::vector<const float*> img(count);
     if (config_.transpose_projections) {
-      transposed.reserve(count);
-      for (std::size_t s = 0; s < count; ++s) {
-        transposed.push_back(projections[first + s].transposed());
-        img[s] = transposed.back().data();
+      transposed.resize(count);
+      auto transpose_one = [&](std::size_t s) {
+        transposed[s] = projections[first + s].transposed();
+      };
+      if (config_.pool != nullptr) {
+        config_.pool->parallel_for(0, count, transpose_one);
+      } else {
+        serial_for(0, count, transpose_one);
       }
+      for (std::size_t s = 0; s < count; ++s) img[s] = transposed[s].data();
     } else {
       for (std::size_t s = 0; s < count; ++s) {
         img[s] = projections[first + s].data();
@@ -210,94 +237,90 @@ void Backprojector::run_proposed(Volume& volume,
       return interp2(img[s], nu, nv, u, v);
     };
 
-    auto column_task = [&](std::size_t i) {
-      const float fi = static_cast<float>(i);
+    auto block_task = [&](const SlabTask& task) {
       std::vector<float> u_s(count), f_s(count), w_s(count);
-      for (std::size_t j = 0; j < ny; ++j) {
-        const float fj = static_cast<float>(j);
-        float* col = volume.data() + (i * ny + j) * nzl;
+      // Exactly one slab per column ends at t_count; it owns the odd
+      // center plane whose mirror is itself.
+      const bool do_center = config_.symmetry && odd && task.t_end == t_count;
+      for (std::size_t i = task.i_begin; i < task.i_end; ++i) {
+        const float fi = static_cast<float>(i);
+        for (std::size_t j = 0; j < ny; ++j) {
+          const float fj = static_cast<float>(j);
+          float* col = volume.data() + (i * ny + j) * nzl;
 
-        if (config_.reuse_uw) {
-          // Algorithm 4 lines 6-10: two inner products per (i, j), reused
-          // across the whole k loop (Theorems 2 and 3).
-          for (std::size_t s = 0; s < count; ++s) {
-            const float* m = pmat[s].data();
-            const float x = dot_row(m + 0, fi, fj, 0.0f);
-            const float z = dot_row(m + 8, fi, fj, 0.0f);
-            const float f = 1.0f / z;
-            u_s[s] = x * f;
-            f_s[s] = f;
-            w_s[s] = f * f;
+          if (config_.reuse_uw) {
+            // Algorithm 4 lines 6-10: two inner products per (i, j), reused
+            // across the slab's whole k range (Theorems 2 and 3; they are
+            // k-independent, so a per-slab rehoist reproduces the exact
+            // serial values).
+            for (std::size_t s = 0; s < count; ++s) {
+              const float* m = pmat[s].data();
+              const float x = dot_row(m + 0, fi, fj, 0.0f);
+              const float z = dot_row(m + 8, fi, fj, 0.0f);
+              const float f = 1.0f / z;
+              u_s[s] = x * f;
+              f_s[s] = f;
+              w_s[s] = f * f;
+            }
           }
-        }
 
-        auto update_pair = [&](std::size_t t) {
-          const float fk = static_cast<float>(k0 + t);  // global k index
-          float acc = 0.0f, acc_m = 0.0f;
-          for (std::size_t s = 0; s < count; ++s) {
-            const float* m = pmat[s].data();
-            float u, f, wdis;
+          auto voxel_terms = [&](std::size_t s, float fk, float& u, float& f,
+                                 float& wdis) {
             if (config_.reuse_uw) {
               u = u_s[s];
               f = f_s[s];
               wdis = w_s[s];
             } else {
+              const float* m = pmat[s].data();
               const float x = dot_row(m + 0, fi, fj, fk);
               const float z = dot_row(m + 8, fi, fj, fk);
               f = 1.0f / z;
               u = x * f;
               wdis = f * f;
             }
-            // Algorithm 4 line 12: the single remaining inner product.
-            const float y = dot_row(m + 4, fi, fj, fk);
-            const float v = y * f;
-            acc += wdis * fetch(s, u, v);
-            if (config_.symmetry) {
-              // Lines 15-17: the Theorem-1 mirror voxel shares u and Wdis.
-              acc_m += wdis * fetch(s, u, v_mirror - v);
-            }
-          }
-          col[t] += acc;
-          if (config_.symmetry) col[nzl - 1 - t] += acc_m;
-        };
+          };
 
-        if (config_.symmetry) {
-          for (std::size_t t = 0; t < half; ++t) update_pair(t);
-          if (odd) {
+          for (std::size_t t = task.t_begin; t < task.t_end; ++t) {
+            const float fk = static_cast<float>(k0 + t);  // global k index
+            float acc = 0.0f, acc_m = 0.0f;
+            for (std::size_t s = 0; s < count; ++s) {
+              float u, f, wdis;
+              voxel_terms(s, fk, u, f, wdis);
+              // Algorithm 4 line 12: the single remaining inner product.
+              const float y = dot_row(pmat[s].data() + 4, fi, fj, fk);
+              const float v = y * f;
+              acc += wdis * fetch(s, u, v);
+              if (config_.symmetry) {
+                // Lines 15-17: the Theorem-1 mirror voxel shares u and Wdis.
+                acc_m += wdis * fetch(s, u, v_mirror - v);
+              }
+            }
+            col[t] += acc;
+            if (config_.symmetry) col[nzl - 1 - t] += acc_m;
+          }
+
+          if (do_center) {
             // Center plane: its mirror is itself; update once without the
             // symmetric twin.
-            const std::size_t k = half;
-            const float fk = static_cast<float>(k);
+            const float fk = static_cast<float>(half);
             float acc = 0.0f;
             for (std::size_t s = 0; s < count; ++s) {
-              const float* m = pmat[s].data();
               float u, f, wdis;
-              if (config_.reuse_uw) {
-                u = u_s[s];
-                f = f_s[s];
-                wdis = w_s[s];
-              } else {
-                const float x = dot_row(m + 0, fi, fj, fk);
-                const float z = dot_row(m + 8, fi, fj, fk);
-                f = 1.0f / z;
-                u = x * f;
-                wdis = f * f;
-              }
-              const float y = dot_row(m + 4, fi, fj, fk);
+              voxel_terms(s, fk, u, f, wdis);
+              const float y = dot_row(pmat[s].data() + 4, fi, fj, fk);
               acc += wdis * fetch(s, u, y * f);
             }
-            col[k] += acc;
+            col[half] += acc;
           }
-        } else {
-          for (std::size_t k = 0; k < nz; ++k) update_pair(k);
         }
       }
     };
 
     if (config_.pool != nullptr) {
-      config_.pool->parallel_for(0, nx, column_task);
+      config_.pool->parallel_for(
+          0, tasks.size(), [&](std::size_t n) { block_task(tasks[n]); });
     } else {
-      for (std::size_t i = 0; i < nx; ++i) column_task(i);
+      block_task(tasks.front());
     }
   }
 }

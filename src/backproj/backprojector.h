@@ -27,7 +27,10 @@ namespace ifdk::bp {
 
 /// Work performed by a kernel run, for the paper's 1/6 cost claim. Computed
 /// from the loop structure (the loops are deterministic), not from counters
-/// in the hot path.
+/// in the hot path. Models the serial (single-slab) schedule: when a thread
+/// pool tiles the k loop into cache slabs, the two k-independent hoisted
+/// products are recomputed once per slab, which does not change any value
+/// and adds only O(columns * slabs) work.
 struct OpCounts {
   std::uint64_t inner_products = 0;  ///< 4-wide dot products with P rows
   std::uint64_t interp_calls = 0;    ///< bilinear fetches (Algorithm 3)
@@ -62,7 +65,10 @@ struct BpConfig {
   /// Projections back-projected per pass (the paper and RTK use 32; mirrors
   /// the CUDA-warp batch of Listing 1).
   std::size_t batch = 32;
-  ThreadPool* pool = nullptr;  ///< parallelizes over volume slabs when set
+  /// When set, the kernel tiles its iteration space into cache-blocked
+  /// (i-block × k-slab) tasks (see backproj/slab_schedule.h) and runs them
+  /// on the pool; results are bitwise identical to the serial schedule.
+  ThreadPool* pool = nullptr;
 
   // --- Distributed slab-pair mode (Fig. 3: "2*R sub-volumes") -------------
   //

@@ -1,0 +1,74 @@
+#include "backproj/slab_schedule.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ifdk::bp {
+
+namespace {
+
+constexpr std::size_t kCacheLine = 64;
+/// Below this depth the two rehoisted inner products per column would exceed
+/// a few percent of a slab's work.
+constexpr std::size_t kMinSlabDepth = 32;
+
+}  // namespace
+
+std::vector<SlabTask> plan_slab_tasks(const SlabPlanParams& params) {
+  std::vector<SlabTask> tasks;
+  if (params.nx == 0) return tasks;
+  const std::size_t threads = std::max<std::size_t>(1, params.num_threads);
+
+  // Depth from the cache budget: each pair step streams, per batched
+  // projection, one transposed detector row and its Theorem-1 mirror row —
+  // ~2 cache lines of fresh data per step once neighbouring steps share
+  // rows — plus the two column voxels it writes.
+  const std::size_t bytes_per_t =
+      std::max<std::size_t>(1, params.batch) * 2 * kCacheLine +
+      2 * sizeof(float);
+  std::size_t depth =
+      std::max<std::size_t>(1, params.cache_budget_bytes / bytes_per_t);
+  if (params.t_count > 0) {
+    depth = std::clamp(depth, std::min(kMinSlabDepth, params.t_count),
+                       params.t_count);
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> slabs;
+  if (params.t_count == 0) {
+    slabs.emplace_back(0, 0);  // degenerate: center-plane-only volumes
+  } else {
+    // Balanced split: the slab count nearest the cache-derived depth, capped
+    // so no slab falls below the minimum depth, then depths equalized (a
+    // remainder tail slab would be the schedule's critical-path straggler).
+    std::size_t num_slabs = (params.t_count + depth / 2) / depth;
+    const std::size_t max_slabs =
+        std::max<std::size_t>(1, params.t_count / kMinSlabDepth);
+    num_slabs = std::clamp<std::size_t>(num_slabs, 1, max_slabs);
+    const std::size_t base = params.t_count / num_slabs;
+    const std::size_t extra = params.t_count % num_slabs;
+    std::size_t t = 0;
+    for (std::size_t n = 0; n < num_slabs; ++n) {
+      const std::size_t size = base + (n < extra ? 1 : 0);
+      slabs.emplace_back(t, t + size);
+      t += size;
+    }
+  }
+
+  // Split columns until there are a few tasks per worker; never below one
+  // column per block.
+  const std::size_t target_tasks = threads * 4;
+  std::size_t i_blocks = (target_tasks + slabs.size() - 1) / slabs.size();
+  i_blocks = std::clamp<std::size_t>(i_blocks, 1, params.nx);
+  const std::size_t i_chunk = (params.nx + i_blocks - 1) / i_blocks;
+
+  tasks.reserve(i_blocks * slabs.size());
+  for (std::size_t i = 0; i < params.nx; i += i_chunk) {
+    const std::size_t i_end = std::min(params.nx, i + i_chunk);
+    for (const auto& [t_begin, t_end] : slabs) {
+      tasks.push_back(SlabTask{i, i_end, t_begin, t_end});
+    }
+  }
+  return tasks;
+}
+
+}  // namespace ifdk::bp

@@ -1,0 +1,53 @@
+// Cache-blocked task partitioning for the proposed (Algorithm 4) kernel.
+//
+// The kernel's iteration space per projection batch is (i, j, t): X columns
+// times Y rows times the per-column pair iterations t (half the depth under
+// the Theorem-1 symmetry, the full depth without it). The scheduler tiles
+// that space into (i-block × k-slab) tasks:
+//
+//  - a k-slab bounds the detector-V band a task touches, so the transposed
+//    projection rows it streams stay resident in a worker's L2 share while
+//    the task sweeps its columns (the CPU analogue of the paper's
+//    texture/L1 locality argument, §3.2.3);
+//  - i-blocks multiply the slab count up to a few tasks per worker so the
+//    fork-join pool load-balances without grain-1 scheduling overhead.
+//
+// Tasks form an exact grid partition of (i, t): disjoint column ranges and
+// disjoint pair ranges, so concurrent tasks never write the same voxel (the
+// mirror write nzl-1-t of pair t stays inside the owning slab's image).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ifdk::bp {
+
+/// One unit of parallel back-projection work: columns [i_begin, i_end)
+/// restricted to pair iterations [t_begin, t_end).
+struct SlabTask {
+  std::size_t i_begin = 0;
+  std::size_t i_end = 0;
+  std::size_t t_begin = 0;
+  std::size_t t_end = 0;
+};
+
+/// Iteration-space shape and cache-model inputs for plan_slab_tasks.
+struct SlabPlanParams {
+  std::size_t nx = 0;       ///< columns along X
+  std::size_t t_count = 0;  ///< pair iterations per column
+  std::size_t batch = 32;   ///< projections per pass (streams per t step)
+  std::size_t num_threads = 1;
+  /// Per-task share of the last-level-per-core cache that may hold
+  /// projection bands; sized for a common 256 KiB-to-1 MiB L2.
+  std::size_t cache_budget_bytes = 256 * 1024;
+};
+
+/// Tiles the (i, t) space into cache-blocked tasks. Guarantees an exact grid
+/// partition (every (i, t) pair covered exactly once), at least one task for
+/// any nx > 0 (even when t_count == 0, so the caller can hang the odd
+/// center-plane update off the t_end == t_count tasks), and slab depths no
+/// smaller than min(32, t_count) so the per-slab rehoist of the Theorem-2/3
+/// terms stays negligible.
+std::vector<SlabTask> plan_slab_tasks(const SlabPlanParams& params);
+
+}  // namespace ifdk::bp

@@ -206,6 +206,39 @@ TEST(Backprojector, ThreadPoolMatchesSerial) {
   }
 }
 
+TEST(Backprojector, ThreadPoolMatchesSerialOddNz) {
+  // Odd Nz exercises the center-plane ownership of the slab schedule: the
+  // plane must be updated exactly once no matter how the space is tiled.
+  const Scene s = make_scene(48, 12, 15);
+  ThreadPool pool(4);
+  BpConfig serial;
+  BpConfig parallel;
+  parallel.pool = &pool;
+  const Volume a = backproject_all(s.g, s.projections, serial);
+  const Volume b = backproject_all(s.g, s.projections, parallel);
+  for (std::size_t n = 0; n < a.voxels(); ++n) {
+    ASSERT_EQ(a.data()[n], b.data()[n]) << "voxel " << n;
+  }
+}
+
+TEST(Backprojector, ThreadPoolMatchesSerialSlabPair) {
+  const Scene s = make_scene(48, 12, 16);
+  const auto mats = geo::make_all_projection_matrices(s.g);
+  ThreadPool pool(4);
+  BpConfig serial;
+  serial.k_begin = 2;
+  serial.k_half = 3;
+  BpConfig parallel = serial;
+  parallel.pool = &pool;
+  Volume a(s.g.nx, s.g.ny, 2 * serial.k_half, serial.layout);
+  Volume b(s.g.nx, s.g.ny, 2 * parallel.k_half, parallel.layout);
+  Backprojector(s.g, serial).accumulate(a, s.projections, mats);
+  Backprojector(s.g, parallel).accumulate(b, s.projections, mats);
+  for (std::size_t n = 0; n < a.voxels(); ++n) {
+    ASSERT_EQ(a.data()[n], b.data()[n]) << "voxel " << n;
+  }
+}
+
 TEST(Backprojector, AccumulatesAcrossCalls) {
   // accumulate() must add, not overwrite — the property the distributed
   // pipeline's projection batching relies on.

@@ -1,0 +1,98 @@
+// Scheduler tests: the (i-block × k-slab) plan must be an exact grid
+// partition of the kernel's iteration space (anything else is a data race or
+// a dropped voxel), scale its task count with the pool, and respect the
+// minimum slab depth that keeps the Theorem-2/3 rehoist negligible.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backproj/slab_schedule.h"
+
+namespace ifdk::bp {
+namespace {
+
+SlabPlanParams params(std::size_t nx, std::size_t t_count,
+                      std::size_t threads) {
+  SlabPlanParams p;
+  p.nx = nx;
+  p.t_count = t_count;
+  p.num_threads = threads;
+  return p;
+}
+
+// Every (i, t) cell covered exactly once, and exactly one slab per column
+// ends at t_count (the slab that owns the odd center plane).
+void expect_exact_partition(const SlabPlanParams& p) {
+  const auto tasks = plan_slab_tasks(p);
+  std::vector<int> cover(p.nx * std::max<std::size_t>(1, p.t_count), 0);
+  std::vector<int> end_owner(p.nx, 0);
+  for (const auto& task : tasks) {
+    ASSERT_LE(task.i_begin, task.i_end);
+    ASSERT_LE(task.i_end, p.nx);
+    ASSERT_LE(task.t_begin, task.t_end);
+    ASSERT_LE(task.t_end, p.t_count);
+    for (std::size_t i = task.i_begin; i < task.i_end; ++i) {
+      if (task.t_end == p.t_count) ++end_owner[i];
+      for (std::size_t t = task.t_begin; t < task.t_end; ++t) {
+        ++cover[i * std::max<std::size_t>(1, p.t_count) + t];
+      }
+    }
+  }
+  if (p.t_count > 0) {
+    for (std::size_t n = 0; n < cover.size(); ++n) {
+      EXPECT_EQ(cover[n], 1) << "cell " << n;
+    }
+  }
+  for (std::size_t i = 0; i < p.nx; ++i) {
+    EXPECT_EQ(end_owner[i], 1) << "column " << i;
+  }
+}
+
+TEST(SlabSchedule, ExactPartitionAcrossShapes) {
+  expect_exact_partition(params(1, 1, 1));
+  expect_exact_partition(params(7, 13, 3));
+  expect_exact_partition(params(64, 32, 8));
+  expect_exact_partition(params(256, 512, 16));
+  expect_exact_partition(params(3, 1024, 48));
+}
+
+TEST(SlabSchedule, DegenerateDepthStillCoversAllColumns) {
+  // t_count == 0 happens for Nz == 1 under symmetry: the kernel is only the
+  // center-plane update, which hangs off the t_end == t_count tasks.
+  expect_exact_partition(params(16, 0, 4));
+}
+
+TEST(SlabSchedule, EmptyVolumeYieldsNoTasks) {
+  EXPECT_TRUE(plan_slab_tasks(params(0, 128, 8)).empty());
+}
+
+TEST(SlabSchedule, ScalesTaskCountWithThreads) {
+  const auto few = plan_slab_tasks(params(256, 256, 2));
+  const auto many = plan_slab_tasks(params(256, 256, 32));
+  EXPECT_GE(many.size(), 32u);  // at least one task per worker
+  EXPECT_GE(many.size(), few.size());
+}
+
+TEST(SlabSchedule, RespectsMinimumSlabDepth) {
+  // Even under heavy thread pressure, slabs never get thinner than
+  // min(32, t_count): balance comes from i-blocks instead.
+  for (const auto& task : plan_slab_tasks(params(8, 256, 64))) {
+    EXPECT_GE(task.t_end - task.t_begin, 32u);
+  }
+  for (const auto& task : plan_slab_tasks(params(8, 20, 64))) {
+    EXPECT_EQ(task.t_end - task.t_begin, 20u);
+  }
+}
+
+TEST(SlabSchedule, CacheBudgetBoundsSlabDepth) {
+  SlabPlanParams p = params(4, 4096, 4);
+  p.batch = 32;
+  p.cache_budget_bytes = 256 * 1024;
+  // 32 projections × 2 mirror streams × 64B per step → depth ≈ 63.
+  for (const auto& task : plan_slab_tasks(p)) {
+    EXPECT_LE(task.t_end - task.t_begin, 64u);
+  }
+}
+
+}  // namespace
+}  // namespace ifdk::bp
