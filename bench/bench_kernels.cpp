@@ -52,6 +52,37 @@ void BM_BackprojectProposed(benchmark::State& state) {
 }
 BENCHMARK(BM_BackprojectProposed)->Unit(benchmark::kMillisecond);
 
+void BM_BackprojectProposedBackend(benchmark::State& state) {
+  // The same Algorithm-4 kernel pinned to one SIMD column backend
+  // (0 = scalar reference, 1 = AVX2): the per-backend rows the scalar-vs-
+  // vector speedup in EXPERIMENTS.md is read from.
+  const bp::simd::Backend backend = state.range(0) == 0
+                                        ? bp::simd::Backend::kScalar
+                                        : bp::simd::Backend::kAvx2;
+  if (backend == bp::simd::Backend::kAvx2 && !bp::simd::avx2_supported()) {
+    state.SkipWithError("AVX2 backend unavailable on this CPU/build");
+    return;
+  }
+  const bench::Scene& scene = shared_scene();
+  const auto matrices = geo::make_all_projection_matrices(scene.g);
+  bp::BpConfig cfg = bp::config_for(bp::KernelVariant::kL1Tran);
+  cfg.simd_backend = backend;
+  bp::Backprojector kernel(scene.g, cfg);
+  state.SetLabel(kernel.backend_name());
+  Volume vol(scene.g.nx, scene.g.ny, scene.g.nz, cfg.layout);
+  for (auto _ : state) {
+    kernel.accumulate(vol, scene.projections, matrices);
+  }
+  state.counters["GUPS"] = benchmark::Counter(
+      static_cast<double>(scene.g.problem().updates()) * state.iterations() /
+          1073741824.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BackprojectProposedBackend)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)   // scalar
+    ->Arg(1);  // avx2
+
 void BM_BackprojectProposedPooled(benchmark::State& state) {
   // The thread-pooled Algorithm-4 kernel with cache-blocked k-slab
   // scheduling; compare against BM_BackprojectProposed (the single-threaded

@@ -50,6 +50,13 @@ int main(int argc, char** argv) {
       1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
   ThreadPool pool(hw);
 
+  // The auto-dispatched backend this machine resolves to (what production
+  // code paths run); recorded in the JSON so the perf trajectory can tell
+  // scalar points from AVX2 points.
+  const char* active_backend =
+      bp::Backprojector(scene.g, bp::config_for(bp::KernelVariant::kL1Tran))
+          .backend_name();
+
   std::vector<Result> results;
   results.push_back(time_backprojection(
       "backproject_standard_serial", scene,
@@ -61,6 +68,16 @@ int main(int argc, char** argv) {
   pooled.pool = &pool;
   results.push_back(time_backprojection("backproject_proposed_pooled", scene,
                                         pooled, kRuns));
+  bp::BpConfig scalar_cfg = bp::config_for(bp::KernelVariant::kL1Tran);
+  scalar_cfg.simd_backend = bp::simd::Backend::kScalar;
+  results.push_back(time_backprojection("backproject_proposed_scalar", scene,
+                                        scalar_cfg, kRuns));
+  if (bp::simd::avx2_supported()) {
+    bp::BpConfig avx2_cfg = bp::config_for(bp::KernelVariant::kL1Tran);
+    avx2_cfg.simd_backend = bp::simd::Backend::kAvx2;
+    results.push_back(time_backprojection("backproject_proposed_avx2", scene,
+                                          avx2_cfg, kRuns));
+  }
 
   {
     filter::FilterEngine engine(scene.g);
@@ -87,7 +104,9 @@ int main(int argc, char** argv) {
                "\"nx\": %zu, \"ny\": %zu, \"nz\": %zu},\n",
                scene.g.nu, scene.g.nv, scene.g.np, scene.g.nx, scene.g.ny,
                scene.g.nz);
-  std::fprintf(out, "  \"threads\": %zu,\n  \"results\": [\n", hw);
+  std::fprintf(out, "  \"threads\": %zu,\n  \"simd_backend\": \"%s\",\n",
+               hw, active_backend);
+  std::fprintf(out, "  \"results\": [\n");
   for (std::size_t n = 0; n < results.size(); ++n) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"seconds\": %.6f, \"gups\": %.4f}%s\n",
@@ -97,7 +116,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
 
-  std::printf("wrote %s\n", out_path.c_str());
+  std::printf("wrote %s (simd backend: %s)\n", out_path.c_str(),
+              active_backend);
   for (const auto& r : results) {
     std::printf("  %-28s %9.3f ms  %7.3f GUPS\n", r.name.c_str(),
                 r.seconds * 1e3, r.gups);
@@ -107,6 +127,18 @@ int main(int argc, char** argv) {
   if (pooledt > 0.0) {
     std::printf("  pooled speedup over serial proposed: %.2fx (%zu threads)\n",
                 serial / pooledt, hw);
+  }
+  auto seconds_of = [&](const char* name) {
+    for (const auto& r : results) {
+      if (r.name == name) return r.seconds;
+    }
+    return 0.0;
+  };
+  const double scalar_t = seconds_of("backproject_proposed_scalar");
+  const double avx2_t = seconds_of("backproject_proposed_avx2");
+  if (scalar_t > 0.0 && avx2_t > 0.0) {
+    std::printf("  avx2 speedup over scalar backend:    %.2fx\n",
+                scalar_t / avx2_t);
   }
   return 0;
 }

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <vector>
 
+#include <cstdint>
+
 #include "backproj/interp2.h"
+#include "backproj/simd/column_kernel.h"
 #include "backproj/slab_schedule.h"
 #include "common/error.h"
 
@@ -18,6 +21,11 @@ namespace {
 inline float dot_row(const float* row, float i, float j, float k) {
   return row[0] * i + row[1] * j + row[2] * k + row[3];
 }
+
+/// The AVX2 backend gathers with 32-bit indices; projections beyond this
+/// pixel count must take the scalar path.
+constexpr std::size_t kMaxGatherPixels =
+    static_cast<std::size_t>(INT32_MAX);
 
 }  // namespace
 
@@ -79,6 +87,19 @@ Backprojector::Backprojector(const geo::CbctGeometry& geometry,
                  "slab pair exceeds the lower half of the volume");
     IFDK_REQUIRE(config_.k_half > 0, "slab pair must be non-empty");
   }
+
+  // Resolve the SIMD column backend once (runtime CPUID dispatch). Oversized
+  // projections overflow the vector gather's 32-bit indices: auto falls back
+  // to scalar, an explicit AVX2 request is rejected.
+  simd::Backend backend = config_.simd_backend;
+  const std::size_t pixels = geometry_.nu * geometry_.nv;
+  if (backend == simd::Backend::kAuto && pixels > kMaxGatherPixels) {
+    backend = simd::Backend::kScalar;
+  }
+  IFDK_REQUIRE(backend != simd::Backend::kAvx2 || pixels <= kMaxGatherPixels,
+               "projection exceeds 32-bit gather indexing; use the scalar "
+               "backend");
+  column_kernel_ = &simd::select(backend);
 }
 
 void Backprojector::accumulate(Volume& volume,
@@ -229,24 +250,37 @@ void Backprojector::run_proposed(Volume& volume,
       }
     }
 
-    // Fetch helper: (u, v) in detector coordinates regardless of storage.
-    auto fetch = [&](std::size_t s, float u, float v) -> float {
-      if (config_.transpose_projections) {
-        return interp2(img[s], nv, nu, v, u);  // V axis contiguous
-      }
-      return interp2(img[s], nu, nv, u, v);
-    };
+    // Per-batch constants for the SIMD column backends; the per-column loop
+    // below hands one (i, j) column at a time to the resolved backend.
+    simd::BatchArgs batch;
+    batch.images = img.data();
+    batch.pmat = pmat.data();
+    batch.count = count;
+    batch.nu = nu;
+    batch.nv = nv;
+    batch.transposed = config_.transpose_projections;
+    batch.symmetry = config_.symmetry;
+    batch.reuse_uw = config_.reuse_uw;
+    batch.v_mirror = v_mirror;
+    batch.k0 = k0;
+    batch.nzl = nzl;
+    batch.center = half;
 
     auto block_task = [&](const SlabTask& task) {
       std::vector<float> u_s(count), f_s(count), w_s(count);
+      simd::ColumnArgs column;
+      column.t_begin = task.t_begin;
+      column.t_end = task.t_end;
       // Exactly one slab per column ends at t_count; it owns the odd
       // center plane whose mirror is itself.
-      const bool do_center = config_.symmetry && odd && task.t_end == t_count;
+      column.do_center = config_.symmetry && odd && task.t_end == t_count;
       for (std::size_t i = task.i_begin; i < task.i_end; ++i) {
         const float fi = static_cast<float>(i);
+        column.fi = fi;
         for (std::size_t j = 0; j < ny; ++j) {
           const float fj = static_cast<float>(j);
-          float* col = volume.data() + (i * ny + j) * nzl;
+          column.fj = fj;
+          column.col = volume.data() + (i * ny + j) * nzl;
 
           if (config_.reuse_uw) {
             // Algorithm 4 lines 6-10: two inner products per (i, j), reused
@@ -262,56 +296,12 @@ void Backprojector::run_proposed(Volume& volume,
               f_s[s] = f;
               w_s[s] = f * f;
             }
+            column.u_s = u_s.data();
+            column.f_s = f_s.data();
+            column.w_s = w_s.data();
           }
 
-          auto voxel_terms = [&](std::size_t s, float fk, float& u, float& f,
-                                 float& wdis) {
-            if (config_.reuse_uw) {
-              u = u_s[s];
-              f = f_s[s];
-              wdis = w_s[s];
-            } else {
-              const float* m = pmat[s].data();
-              const float x = dot_row(m + 0, fi, fj, fk);
-              const float z = dot_row(m + 8, fi, fj, fk);
-              f = 1.0f / z;
-              u = x * f;
-              wdis = f * f;
-            }
-          };
-
-          for (std::size_t t = task.t_begin; t < task.t_end; ++t) {
-            const float fk = static_cast<float>(k0 + t);  // global k index
-            float acc = 0.0f, acc_m = 0.0f;
-            for (std::size_t s = 0; s < count; ++s) {
-              float u, f, wdis;
-              voxel_terms(s, fk, u, f, wdis);
-              // Algorithm 4 line 12: the single remaining inner product.
-              const float y = dot_row(pmat[s].data() + 4, fi, fj, fk);
-              const float v = y * f;
-              acc += wdis * fetch(s, u, v);
-              if (config_.symmetry) {
-                // Lines 15-17: the Theorem-1 mirror voxel shares u and Wdis.
-                acc_m += wdis * fetch(s, u, v_mirror - v);
-              }
-            }
-            col[t] += acc;
-            if (config_.symmetry) col[nzl - 1 - t] += acc_m;
-          }
-
-          if (do_center) {
-            // Center plane: its mirror is itself; update once without the
-            // symmetric twin.
-            const float fk = static_cast<float>(half);
-            float acc = 0.0f;
-            for (std::size_t s = 0; s < count; ++s) {
-              float u, f, wdis;
-              voxel_terms(s, fk, u, f, wdis);
-              const float y = dot_row(pmat[s].data() + 4, fi, fj, fk);
-              acc += wdis * fetch(s, u, y * f);
-            }
-            col[half] += acc;
-          }
+          column_kernel_->run(batch, column);
         }
       }
     };

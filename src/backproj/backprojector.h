@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "backproj/simd/column_kernel.h"
 #include "common/image.h"
 #include "common/thread_pool.h"
 #include "common/volume.h"
@@ -69,6 +70,12 @@ struct BpConfig {
   /// (i-block × k-slab) tasks (see backproj/slab_schedule.h) and runs them
   /// on the pool; results are bitwise identical to the serial schedule.
   ThreadPool* pool = nullptr;
+  /// SIMD column backend for the proposed (Algorithm 4) kernel. kAuto picks
+  /// the fastest backend the executing CPU supports (runtime CPUID
+  /// dispatch); kScalar forces the bitwise reference; kAvx2 throws at
+  /// construction when the backend is unavailable. The standard (kXMajor)
+  /// kernel ignores this.
+  simd::Backend simd_backend = simd::Backend::kAuto;
 
   // --- Distributed slab-pair mode (Fig. 3: "2*R sub-volumes") -------------
   //
@@ -108,6 +115,10 @@ class Backprojector {
 
   const BpConfig& config() const { return config_; }
 
+  /// Name of the resolved SIMD column backend ("scalar", "avx2"); what
+  /// kAuto actually selected on this machine.
+  const char* backend_name() const { return column_kernel_->name; }
+
  private:
   void run_standard(Volume& volume, std::span<const Image2D> projections,
                     std::span<const geo::Mat34> matrices) const;
@@ -116,6 +127,7 @@ class Backprojector {
 
   geo::CbctGeometry geometry_;
   BpConfig config_;
+  const simd::ColumnKernel* column_kernel_ = nullptr;
 };
 
 /// One-call convenience: filters nothing, just back-projects everything into

@@ -18,6 +18,9 @@ namespace ifdk::bp {
 /// element (u, v) at v*w + u). (u, v) is the sub-pixel coordinate.
 inline float interp2(const float* img, std::size_t w, std::size_t h, float u,
                      float v) {
+  // Degenerate images have no samples; without this guard w - 1 underflows
+  // on std::size_t and the bound check passes for huge u/v.
+  if (w == 0 || h == 0) return 0.0f;
   if (u < 0.0f || v < 0.0f || u > static_cast<float>(w - 1) ||
       v > static_cast<float>(h - 1)) {
     return 0.0f;

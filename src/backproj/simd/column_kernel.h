@@ -1,0 +1,92 @@
+// SIMD backend layer for the Algorithm-4 back-projection kernel.
+//
+// The proposed kernel's unit of work is one (i, j) volume column: the
+// hoisted Theorem-2/3 terms (u, f, Wdis) are k-independent scalars, and the
+// remaining per-k work — one inner product, the bilinear fetch, the
+// Theorem-1 mirror fetch, and the two accumulations — streams along the
+// contiguous k axis of the Z-major volume and the contiguous v axis of the
+// transposed projection row. That is exactly the shape a CPU vector unit
+// wants, so the column loop is the backend boundary: run_proposed owns the
+// batching / transposition / slab scheduling and calls a ColumnKernel per
+// column, and each backend vectorizes the k loop its own way.
+//
+// Backends:
+//   * scalar — straight-line reference, bitwise-identical to the historical
+//     in-line loop of Backprojector::run_proposed (every float op in the
+//     same order).
+//   * avx2 — 8-wide AVX2 over consecutive k values with gathered bilinear
+//     fetches. Built only when the toolchain targets x86 and
+//     IFDK_DISABLE_AVX2 is off; selected at runtime only when CPUID reports
+//     AVX2+FMA. Its arithmetic mirrors the scalar operation sequence lane
+//     for lane (no re-association, no FMA contraction in value-affecting
+//     ops), so fetch indices and border masks match the scalar kernel
+//     exactly and per-voxel results stay within the 4-ULP contract.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace ifdk::bp::simd {
+
+/// Which column backend a Backprojector uses. kAuto resolves at runtime to
+/// the fastest backend the executing CPU supports.
+enum class Backend { kAuto, kScalar, kAvx2 };
+
+const char* to_string(Backend backend);
+
+/// Per-projection-batch constants shared by every column of a pass.
+struct BatchArgs {
+  /// Projection pixel pointers, one per projection in the batch. Transposed
+  /// storage (v contiguous) when `transposed` is set, raw otherwise.
+  const float* const* images = nullptr;
+  /// Flattened 3x4 projection matrices (P of Eq. 2), one per projection.
+  const std::array<float, 12>* pmat = nullptr;
+  std::size_t count = 0;  ///< projections in this batch
+  std::size_t nu = 0;     ///< detector width (raw layout: contiguous axis)
+  std::size_t nv = 0;     ///< detector height (transposed: contiguous axis)
+  bool transposed = false;
+  bool symmetry = false;  ///< Theorem-1 mirror update (Alg. 4 lines 15-17)
+  bool reuse_uw = false;  ///< Theorem-2/3 hoisted terms supplied per column
+  float v_mirror = 0.0f;  ///< nv - 1, the mirror axis
+  std::size_t k0 = 0;     ///< global k of local pair iteration t = 0
+  std::size_t nzl = 0;    ///< local column depth (mirror writes nzl - 1 - t)
+  std::size_t center = 0; ///< odd-Nz center plane index (local == global)
+};
+
+/// One column of work: pair iterations [t_begin, t_end) of column (i, j).
+struct ColumnArgs {
+  float fi = 0.0f;
+  float fj = 0.0f;
+  float* col = nullptr;  ///< column base, nzl contiguous floats
+  std::size_t t_begin = 0;
+  std::size_t t_end = 0;
+  /// This column slice owns the odd center plane (its mirror is itself).
+  bool do_center = false;
+  /// Hoisted Theorem-2/3 terms, one per projection; valid when reuse_uw.
+  const float* u_s = nullptr;
+  const float* f_s = nullptr;
+  const float* w_s = nullptr;
+};
+
+using ColumnFn = void (*)(const BatchArgs&, const ColumnArgs&);
+
+struct ColumnKernel {
+  const char* name;
+  ColumnFn run;
+};
+
+/// The scalar reference backend (always available).
+const ColumnKernel& scalar_kernel();
+
+/// True when the AVX2 translation unit was built into this binary.
+bool avx2_compiled();
+
+/// True when the AVX2 backend is built in *and* the executing CPU reports
+/// AVX2+FMA — i.e. select(Backend::kAvx2) will succeed.
+bool avx2_supported();
+
+/// Resolves a backend choice to a kernel. kAuto prefers AVX2 when supported;
+/// an explicit kAvx2 request throws ConfigError when unsupported.
+const ColumnKernel& select(Backend backend);
+
+}  // namespace ifdk::bp::simd

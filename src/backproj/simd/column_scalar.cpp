@@ -1,0 +1,91 @@
+// Scalar reference backend: the Algorithm-4 column loop exactly as it lived
+// inside Backprojector::run_proposed before the backend split. Every
+// floating-point operation is performed in the same order, so volumes are
+// bitwise-identical to the historical kernel — this backend is the ground
+// truth the vector backends are tested against.
+#include <array>
+#include <cstddef>
+
+#include "backproj/interp2.h"
+#include "backproj/simd/column_kernel.h"
+
+namespace ifdk::bp::simd {
+
+namespace {
+
+/// Inner product of a P row (4 floats) with (i, j, k, 1) — the unit of work
+/// the paper counts when it states the 1/6 reduction.
+inline float dot_row(const float* row, float i, float j, float k) {
+  return row[0] * i + row[1] * j + row[2] * k + row[3];
+}
+
+/// (u, v) in detector coordinates regardless of storage layout.
+inline float fetch(const BatchArgs& b, std::size_t s, float u, float v) {
+  if (b.transposed) {
+    return interp2(b.images[s], b.nv, b.nu, v, u);  // V axis contiguous
+  }
+  return interp2(b.images[s], b.nu, b.nv, u, v);
+}
+
+/// Algorithm 4 lines 6-10 per voxel: hoisted Theorem-2/3 terms when
+/// available, the full three inner products otherwise.
+inline void voxel_terms(const BatchArgs& b, const ColumnArgs& c,
+                        std::size_t s, float fk, float& u, float& f,
+                        float& wdis) {
+  if (b.reuse_uw) {
+    u = c.u_s[s];
+    f = c.f_s[s];
+    wdis = c.w_s[s];
+    return;
+  }
+  const float* m = b.pmat[s].data();
+  const float x = dot_row(m + 0, c.fi, c.fj, fk);
+  const float z = dot_row(m + 8, c.fi, c.fj, fk);
+  f = 1.0f / z;
+  u = x * f;
+  wdis = f * f;
+}
+
+void run_column(const BatchArgs& b, const ColumnArgs& c) {
+  for (std::size_t t = c.t_begin; t < c.t_end; ++t) {
+    const float fk = static_cast<float>(b.k0 + t);  // global k index
+    float acc = 0.0f, acc_m = 0.0f;
+    for (std::size_t s = 0; s < b.count; ++s) {
+      float u, f, wdis;
+      voxel_terms(b, c, s, fk, u, f, wdis);
+      // Algorithm 4 line 12: the single remaining inner product.
+      const float y = dot_row(b.pmat[s].data() + 4, c.fi, c.fj, fk);
+      const float v = y * f;
+      acc += wdis * fetch(b, s, u, v);
+      if (b.symmetry) {
+        // Lines 15-17: the Theorem-1 mirror voxel shares u and Wdis.
+        acc_m += wdis * fetch(b, s, u, b.v_mirror - v);
+      }
+    }
+    c.col[t] += acc;
+    if (b.symmetry) c.col[b.nzl - 1 - t] += acc_m;
+  }
+
+  if (c.do_center) {
+    // Center plane: its mirror is itself; update once without the
+    // symmetric twin.
+    const float fk = static_cast<float>(b.center);
+    float acc = 0.0f;
+    for (std::size_t s = 0; s < b.count; ++s) {
+      float u, f, wdis;
+      voxel_terms(b, c, s, fk, u, f, wdis);
+      const float y = dot_row(b.pmat[s].data() + 4, c.fi, c.fj, fk);
+      acc += wdis * fetch(b, s, u, y * f);
+    }
+    c.col[b.center] += acc;
+  }
+}
+
+}  // namespace
+
+const ColumnKernel& scalar_kernel() {
+  static constexpr ColumnKernel kernel{"scalar", run_column};
+  return kernel;
+}
+
+}  // namespace ifdk::bp::simd

@@ -1,0 +1,59 @@
+// Runtime backend selection: what was compiled in (CMake decides whether
+// the AVX2 TU exists) crossed with what the executing CPU supports (CPUID
+// via common/cpu_features). kAuto picks the fastest supported backend so a
+// single binary runs optimally from an old Xeon to a current desktop.
+#include "backproj/simd/column_kernel.h"
+#include "common/cpu_features.h"
+#include "common/error.h"
+
+namespace ifdk::bp::simd {
+
+#if defined(IFDK_HAVE_AVX2)
+const ColumnKernel& avx2_kernel_impl();  // defined in column_avx2.cpp
+#endif
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:   return "auto";
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2:   return "avx2";
+  }
+  return "?";
+}
+
+bool avx2_compiled() {
+#if defined(IFDK_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() {
+  const CpuFeatures& cpu = cpu_features();
+  return avx2_compiled() && cpu.avx2 && cpu.fma;
+}
+
+const ColumnKernel& select(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return scalar_kernel();
+    case Backend::kAvx2:
+      IFDK_REQUIRE(avx2_supported(),
+                   "the AVX2 back-projection backend is not available "
+                   "(not compiled in, or the CPU lacks AVX2/FMA)");
+#if defined(IFDK_HAVE_AVX2)
+      return avx2_kernel_impl();
+#else
+      break;  // unreachable: the REQUIRE above threw
+#endif
+    case Backend::kAuto:
+#if defined(IFDK_HAVE_AVX2)
+      if (avx2_supported()) return avx2_kernel_impl();
+#endif
+      return scalar_kernel();
+  }
+  return scalar_kernel();
+}
+
+}  // namespace ifdk::bp::simd

@@ -1,0 +1,25 @@
+#include "common/cpu_features.h"
+
+namespace ifdk {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+}  // namespace ifdk

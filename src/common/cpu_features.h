@@ -1,0 +1,21 @@
+// Runtime CPU feature detection for kernel dispatch.
+//
+// The SIMD back-projection backends are selected at runtime (one binary runs
+// on any x86-64), so the dispatcher needs to know which vector extensions
+// the executing CPU + OS actually support. On GCC/Clang x86 this delegates
+// to __builtin_cpu_supports, which checks CPUID *and* the OS XSAVE state so
+// AVX registers are guaranteed usable; on other targets every flag is false
+// and callers fall back to scalar code.
+#pragma once
+
+namespace ifdk {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// The executing CPU's features; probed once and cached (thread-safe).
+const CpuFeatures& cpu_features();
+
+}  // namespace ifdk

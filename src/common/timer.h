@@ -69,6 +69,18 @@ class StageTimer {
     for (const auto& [name, secs] : other.stages_) stages_[name] += secs;
   }
 
+  /// Raises stage `name` to at least `seconds` (no-op when already larger).
+  void set_max(const std::string& name, double seconds) {
+    double& slot = stages_[name];
+    slot = std::max(slot, seconds);
+  }
+
+  /// Per-stage maximum with another timer — the critical-path merge used
+  /// when combining per-rank breakdowns (the slowest rank bounds the stage).
+  void max_merge(const StageTimer& other) {
+    for (const auto& [name, secs] : other.stages_) set_max(name, secs);
+  }
+
  private:
   std::map<std::string, double> stages_;
 };

@@ -132,9 +132,13 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     CircularBuffer<std::vector<Filtered>> q_gathered(options.queue_capacity);
 
     // Worker-thread errors are carried back to the rank body and rethrown
-    // there, so run_world's abort protocol unblocks the other ranks.
+    // there, so run_world's abort protocol unblocks the other ranks. A
+    // refused queue push is itself a pipeline error: it means the consumer
+    // side shut down early, and silently dropping the item would make this
+    // rank emit a wrong (partially accumulated) volume.
     std::exception_ptr filter_error;
     std::exception_ptr bp_error;
+    std::exception_ptr main_error;
 
     // ---- Filtering-thread: load from PFS + filter (Fig. 4a left) ----------
     StageTimer filter_timer;
@@ -148,7 +152,11 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                            img.bytes());
           });
           filter_timer.time("filter", [&] { engine.apply(img); });
-          q_filtered.push(Filtered{s, std::move(img)});
+          if (!q_filtered.push(Filtered{s, std::move(img)})) {
+            throw Error(
+                "iFDK pipeline: filtered-projection queue closed before all "
+                "rounds were delivered");
+          }
         }
       } catch (...) {
         filter_error = std::current_exception();
@@ -187,46 +195,67 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
         device.charge_kernel(v100);
         } catch (...) {
           bp_error = std::current_exception();
+          // Stop accepting rounds so the main thread notices promptly
+          // instead of filling the queue against a dead consumer.
+          q_gathered.close();
         }
       }
     });
 
     // ---- Main-thread: AllGather per round (Fig. 4a middle) ----------------
+    // Collectives throw when another rank aborts the world; catching here
+    // (instead of unwinding past the worker threads) guarantees both workers
+    // are always joined and this rank exits cleanly.
     StageTimer main_timer;
     std::vector<float> gather_recv(static_cast<std::size_t>(rows) * pixels);
-    for (std::size_t t = 0; t < per_rank; ++t) {
-      auto mine = q_filtered.pop();
-      if (!mine.has_value()) break;  // filtering thread failed; see below
-      IFDK_ASSERT(mine->index == owned_index(t));
-      main_timer.time("allgather", [&] {
-        if (options.use_ring_allgather) {
-          col_comm.allgather_ring(mine->image.data(), pixels * sizeof(float),
-                                  gather_recv.data());
-        } else {
-          col_comm.allgather(mine->image.data(), pixels * sizeof(float),
-                             gather_recv.data());
+    try {
+      for (std::size_t t = 0; t < per_rank; ++t) {
+        auto mine = q_filtered.pop();
+        if (!mine.has_value()) break;  // filtering thread failed; see below
+        IFDK_ASSERT(mine->index == owned_index(t));
+        main_timer.time("allgather", [&] {
+          if (options.use_ring_allgather) {
+            col_comm.allgather_ring(mine->image.data(), pixels * sizeof(float),
+                                    gather_recv.data());
+          } else {
+            col_comm.allgather(mine->image.data(), pixels * sizeof(float),
+                               gather_recv.data());
+          }
+        });
+        std::vector<Filtered> round;
+        round.reserve(static_cast<std::size_t>(rows));
+        for (int r = 0; r < rows; ++r) {
+          Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+          const float* src =
+              gather_recv.data() + static_cast<std::size_t>(r) * pixels;
+          std::copy(src, src + pixels, img.data());
+          round.push_back(Filtered{
+              column_base + t * static_cast<std::size_t>(rows) +
+                  static_cast<std::size_t>(r),
+              std::move(img)});
         }
-      });
-      std::vector<Filtered> round;
-      round.reserve(static_cast<std::size_t>(rows));
-      for (int r = 0; r < rows; ++r) {
-        Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
-        const float* src =
-            gather_recv.data() + static_cast<std::size_t>(r) * pixels;
-        std::copy(src, src + pixels, img.data());
-        round.push_back(Filtered{
-            column_base + t * static_cast<std::size_t>(rows) +
-                static_cast<std::size_t>(r),
-            std::move(img)});
+        if (!q_gathered.push(std::move(round))) {
+          throw Error(
+              "iFDK pipeline: gathered-projection queue closed before all "
+              "rounds were delivered");
+        }
       }
-      q_gathered.push(std::move(round));
+    } catch (...) {
+      main_error = std::current_exception();
     }
     q_gathered.close();
+    // Unblock a filtering thread stalled on a full queue after an early
+    // exit; harmless on the success path (the producer has already closed).
+    q_filtered.close();
 
     filtering_thread.join();
     bp_thread.join();
-    if (filter_error) std::rethrow_exception(filter_error);
+    // Rethrow the root cause first: a bp failure closes q_gathered, which
+    // makes the main push and then the filter push fail as secondary errors;
+    // a remote-rank abort surfaces in the main thread's collective.
     if (bp_error) std::rethrow_exception(bp_error);
+    if (main_error) std::rethrow_exception(main_error);
+    if (filter_error) std::rethrow_exception(filter_error);
     const double compute_span = rank_timer.seconds();
 
     // ---- Post: D2H, row Reduce, store (Fig. 4b) ----------------------------
@@ -278,15 +307,10 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
   IfdkStats out;
   out.grid = {rows, cols};
   for (const RankStats& rs : rank_stats) {
-    for (const auto& [name, secs] : rs.wall.stages()) {
-      out.wall.add(name, std::max(0.0, secs - out.wall.get(name)));
-    }
-    out.device_model.add("v_h2d",
-                         std::max(0.0, rs.v_h2d - out.device_model.get("v_h2d")));
-    out.device_model.add(
-        "v_kernel", std::max(0.0, rs.v_kernel - out.device_model.get("v_kernel")));
-    out.device_model.add(
-        "v_d2h", std::max(0.0, rs.v_d2h - out.device_model.get("v_d2h")));
+    out.wall.max_merge(rs.wall);
+    out.device_model.set_max("v_h2d", rs.v_h2d);
+    out.device_model.set_max("v_kernel", rs.v_kernel);
+    out.device_model.set_max("v_d2h", rs.v_d2h);
     out.wall_total = std::max(out.wall_total, rs.total);
   }
   return out;

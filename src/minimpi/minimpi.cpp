@@ -271,14 +271,19 @@ void Comm::allgather(const void* send_data, std::size_t bytes_per_rank,
 void Comm::allgather_ring(const void* send_data, std::size_t bytes_per_rank,
                           void* recv) {
   const int p = size();
-  const int tag =
-      kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
   char* out = static_cast<char*>(recv);
   auto block = [&](int r) {
     return out + static_cast<std::size_t>(r) * bytes_per_rank;
   };
   std::memcpy(block(rank_), send_data, bytes_per_rank);
-  if (p == 1) return;
+  if (p == 1) return;  // no steps, no tags consumed
+
+  // The p-1 neighbour-exchange steps use tags tag .. tag + p - 2; reserve
+  // exactly that many sequence numbers so interleaving with other
+  // collectives on this communicator stays in sync on every rank.
+  const int tag =
+      kCollectiveTagBase + static_cast<int>(collective_seq_ % (1 << 20));
+  collective_seq_ += static_cast<std::uint64_t>(p - 1);
 
   const int next = (rank_ + 1) % p;
   const int prev = (rank_ + p - 1) % p;
@@ -293,7 +298,6 @@ void Comm::allgather_ring(const void* send_data, std::size_t bytes_per_rank,
     world_->fetch(comm_id_, my_world, prev, tag + s, block(recv_block),
                   bytes_per_rank);
   }
-  collective_seq_ += static_cast<std::uint64_t>(p);  // tags consumed
 }
 
 void Comm::reduce(const float* send_data, float* recv, std::size_t count,

@@ -37,14 +37,18 @@ struct PfsConfig {
 class ParallelFileSystem {
  public:
   explicit ParallelFileSystem(PfsConfig config = {});
+  virtual ~ParallelFileSystem() = default;
 
   // -- functional object store (thread-safe) -------------------------------
+  //
+  // write_object/read_object are virtual so tests can inject faults (e.g. a
+  // read that throws on one distributed rank) without a separate store.
 
-  void write_object(const std::string& name, const void* data,
-                    std::size_t bytes);
+  virtual void write_object(const std::string& name, const void* data,
+                            std::size_t bytes);
   /// Reads the whole object; throws IoError when missing or size mismatches.
-  void read_object(const std::string& name, void* data,
-                   std::size_t bytes) const;
+  virtual void read_object(const std::string& name, void* data,
+                           std::size_t bytes) const;
   bool exists(const std::string& name) const;
   std::size_t object_size(const std::string& name) const;
   void remove_object(const std::string& name);

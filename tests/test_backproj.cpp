@@ -56,6 +56,41 @@ TEST(Interp2, OutOfBoundsReturnsZero) {
   EXPECT_EQ(interp2(img, 2, 2, 0.0f, 1.1f), 0.0f);
 }
 
+TEST(Interp2, ExactBorderIsInside) {
+  // u == w-1 / v == h-1 sit exactly on the last sample: inside the image,
+  // clamped +1 neighbour, zero weight on the clamp.
+  const float img[6] = {1, 2, 3, 4, 5, 6};  // 3x2
+  EXPECT_FLOAT_EQ(interp2(img, 3, 2, 2.0f, 0.0f), 3.0f);
+  EXPECT_FLOAT_EQ(interp2(img, 3, 2, 0.0f, 1.0f), 4.0f);
+  EXPECT_FLOAT_EQ(interp2(img, 3, 2, 2.0f, 1.0f), 6.0f);
+}
+
+TEST(Interp2, JustOutsideBorderReturnsZero) {
+  const float img[6] = {1, 2, 3, 4, 5, 6};  // 3x2
+  const float eps = 1e-4f;
+  EXPECT_EQ(interp2(img, 3, 2, 2.0f + eps, 0.0f), 0.0f);
+  EXPECT_EQ(interp2(img, 3, 2, 0.0f, 1.0f + eps), 0.0f);
+  EXPECT_EQ(interp2(img, 3, 2, -eps, 0.0f), 0.0f);
+}
+
+TEST(Interp2, OnePixelImage) {
+  const float img[1] = {7.5f};
+  EXPECT_FLOAT_EQ(interp2(img, 1, 1, 0.0f, 0.0f), 7.5f);
+  EXPECT_EQ(interp2(img, 1, 1, 0.5f, 0.0f), 0.0f);  // beyond w-1 == 0
+  EXPECT_EQ(interp2(img, 1, 1, 0.0f, 0.5f), 0.0f);
+  EXPECT_EQ(interp2(img, 1, 1, -0.5f, 0.0f), 0.0f);
+}
+
+TEST(Interp2, DegenerateZeroSizedImageReturnsZero) {
+  // Regression: w-1 / h-1 on std::size_t underflowed for 0-sized images,
+  // turning the bound check into (almost) always-true and reading OOB.
+  const float img[1] = {3.0f};  // never dereferenced
+  EXPECT_EQ(interp2(img, 0, 0, 0.0f, 0.0f), 0.0f);
+  EXPECT_EQ(interp2(img, 0, 2, 0.0f, 1.0f), 0.0f);
+  EXPECT_EQ(interp2(img, 2, 0, 1.0f, 0.0f), 0.0f);
+  EXPECT_EQ(interp2(img, 0, 0, 1e9f, 1e9f), 0.0f);
+}
+
 // ---------------------------------------------------------------------------
 // Kernel equivalence
 // ---------------------------------------------------------------------------

@@ -247,6 +247,41 @@ TEST(StageTimer, AccumulatesAndMerges) {
   EXPECT_DOUBLE_EQ(a.get("missing"), 0.0);
 }
 
+TEST(StageTimer, SetMaxKeepsTheLargerValue) {
+  StageTimer t;
+  t.set_max("bp", 2.0);
+  EXPECT_DOUBLE_EQ(t.get("bp"), 2.0);
+  t.set_max("bp", 1.0);  // smaller: no-op
+  EXPECT_DOUBLE_EQ(t.get("bp"), 2.0);
+  t.set_max("bp", 3.5);
+  EXPECT_DOUBLE_EQ(t.get("bp"), 3.5);
+  t.set_max("new", 0.25);  // creates the stage
+  EXPECT_DOUBLE_EQ(t.get("new"), 0.25);
+}
+
+TEST(StageTimer, MaxMergeIsPerStageCriticalPath) {
+  // The rank-stats merge of the distributed framework: each stage reports
+  // the slowest rank, independently per stage.
+  StageTimer out;
+  StageTimer rank0;
+  rank0.add("load", 1.0);
+  rank0.add("bp", 5.0);
+  StageTimer rank1;
+  rank1.add("load", 3.0);
+  rank1.add("bp", 2.0);
+  rank1.add("reduce", 0.5);
+  out.max_merge(rank0);
+  out.max_merge(rank1);
+  EXPECT_DOUBLE_EQ(out.get("load"), 3.0);    // rank1 was slower
+  EXPECT_DOUBLE_EQ(out.get("bp"), 5.0);      // rank0 was slower
+  EXPECT_DOUBLE_EQ(out.get("reduce"), 0.5);  // only rank1 has it
+  // Merging the same timers again changes nothing (idempotent).
+  out.max_merge(rank0);
+  out.max_merge(rank1);
+  EXPECT_DOUBLE_EQ(out.get("load"), 3.0);
+  EXPECT_DOUBLE_EQ(out.get("bp"), 5.0);
+}
+
 TEST(Image2D, TransposeRoundTrip) {
   Image2D img(5, 3);
   for (std::size_t v = 0; v < 3; ++v) {

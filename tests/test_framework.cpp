@@ -4,7 +4,10 @@
 // the staging helpers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "backproj/backprojector.h"
 #include "common/error.h"
@@ -241,6 +244,65 @@ TEST(Framework, MissingProjectionsSurfaceAsIoError) {
   IfdkOptions opts;
   opts.ranks = 2;
   opts.rows = 1;
+  EXPECT_THROW(run_distributed(s.g, fs, opts), Error);
+}
+
+/// PFS wrapper that throws on the Nth read — the fault hits exactly one
+/// rank's Filtering-thread mid-pipeline while every other rank is healthy.
+class FailingReadFs : public pfs::ParallelFileSystem {
+ public:
+  explicit FailingReadFs(int fail_at) : fail_at_(fail_at) {}
+
+  void read_object(const std::string& name, void* data,
+                   std::size_t bytes) const override {
+    if (reads_.fetch_add(1) == fail_at_) {
+      throw IoError("injected PFS read failure: " + name);
+    }
+    pfs::ParallelFileSystem::read_object(name, data, bytes);
+  }
+
+ private:
+  int fail_at_;
+  mutable std::atomic<int> reads_{0};
+};
+
+TEST(Framework, InjectedReadFailureSurfacesAndUnblocksAllRanks) {
+  // A PFS read that throws on one rank must surface as an exception from
+  // run_distributed — not hang the collectives of the healthy ranks, and
+  // not silently complete with a partial volume. Sweep the fault across
+  // pipeline positions (first read, mid-stream, near the end).
+  const Scene s = make_scene(48, 12, 12);
+  for (const int fail_at : {0, 5, 11}) {
+    FailingReadFs fs(fail_at);
+    stage_projections(fs, "proj/", s.projections);  // writes don't count
+    IfdkOptions opts;
+    opts.ranks = 4;
+    opts.rows = 2;
+    opts.queue_capacity = 2;  // small queue: exercises producer blocking
+    EXPECT_THROW(run_distributed(s.g, fs, opts), Error) << "fail_at "
+                                                        << fail_at;
+    // No partial volume may have been stored as a completed result: the
+    // fault fired before every output slice could be written.
+    std::size_t stored = 0;
+    for (std::size_t k = 0; k < s.g.nz; ++k) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%06zu", k);
+      if (fs.exists("vol/slice_" + std::string(buf))) ++stored;
+    }
+    EXPECT_LT(stored, s.g.nz) << "fail_at " << fail_at;
+  }
+}
+
+TEST(Framework, InjectedReadFailureWithRingAllgather) {
+  // Same fault with the ring AllGather: the neighbour-exchange steps block
+  // pairwise, so the abort protocol must unblock a partially completed ring.
+  const Scene s = make_scene(48, 12, 12);
+  FailingReadFs fs(/*fail_at=*/3);
+  stage_projections(fs, "proj/", s.projections);
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+  opts.use_ring_allgather = true;
   EXPECT_THROW(run_distributed(s.g, fs, opts), Error);
 }
 

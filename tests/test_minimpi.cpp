@@ -341,6 +341,49 @@ TEST(MiniMpi, TreeReduceMatchesLinearSum) {
   }
 }
 
+TEST(MiniMpi, RingAndTreeCollectivesInterleave) {
+  // Regression for the ring AllGather's collective-sequence accounting: it
+  // must consume exactly p-1 tags (one per neighbour step), so arbitrary
+  // interleavings of ring, tree, flat collectives, and user point-to-point
+  // traffic on the same communicator keep every rank's tag stream in sync.
+  for (int ranks : {2, 3, 5}) {
+    run_world(ranks, [ranks](Comm& comm) {
+      const int p = comm.size();
+      for (int round = 0; round < 4; ++round) {
+        const float mine =
+            static_cast<float>(comm.rank() + 1 + 10 * round);
+        std::vector<float> ring(static_cast<std::size_t>(p));
+        comm.allgather_ring(&mine, sizeof(float), ring.data());
+        for (int r = 0; r < p; ++r) {
+          EXPECT_FLOAT_EQ(ring[static_cast<std::size_t>(r)],
+                          static_cast<float>(r + 1 + 10 * round))
+              << ranks << " ranks, round " << round;
+        }
+
+        float sum = 0;
+        comm.reduce_tree(&mine, &sum, 1, ReduceOp::kSum, 0);
+        if (comm.rank() == 0) {
+          const float expect =
+              static_cast<float>(p * (p + 1) / 2 + 10 * round * p);
+          EXPECT_FLOAT_EQ(sum, expect) << ranks << " ranks, round " << round;
+        }
+
+        // User tags interleaved with the collective tag space.
+        if (p >= 2) {
+          if (comm.rank() == 0) {
+            comm.send(1, /*tag=*/round, &round, sizeof(round));
+          } else if (comm.rank() == 1) {
+            int got = -1;
+            comm.recv(0, /*tag=*/round, &got, sizeof(got));
+            EXPECT_EQ(got, round);
+          }
+        }
+        comm.barrier();
+      }
+    });
+  }
+}
+
 TEST(MiniMpi, TreeReduceNonZeroRootAndMax) {
   run_world(6, [](Comm& comm) {
     const float mine = static_cast<float>((comm.rank() * 7) % 5);

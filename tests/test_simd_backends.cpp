@@ -1,0 +1,286 @@
+// SIMD backend equivalence suite: the scalar column backend is the bitwise
+// reference (it reproduces the historical in-line kernel operation for
+// operation), and the AVX2 backend must match it within 4 ULP per voxel on
+// every kernel variant, every ablation, odd Nz, slab-pair mode, and under
+// both the serial and the pooled schedule. Also covers the runtime dispatch
+// semantics (auto selection, explicit-request failure).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "backproj/backprojector.h"
+#include "backproj/simd/column_kernel.h"
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
+#include "geometry/cbct.h"
+#include "phantom/phantom.h"
+
+namespace ifdk::bp {
+namespace {
+
+struct Scene {
+  geo::CbctGeometry g;
+  std::vector<Image2D> projections;
+};
+
+Scene make_scene(std::size_t nu, std::size_t np, std::size_t n,
+                 std::size_t nz) {
+  Scene s{geo::make_standard_geometry({{nu, nu, np}, {n, n, nz}}), {}};
+  s.projections = phantom::project_all(phantom::shepp_logan(), s.g);
+  return s;
+}
+
+/// ULP distance between two floats (0 for bitwise-equal values, including
+/// +0/-0; max for differing signs or NaNs).
+std::int64_t ulp_distance(float a, float b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  auto key = [](float x) {
+    std::int32_t i;
+    std::memcpy(&i, &x, sizeof(i));
+    // Map the sign-magnitude float ordering onto a monotonic integer line.
+    return i < 0 ? std::int64_t{std::numeric_limits<std::int32_t>::min()} - i
+                 : std::int64_t{i};
+  };
+  return std::abs(key(a) - key(b));
+}
+
+std::int64_t max_ulp(const Volume& a, const Volume& b) {
+  EXPECT_EQ(a.voxels(), b.voxels());
+  std::int64_t worst = 0;
+  for (std::size_t n = 0; n < a.voxels(); ++n) {
+    worst = std::max(worst, ulp_distance(a.data()[n], b.data()[n]));
+  }
+  return worst;
+}
+
+Volume run(const Scene& s, BpConfig cfg) {
+  const std::size_t nzl =
+      cfg.slab_mode() ? 2 * cfg.k_half : s.g.nz;
+  Volume vol(s.g.nx, s.g.ny, nzl, cfg.layout);
+  const auto mats = geo::make_all_projection_matrices(s.g);
+  Backprojector(s.g, cfg).accumulate(vol, s.projections, mats);
+  return vol;
+}
+
+constexpr std::int64_t kUlpBudget = 4;
+
+// ---------------------------------------------------------------------------
+// Dispatch semantics
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysAvailable) {
+  EXPECT_STREQ(simd::scalar_kernel().name, "scalar");
+  EXPECT_EQ(&simd::select(simd::Backend::kScalar), &simd::scalar_kernel());
+}
+
+TEST(SimdDispatch, AutoSelectsSupportedBackend) {
+  const simd::ColumnKernel& k = simd::select(simd::Backend::kAuto);
+  if (simd::avx2_supported()) {
+    EXPECT_STREQ(k.name, "avx2");
+  } else {
+    EXPECT_STREQ(k.name, "scalar");
+  }
+}
+
+TEST(SimdDispatch, SupportImpliesCompiledAndCpu) {
+  if (simd::avx2_supported()) {
+    EXPECT_TRUE(simd::avx2_compiled());
+    EXPECT_TRUE(cpu_features().avx2);
+    EXPECT_TRUE(cpu_features().fma);
+  }
+}
+
+TEST(SimdDispatch, ExplicitAvx2ThrowsWhenUnsupported) {
+  const Scene s = make_scene(32, 4, 8, 8);
+  BpConfig cfg;
+  cfg.simd_backend = simd::Backend::kAvx2;
+  if (simd::avx2_supported()) {
+    EXPECT_NO_THROW(Backprojector(s.g, cfg));
+  } else {
+    EXPECT_THROW(Backprojector(s.g, cfg), ConfigError);
+  }
+}
+
+TEST(SimdDispatch, BackendNameReportsResolvedKernel) {
+  const Scene s = make_scene(32, 4, 8, 8);
+  BpConfig scalar;
+  scalar.simd_backend = simd::Backend::kScalar;
+  EXPECT_STREQ(Backprojector(s.g, scalar).backend_name(), "scalar");
+  BpConfig automatic;
+  EXPECT_STREQ(Backprojector(s.g, automatic).backend_name(),
+               simd::avx2_supported() ? "avx2" : "scalar");
+}
+
+TEST(SimdDispatch, ToStringCoversAllBackends) {
+  EXPECT_STREQ(simd::to_string(simd::Backend::kAuto), "auto");
+  EXPECT_STREQ(simd::to_string(simd::Backend::kScalar), "scalar");
+  EXPECT_STREQ(simd::to_string(simd::Backend::kAvx2), "avx2");
+}
+
+// ---------------------------------------------------------------------------
+// Backend equivalence across kernel variants and ablations
+// ---------------------------------------------------------------------------
+
+class BackendVariantEquivalence
+    : public ::testing::TestWithParam<KernelVariant> {};
+
+TEST_P(BackendVariantEquivalence, Avx2MatchesScalarWithinUlpBudget) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const Scene s = make_scene(48, 16, 16, 16);
+  BpConfig scalar = config_for(GetParam());
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig avx2 = config_for(GetParam());
+  avx2.simd_backend = simd::Backend::kAvx2;
+  if (scalar.layout == VolumeLayout::kXMajor) {
+    // The standard Algorithm-2 kernel has no SIMD column path; both
+    // configurations must agree exactly.
+    EXPECT_EQ(max_ulp(run(s, scalar), run(s, avx2)), 0);
+    return;
+  }
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, avx2)), kUlpBudget)
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, BackendVariantEquivalence,
+                         ::testing::Values(KernelVariant::kRtk32,
+                                           KernelVariant::kBpTex,
+                                           KernelVariant::kTexTran,
+                                           KernelVariant::kBpL1,
+                                           KernelVariant::kL1Tran));
+
+struct AblationCase {
+  bool symmetry;
+  bool reuse_uw;
+  bool transpose;
+};
+
+class BackendAblationEquivalence
+    : public ::testing::TestWithParam<AblationCase> {};
+
+TEST_P(BackendAblationEquivalence, Avx2MatchesScalarOnEveryAblation) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const Scene s = make_scene(48, 12, 12, 14);
+  BpConfig cfg;
+  cfg.symmetry = GetParam().symmetry;
+  cfg.reuse_uw = GetParam().reuse_uw;
+  cfg.transpose_projections = GetParam().transpose;
+  BpConfig scalar = cfg;
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig avx2 = cfg;
+  avx2.simd_backend = simd::Backend::kAvx2;
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, avx2)), kUlpBudget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, BackendAblationEquivalence,
+    ::testing::Values(AblationCase{false, false, false},
+                      AblationCase{true, false, false},
+                      AblationCase{false, true, false},
+                      AblationCase{false, false, true},
+                      AblationCase{true, true, false},
+                      AblationCase{true, false, true},
+                      AblationCase{false, true, true},
+                      AblationCase{true, true, true}));
+
+// ---------------------------------------------------------------------------
+// Odd Nz, slab-pair mode, pooled schedule
+// ---------------------------------------------------------------------------
+
+TEST(BackendEquivalence, OddNzCenterPlane) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const Scene s = make_scene(48, 12, 12, 15);
+  BpConfig scalar;
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig avx2;
+  avx2.simd_backend = simd::Backend::kAvx2;
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, avx2)), kUlpBudget);
+}
+
+TEST(BackendEquivalence, SlabPairMode) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const Scene s = make_scene(48, 12, 12, 16);
+  BpConfig scalar;
+  scalar.k_begin = 2;
+  scalar.k_half = 3;
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig avx2 = scalar;
+  avx2.simd_backend = simd::Backend::kAvx2;
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, avx2)), kUlpBudget);
+}
+
+TEST(BackendEquivalence, PooledScalarIsBitwiseSerialScalar) {
+  const Scene s = make_scene(48, 12, 12, 16);
+  ThreadPool pool(4);
+  BpConfig serial;
+  serial.simd_backend = simd::Backend::kScalar;
+  BpConfig pooled = serial;
+  pooled.pool = &pool;
+  EXPECT_EQ(max_ulp(run(s, serial), run(s, pooled)), 0);
+}
+
+TEST(BackendEquivalence, PooledAvx2MatchesSerialScalar) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  // The pooled schedule shifts the vector chunk boundaries (each task
+  // restarts its 8-wide loop at its own t_begin), so this exercises
+  // lane/tail seams at every slab edge.
+  const Scene s = make_scene(48, 12, 12, 16);
+  ThreadPool pool(4);
+  BpConfig scalar;
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig pooled_avx2;
+  pooled_avx2.simd_backend = simd::Backend::kAvx2;
+  pooled_avx2.pool = &pool;
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, pooled_avx2)), kUlpBudget);
+}
+
+TEST(BackendEquivalence, PooledOddNzAvx2MatchesSerialScalar) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const Scene s = make_scene(48, 8, 12, 15);
+  ThreadPool pool(4);
+  BpConfig scalar;
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig pooled_avx2;
+  pooled_avx2.simd_backend = simd::Backend::kAvx2;
+  pooled_avx2.pool = &pool;
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, pooled_avx2)), kUlpBudget);
+}
+
+TEST(BackendEquivalence, PooledSlabPairAvx2MatchesSerialScalar) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const Scene s = make_scene(48, 8, 12, 16);
+  ThreadPool pool(4);
+  BpConfig scalar;
+  scalar.k_begin = 1;
+  scalar.k_half = 4;
+  scalar.simd_backend = simd::Backend::kScalar;
+  BpConfig pooled_avx2 = scalar;
+  pooled_avx2.simd_backend = simd::Backend::kAvx2;
+  pooled_avx2.pool = &pool;
+  EXPECT_LE(max_ulp(run(s, scalar), run(s, pooled_avx2)), kUlpBudget);
+}
+
+TEST(BackendEquivalence, BatchBoundariesPreserved) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  // Batch size changes the per-voxel accumulation grouping identically in
+  // both backends, so each batch size must agree across backends.
+  const Scene s = make_scene(48, 12, 10, 12);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{5}}) {
+    BpConfig scalar;
+    scalar.batch = batch;
+    scalar.simd_backend = simd::Backend::kScalar;
+    BpConfig avx2 = scalar;
+    avx2.simd_backend = simd::Backend::kAvx2;
+    EXPECT_LE(max_ulp(run(s, scalar), run(s, avx2)), kUlpBudget)
+        << "batch " << batch;
+  }
+}
+
+}  // namespace
+}  // namespace ifdk::bp
