@@ -15,6 +15,8 @@
 #include "common/thread_pool.h"
 #include "filter/filter_engine.h"
 #include "geometry/cbct.h"
+#include "ifdk/framework.h"
+#include "pfs/pfs.h"
 
 namespace {
 
@@ -25,6 +27,37 @@ struct Result {
   double seconds = 0.0;
   double gups = 0.0;  ///< voxel updates per second / 2^30
 };
+
+/// Distributed-pipeline smoke point: blocking vs overlapped wall time plus
+/// the overlapped run's per-thread overlap efficiencies (busy/wall of the
+/// critical rank) — the numbers that track the Fig. 4 overlap claim.
+struct PipelineResult {
+  int ranks = 4;
+  int rows = 2;
+  double blocking_seconds = 0.0;
+  double overlapped_seconds = 0.0;
+  StageTimer efficiency;
+};
+
+PipelineResult time_pipeline(const bench::Scene& scene, int runs) {
+  PipelineResult p;
+  IfdkOptions opts;
+  opts.ranks = p.ranks;
+  opts.rows = p.rows;
+  auto run_once = [&](bool overlap) {
+    pfs::ParallelFileSystem fs;
+    stage_projections(fs, opts.input_prefix, scene.projections);
+    opts.overlap = overlap;
+    return run_distributed(scene.g, fs, opts);
+  };
+  p.blocking_seconds =
+      bench::median_seconds(runs, [&] { run_once(false); });
+  IfdkStats last;
+  p.overlapped_seconds =
+      bench::median_seconds(runs, [&] { last = run_once(true); });
+  p.efficiency = last.overlap_efficiency;
+  return p;
+}
 
 Result time_backprojection(const char* name, const bench::Scene& scene,
                            bp::BpConfig cfg, int runs) {
@@ -92,6 +125,11 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  // End-to-end distributed pipeline (small 2x2 grid): blocking reference vs
+  // the overlapped pipeline, 3-run medians (the full recon dominates smoke
+  // runtime, so fewer runs than the kernel timings).
+  const PipelineResult pipeline = time_pipeline(scene, 3);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_smoke: cannot open %s for writing\n",
@@ -113,7 +151,22 @@ int main(int argc, char** argv) {
                  results[n].name.c_str(), results[n].seconds, results[n].gups,
                  n + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"pipeline\": {\n"
+               "    \"ranks\": %d, \"rows\": %d,\n"
+               "    \"blocking_seconds\": %.6f,\n"
+               "    \"overlapped_seconds\": %.6f,\n"
+               "    \"overlap_efficiency\": {\"filter_thread\": %.4f, "
+               "\"main_thread\": %.4f, \"bp_thread\": %.4f, "
+               "\"store_thread\": %.4f}\n"
+               "  }\n}\n",
+               pipeline.ranks, pipeline.rows, pipeline.blocking_seconds,
+               pipeline.overlapped_seconds,
+               pipeline.efficiency.get("filter_thread"),
+               pipeline.efficiency.get("main_thread"),
+               pipeline.efficiency.get("bp_thread"),
+               pipeline.efficiency.get("store_thread"));
   std::fclose(out);
 
   std::printf("wrote %s (simd backend: %s)\n", out_path.c_str(),
@@ -140,5 +193,16 @@ int main(int argc, char** argv) {
     std::printf("  avx2 speedup over scalar backend:    %.2fx\n",
                 scalar_t / avx2_t);
   }
+  std::printf("  pipeline %dx%d blocking %.3f s, overlapped %.3f s (%.2fx); "
+              "efficiency filter %.2f, main %.2f, bp %.2f, store %.2f\n",
+              pipeline.rows, pipeline.ranks / pipeline.rows,
+              pipeline.blocking_seconds, pipeline.overlapped_seconds,
+              pipeline.overlapped_seconds > 0.0
+                  ? pipeline.blocking_seconds / pipeline.overlapped_seconds
+                  : 0.0,
+              pipeline.efficiency.get("filter_thread"),
+              pipeline.efficiency.get("main_thread"),
+              pipeline.efficiency.get("bp_thread"),
+              pipeline.efficiency.get("store_thread"));
   return 0;
 }

@@ -17,7 +17,9 @@
 namespace ifdk {
 
 struct FdkOptions {
+  /// Filtering stage configuration (ramp window, padding).
   filter::FilterOptions filter;
+  /// Kernel variant/schedule for the back-projection stage.
   bp::BpConfig backprojection;
   /// Return the volume in this layout regardless of the kernel's working
   /// layout (a reshape is appended when they differ, Alg. 4 line 22).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "common/error.h"
 #include "gpusim/kernel_model.h"
 #include "minimpi/minimpi.h"
+#include "pfs/async_writer.h"
 
 namespace ifdk {
 
@@ -23,9 +26,19 @@ std::string object_name(const std::string& prefix, std::size_t index) {
   return prefix + buf;
 }
 
+/// Secondary pipeline error: a stage observed its queue closed because the
+/// thread at the other end died first. Typed (rather than matched by
+/// message text) so the rethrow logic can reliably prefer the root cause.
+class QueueClosedError : public Error {
+ public:
+  explicit QueueClosedError(const std::string& what) : Error(what) {}
+};
+
 /// Per-rank result handed back to the coordinator after run_world.
 struct RankStats {
   StageTimer wall;
+  /// Busy/wall per pipeline thread (see IfdkStats::overlap_efficiency).
+  StageTimer efficiency;
   double v_h2d = 0;
   double v_kernel = 0;
   double v_d2h = 0;
@@ -54,6 +67,11 @@ Volume load_volume(const pfs::ParallelFileSystem& fs,
   return vol;
 }
 
+// The framework-level default must track the minimpi tuning constant (the
+// header cannot include minimpi.h just for a default value).
+static_assert(IfdkOptions{}.reduce_segment_floats ==
+              mpi::Comm::kDefaultReduceSegment);
+
 IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                           pfs::ParallelFileSystem& fs,
                           const IfdkOptions& options) {
@@ -63,14 +81,25 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
   const int rows = options.rows > 0
                        ? options.rows
                        : perfmodel::select_rows(problem, options.microbench);
-  IFDK_REQUIRE(options.ranks >= rows && options.ranks % rows == 0,
-               "ranks must be a positive multiple of the row count R");
+  if (options.ranks < rows || options.ranks % rows != 0) {
+    throw ConfigError("ranks (" + std::to_string(options.ranks) +
+                      ") must be a positive multiple of the row count R (" +
+                      std::to_string(rows) + ")");
+  }
   const int cols = options.ranks / rows;
-  IFDK_REQUIRE(geometry.np % static_cast<std::size_t>(options.ranks) == 0,
-               "Np must divide evenly across the rank grid");
-  IFDK_REQUIRE(geometry.nz % (2 * static_cast<std::size_t>(rows)) == 0,
-               "Nz must be divisible by 2*R (each row owns a symmetric "
-               "slab pair)");
+  if (geometry.np % static_cast<std::size_t>(options.ranks) != 0) {
+    throw ConfigError("Np (" + std::to_string(geometry.np) +
+                      ") must divide evenly across the rank grid (ranks=" +
+                      std::to_string(options.ranks) + ")");
+  }
+  if (geometry.nz % (2 * static_cast<std::size_t>(rows)) != 0) {
+    throw ConfigError("Nz (" + std::to_string(geometry.nz) +
+                      ") must be divisible by 2*rows (" +
+                      std::to_string(2 * rows) +
+                      "): each row owns a symmetric slab pair");
+  }
+  IFDK_REQUIRE(options.reduce_segment_floats > 0,
+               "reduce_segment_floats must be positive");
 
   const std::size_t slab_h = geometry.nz / (2 * static_cast<std::size_t>(rows));
   const std::size_t per_rank =
@@ -153,7 +182,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
           });
           filter_timer.time("filter", [&] { engine.apply(img); });
           if (!q_filtered.push(Filtered{s, std::move(img)})) {
-            throw Error(
+            throw QueueClosedError(
                 "iFDK pipeline: filtered-projection queue closed before all "
                 "rounds were delivered");
           }
@@ -207,38 +236,84 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     // (instead of unwinding past the worker threads) guarantees both workers
     // are always joined and this rank exits cleanly.
     StageTimer main_timer;
-    std::vector<float> gather_recv(static_cast<std::size_t>(rows) * pixels);
+    // Two round buffers: in the overlapped pipeline the ring exchange for
+    // round t+1 is in flight into one buffer while round t is packaged out
+    // of the other.
+    std::vector<float> gather_recv[2];
+    gather_recv[0].resize(static_cast<std::size_t>(rows) * pixels);
+    if (options.overlap) {
+      gather_recv[1].resize(static_cast<std::size_t>(rows) * pixels);
+    }
+    // Repackages the rank-ordered gather buffer of round `t` into per-
+    // projection images and hands them to the Bp-thread (blocks on queue
+    // back-pressure — exactly the Fig. 4a coupling of gather and bp rates).
+    auto deliver_round = [&](std::size_t t, const std::vector<float>& recv) {
+      std::vector<Filtered> round;
+      round.reserve(static_cast<std::size_t>(rows));
+      for (int r = 0; r < rows; ++r) {
+        Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+        const float* src = recv.data() + static_cast<std::size_t>(r) * pixels;
+        std::copy(src, src + pixels, img.data());
+        round.push_back(Filtered{
+            column_base + t * static_cast<std::size_t>(rows) +
+                static_cast<std::size_t>(r),
+            std::move(img)});
+      }
+      if (!q_gathered.push(std::move(round))) {
+        throw QueueClosedError(
+            "iFDK pipeline: gathered-projection queue closed before all "
+            "rounds were delivered");
+      }
+    };
     try {
+      // Handle to the in-flight gather of round `pending_t` (overlap only).
+      // Declared inside the try block: on a world abort the unwinding path
+      // may drop it unwaited (see CollectiveRequest).
+      mpi::Comm::CollectiveRequest pending;
+      std::size_t pending_t = 0;
       for (std::size_t t = 0; t < per_rank; ++t) {
         auto mine = q_filtered.pop();
-        if (!mine.has_value()) break;  // filtering thread failed; see below
+        if (!mine.has_value()) {
+          // Filtering thread failed; its error is the root cause (rethrown
+          // below), but the gather stream must not end silently short.
+          throw QueueClosedError(
+              "iFDK pipeline: filtered-projection queue closed before all "
+              "rounds were gathered");
+        }
         IFDK_ASSERT(mine->index == owned_index(t));
-        main_timer.time("allgather", [&] {
-          if (options.use_ring_allgather) {
-            col_comm.allgather_ring(mine->image.data(), pixels * sizeof(float),
-                                    gather_recv.data());
-          } else {
-            col_comm.allgather(mine->image.data(), pixels * sizeof(float),
-                               gather_recv.data());
+        if (options.overlap) {
+          // Initiate round t (posting this rank's block to the ring), THEN
+          // complete round t-1 and deliver it: neighbours waiting on our
+          // t-contribution never stall behind our bp back-pressure.
+          mpi::Comm::CollectiveRequest req;
+          main_timer.time("allgather", [&] {
+            req = col_comm.iallgather_ring(mine->image.data(),
+                                           pixels * sizeof(float),
+                                           gather_recv[t % 2].data());
+          });
+          if (pending.valid()) {
+            main_timer.time("allgather", [&] { pending.wait(); });
+            deliver_round(pending_t, gather_recv[pending_t % 2]);
           }
-        });
-        std::vector<Filtered> round;
-        round.reserve(static_cast<std::size_t>(rows));
-        for (int r = 0; r < rows; ++r) {
-          Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
-          const float* src =
-              gather_recv.data() + static_cast<std::size_t>(r) * pixels;
-          std::copy(src, src + pixels, img.data());
-          round.push_back(Filtered{
-              column_base + t * static_cast<std::size_t>(rows) +
-                  static_cast<std::size_t>(r),
-              std::move(img)});
+          pending = std::move(req);
+          pending_t = t;
+        } else {
+          main_timer.time("allgather", [&] {
+            if (options.use_ring_allgather) {
+              col_comm.allgather_ring(mine->image.data(),
+                                      pixels * sizeof(float),
+                                      gather_recv[0].data());
+            } else {
+              col_comm.allgather(mine->image.data(), pixels * sizeof(float),
+                                 gather_recv[0].data());
+            }
+          });
+          deliver_round(t, gather_recv[0]);
         }
-        if (!q_gathered.push(std::move(round))) {
-          throw Error(
-              "iFDK pipeline: gathered-projection queue closed before all "
-              "rounds were delivered");
-        }
+      }
+      if (pending.valid()) {  // drain the last overlapped round
+        main_timer.time("allgather", [&] { pending.wait(); });
+        deliver_round(pending_t, gather_recv[pending_t % 2]);
       }
     } catch (...) {
       main_error = std::current_exception();
@@ -250,46 +325,130 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
 
     filtering_thread.join();
     bp_thread.join();
-    // Rethrow the root cause first: a bp failure closes q_gathered, which
-    // makes the main push and then the filter push fail as secondary errors;
-    // a remote-rank abort surfaces in the main thread's collective.
-    if (bp_error) std::rethrow_exception(bp_error);
-    if (main_error) std::rethrow_exception(main_error);
-    if (filter_error) std::rethrow_exception(filter_error);
+    // Rethrow the root cause, not a symptom: when one thread dies its queue
+    // closes, and the threads at the other end fail with a secondary
+    // QueueClosedError. A bp failure makes the main push fail; a filter
+    // failure ends the main thread's pop early; a remote-rank abort surfaces
+    // in the main thread's collective. Prefer the first error that is not a
+    // queue-shutdown symptom.
+    const auto is_queue_symptom = [](const std::exception_ptr& e) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const QueueClosedError&) {
+        return true;
+      } catch (...) {
+        return false;
+      }
+    };
+    const std::exception_ptr errors[] = {bp_error, main_error, filter_error};
+    std::exception_ptr first;
+    for (const std::exception_ptr& e : errors) {
+      if (!e) continue;
+      if (!first) first = e;
+      if (!is_queue_symptom(e)) {
+        first = e;
+        break;
+      }
+    }
+    if (first) std::rethrow_exception(first);
     const double compute_span = rank_timer.seconds();
 
     // ---- Post: D2H, row Reduce, store (Fig. 4b) ----------------------------
     main_timer.time("d2h", [&] { device.charge_d2h(slab.bytes()); });
 
-    Volume reduced(geometry.nx, geometry.ny, 2 * slab_h, VolumeLayout::kZMajor,
-                   /*zero_fill=*/col == 0);
-    main_timer.time("reduce", [&] {
-      row_comm.reduce(slab.data(), col == 0 ? reduced.data() : nullptr,
-                      slab.voxels(), mpi::ReduceOp::kSum, /*root=*/0);
-    });
+    // Global slice index of local slab-pair slice `local_k`: local t <
+    // slab_h is global row*h + t; local slab_h + t is global
+    // Nz - (row+1)*h + t.
+    auto global_slice = [&](std::size_t local_k) {
+      return local_k < slab_h
+                 ? static_cast<std::size_t>(row) * slab_h + local_k
+                 : geometry.nz - (static_cast<std::size_t>(row) + 1) * slab_h +
+                       (local_k - slab_h);
+    };
+    const std::size_t slice_px = geometry.nx * geometry.ny;
+    // Extracts slice `local_k` of a z-major slab pair into a slice-major
+    // destination. Shared by both pipeline paths: the overlap-equivalence
+    // guarantee depends on the permutation being identical.
+    auto extract_slice = [&](const float* zmajor, std::size_t local_k,
+                             float* dst) {
+      for (std::size_t j = 0; j < geometry.ny; ++j) {
+        for (std::size_t i = 0; i < geometry.nx; ++i) {
+          dst[j * geometry.nx + i] =
+              zmajor[(i * geometry.ny + j) * 2 * slab_h + local_k];
+        }
+      }
+    };
+    // Seconds the async writer thread spent writing (overlapped root only);
+    // the numerator of the store thread's overlap efficiency.
+    double store_busy = 0;
 
-    if (col == 0) {
-      // Store the slab pair as global slices: local t < slab_h is global
-      // slice row*h + t; local slab_h + t is global Nz - (row+1)*h + t.
-      main_timer.time("store", [&] {
-        std::vector<float> slice(geometry.nx * geometry.ny);
+    if (options.overlap) {
+      // Every rank transposes its partial slab to slice-major (the same
+      // permutation the blocking store applies after reducing), so the row
+      // ireduce completes *whole slices* front to back and the root can
+      // stream each finished slice to the async writer while later segments
+      // are still being folded. The per-voxel fold order is unchanged
+      // (ascending rank), so stored bits match the blocking path exactly.
+      std::vector<float> partial(2 * slab_h * slice_px);
+      main_timer.time("transpose", [&] {
         for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
-          const std::size_t global_k =
-              local_k < slab_h
-                  ? static_cast<std::size_t>(row) * slab_h + local_k
-                  : geometry.nz -
-                        (static_cast<std::size_t>(row) + 1) * slab_h +
-                        (local_k - slab_h);
-          for (std::size_t j = 0; j < geometry.ny; ++j) {
-            for (std::size_t i = 0; i < geometry.nx; ++i) {
-              slice[j * geometry.nx + i] =
-                  reduced.data()[(i * geometry.ny + j) * 2 * slab_h + local_k];
-            }
-          }
-          fs.write_object(object_name(options.output_prefix, global_k),
-                          slice.data(), slice.size() * sizeof(float));
+          extract_slice(slab.data(), local_k,
+                        partial.data() + local_k * slice_px);
         }
       });
+
+      std::vector<float> reduced(col == 0 ? partial.size() : 0);
+      std::optional<pfs::AsyncWriter> writer;
+      std::size_t next_slice = 0;
+      mpi::Comm::SegmentCallback on_segment;
+      if (col == 0) {
+        writer.emplace(fs, options.queue_capacity);
+        on_segment = [&](std::size_t offset, std::size_t length) {
+          // Enqueue every slice fully contained in the reduced prefix; the
+          // writer thread performs the PFS writes while the next segments
+          // are still in flight.
+          const std::size_t prefix = offset + length;
+          while (next_slice < 2 * slab_h &&
+                 (next_slice + 1) * slice_px <= prefix) {
+            const float* src = reduced.data() + next_slice * slice_px;
+            writer->enqueue(
+                object_name(options.output_prefix, global_slice(next_slice)),
+                std::vector<float>(src, src + slice_px));
+            ++next_slice;
+          }
+        };
+      }
+      mpi::Comm::CollectiveRequest reduce_req = row_comm.ireduce(
+          partial.data(), col == 0 ? reduced.data() : nullptr, partial.size(),
+          mpi::ReduceOp::kSum, /*root=*/0, options.reduce_segment_floats,
+          std::move(on_segment));
+      main_timer.time("reduce", [&] { reduce_req.wait(); });
+      if (col == 0) {
+        // "store" on the main thread is only the residual drain: writes that
+        // had not finished when the last reduce segment completed.
+        main_timer.time("store", [&] { writer->finish(); });
+        store_busy = writer->busy_seconds();
+      }
+    } else {
+      Volume reduced(geometry.nx, geometry.ny, 2 * slab_h,
+                     VolumeLayout::kZMajor, /*zero_fill=*/col == 0);
+      main_timer.time("reduce", [&] {
+        row_comm.reduce(slab.data(), col == 0 ? reduced.data() : nullptr,
+                        slab.voxels(), mpi::ReduceOp::kSum, /*root=*/0);
+      });
+
+      if (col == 0) {
+        // Blocking reference store: extract and write slices serially.
+        main_timer.time("store", [&] {
+          std::vector<float> slice(slice_px);
+          for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
+            extract_slice(reduced.data(), local_k, slice.data());
+            fs.write_object(
+                object_name(options.output_prefix, global_slice(local_k)),
+                slice.data(), slice.size() * sizeof(float));
+          }
+        });
+      }
     }
     world.barrier();
 
@@ -297,17 +456,42 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     stats.wall.merge(bp_timer);
     stats.wall.merge(main_timer);
     stats.wall.add("compute", compute_span);
+    // Overlapped store: report the larger of writer busy time and residual
+    // drain as the stage cost (the drain alone under-reports when writes
+    // fully overlap the reduce).
+    stats.wall.set_max("store", store_busy);
     stats.v_h2d = device.virtual_h2d_seconds();
     stats.v_kernel = device.virtual_kernel_seconds();
     stats.v_d2h = device.virtual_d2h_seconds();
     stats.total = rank_timer.seconds();
+
+    // Busy/wall per pipeline thread: how much of this rank's wall clock each
+    // stage thread spent doing useful work. bp_thread near 1 means the
+    // pipeline reached the paper's back-projection-bound regime.
+    if (stats.total > 0) {
+      stats.efficiency.add(
+          "filter_thread",
+          (filter_timer.get("load") + filter_timer.get("filter")) /
+              stats.total);
+      stats.efficiency.add(
+          "main_thread",
+          (main_timer.get("allgather") + main_timer.get("d2h") +
+           main_timer.get("transpose") + main_timer.get("reduce") +
+           main_timer.get("store")) /
+              stats.total);
+      stats.efficiency.add("bp_thread",
+                           bp_timer.get("backprojection") / stats.total);
+      stats.efficiency.add("store_thread", store_busy / stats.total);
+    }
   });
 
   // Merge: report the per-stage maximum across ranks (the critical path).
   IfdkStats out;
   out.grid = {rows, cols};
+  out.overlapped = options.overlap;
   for (const RankStats& rs : rank_stats) {
     out.wall.max_merge(rs.wall);
+    out.overlap_efficiency.max_merge(rs.efficiency);
     out.device_model.set_max("v_h2d", rs.v_h2d);
     out.device_model.set_max("v_kernel", rs.v_kernel);
     out.device_model.set_max("v_d2h", rs.v_d2h);

@@ -16,9 +16,30 @@
 //
 // Inside every rank three threads pipeline the work through two circular
 // buffers exactly as Fig. 4a: Filtering-thread -> Main-thread (AllGather) ->
-// Bp-thread. Wall-clock per stage is recorded per rank and merged; a
-// gpusim::Device per rank enforces the 16 GB memory constraint and keeps the
-// modeled-V100 time ledger.
+// Bp-thread. Projection *loading* is sharded across the column: each rank
+// reads only its 1/R of the column's Np/C share and the AllGather fills in
+// the rest, so no projection is read from the PFS more than once per column.
+//
+// With IfdkOptions::overlap (the default) the stages genuinely overlap the
+// way Fig. 4 requires for the end-to-end time to approach the
+// back-projection lower bound:
+//   * the column AllGather is the nonblocking ring (iallgather_ring),
+//     double-buffered across rounds — round t+1's exchange is initiated
+//     before round t is handed to the Bp-thread, so a rank never serializes
+//     "gather, then enqueue" against its neighbours;
+//   * the row Reduce is the chunked, pipelined ireduce: the slab is
+//     transposed to slice-major on every rank and reduced segment by
+//     segment, so the fold of segment s overlaps the delivery of s+1 —
+//     bitwise-identical to the blocking linear reduce;
+//   * the row root streams every completed slice into a pfs::AsyncWriter,
+//     so PFS stores overlap the tail of the reduce instead of starting
+//     after it.
+// overlap=false selects the blocking reference path; both paths produce
+// bitwise-identical volumes (asserted by tests across all grid shapes).
+//
+// Wall-clock per stage is recorded per rank and merged, along with a
+// per-thread overlap efficiency (busy/wall); a gpusim::Device per rank
+// enforces the 16 GB memory constraint and keeps the modeled-V100 ledger.
 #pragma once
 
 #include <cstddef>
@@ -42,37 +63,68 @@ struct IfdkOptions {
   /// Rows R of the 2-D grid; 0 = choose via Eq. (7) + the memory constraint
   /// (Section 4.1.5) using `microbench`.
   int rows = 0;
+  /// Measured per-GPU rates feeding the Eq. (7) row selection.
   perfmodel::MicroBench microbench;
-  filter::FilterOptions filter;
   /// Ramp window etc.; the back-projection kernel is always the proposed
   /// Algorithm 4 in slab-pair mode.
+  filter::FilterOptions filter;
+  /// Projections per simulated H2D+kernel launch on the Bp-thread.
   std::size_t bp_batch = 32;
-  std::size_t queue_capacity = 8;  ///< circular-buffer depth (Fig. 4a)
+  /// Circular-buffer depth (Fig. 4a); also the async store queue depth.
+  std::size_t queue_capacity = 8;
   /// Use the ring AllGather instead of gather+bcast for the column
   /// collective (identical results; the bandwidth-optimal algorithm the
-  /// simulator's cost model assumes).
+  /// simulator's cost model assumes). Only meaningful when overlap=false:
+  /// the overlapped pipeline always uses the nonblocking ring.
   bool use_ring_allgather = false;
+  /// Run the overlapped pipeline: double-buffered nonblocking column
+  /// AllGather across rounds, segmented pipelined row ireduce, and an async
+  /// PFS store on the row root. false selects the blocking reference path.
+  /// Both paths produce bitwise-identical volumes.
+  bool overlap = true;
+  /// Floats per row-ireduce segment (must be identical on every rank).
+  /// Smaller segments start the store earlier; larger ones amortize
+  /// per-message cost. Matches mpi::Comm::kDefaultReduceSegment.
+  std::size_t reduce_segment_floats = std::size_t{1} << 16;
+  /// Simulated per-rank GPU (memory budget + modeled PCIe/kernel rates).
   gpusim::DeviceSpec device;
+  /// Projection objects are read from `<input_prefix><s>`, s in [0, Np).
   std::string input_prefix = "proj/";
+  /// Volume slices are written to `<output_prefix><k>`, k in [0, Nz).
   std::string output_prefix = "vol/slice_";
 };
 
 struct IfdkStats {
+  /// The R x C grid the run actually used (after Eq. (7) auto-selection).
   perfmodel::GridShape grid;
   /// Wall-clock stage seconds, max over ranks (the pipeline-critical rank):
-  /// "load", "filter", "allgather", "backprojection", "d2h", "reduce",
-  /// "store", "compute" (load+filter+allgather+bp span), "total".
+  /// "load", "filter", "allgather", "backprojection", "d2h", "transpose"
+  /// (overlapped path only), "reduce", "store", "compute"
+  /// (load+filter+allgather+bp span).
   StageTimer wall;
   /// Modeled V100 seconds summed over the device ledger of the *slowest*
   /// rank: "v_h2d", "v_kernel", "v_d2h".
   StageTimer device_model;
+  /// Per-thread overlap efficiency, max over ranks: busy seconds of each
+  /// pipeline thread divided by that rank's wall-clock. Entries:
+  /// "filter_thread" (load+filter), "main_thread" (gather+reduce+store
+  /// coordination), "bp_thread" (back-projection), "store_thread" (async
+  /// writer; 0 unless overlapped). An efficiency near 1 means the thread —
+  /// and therefore its stage — is the pipeline bottleneck; the paper's
+  /// overlap claim holds when bp_thread dominates.
+  StageTimer overlap_efficiency;
+  /// Whether the overlapped pipeline ran (IfdkOptions::overlap).
+  bool overlapped = false;
   double wall_total = 0;
 };
 
 /// Runs the full distributed pipeline: reads projections
 /// `<input_prefix><s>` (raw float Nu*Nv objects, s in [0, Np)) from `fs`,
 /// writes slices `<output_prefix><k>` (raw float Nx*Ny objects, k in
-/// [0, Nz)). Requires Np % ranks == 0 and even Nz divisible by 2*rows.
+/// [0, Nz)). Requires Np % ranks == 0 and even Nz divisible by 2*rows;
+/// violations throw ConfigError naming the offending values. A failure on
+/// any rank (I/O, device memory, ...) aborts the whole world and is
+/// rethrown here; no complete output volume is left behind in that case.
 IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                           pfs::ParallelFileSystem& fs,
                           const IfdkOptions& options);

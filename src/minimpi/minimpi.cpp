@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -251,6 +252,151 @@ void Comm::wait_all(std::span<Request> requests) {
   for (Request& r : requests) {
     if (r.valid()) r.wait();
   }
+}
+
+Comm::CollectiveRequest::CollectiveRequest(std::function<void()> complete)
+    : complete_(std::move(complete)), done_(false) {}
+
+Comm::CollectiveRequest::CollectiveRequest(CollectiveRequest&& other) noexcept {
+  *this = std::move(other);
+}
+
+Comm::CollectiveRequest& Comm::CollectiveRequest::operator=(
+    CollectiveRequest&& other) noexcept {
+  if (this != &other) {
+    IFDK_ASSERT_MSG(done_, "overwriting an unwaited CollectiveRequest");
+    complete_ = std::move(other.complete_);
+    done_ = other.done_;
+    other.complete_ = nullptr;
+    other.done_ = true;
+  }
+  return *this;
+}
+
+Comm::CollectiveRequest::~CollectiveRequest() {
+  // An unwaited handle may be dropped during exception unwinding (a world
+  // abort throws out of a fetch while sibling requests are outstanding);
+  // any other destruction without wait() is a protocol violation.
+  IFDK_ASSERT_MSG(done_ || std::uncaught_exceptions() > 0,
+                  "CollectiveRequest destroyed without wait()");
+}
+
+void Comm::CollectiveRequest::wait() {
+  IFDK_ASSERT_MSG(!done_, "wait() on a completed CollectiveRequest");
+  // Mark completed before running the steps: a world abort throws out of
+  // fetch(), and the handle must not assert again during unwinding.
+  done_ = true;
+  if (complete_) complete_();
+  complete_ = nullptr;
+}
+
+Comm::CollectiveRequest Comm::iallgather_ring(const void* send_data,
+                                              std::size_t bytes_per_rank,
+                                              void* recv) {
+  const int p = size();
+  char* out = static_cast<char*>(recv);
+  std::memcpy(out + static_cast<std::size_t>(rank_) * bytes_per_rank,
+              send_data, bytes_per_rank);
+  if (p == 1) return CollectiveRequest([] {});
+
+  // Same tag budget as the blocking ring (p-1 steps), reserved *now* so any
+  // collective initiated while this one is outstanding gets later tags on
+  // every rank.
+  const int tag =
+      kCollectiveTagBase + static_cast<int>(collective_seq_ % (1 << 20));
+  collective_seq_ += static_cast<std::uint64_t>(p - 1);
+
+  const int next = (rank_ + 1) % p;
+  const int prev = (rank_ + p - 1) % p;
+  // Step 0 forwards this rank's own block, which is available immediately:
+  // post it before returning so a neighbour that waits early never stalls
+  // on this rank's initiation.
+  world_->post(comm_id_, members_[static_cast<std::size_t>(next)], rank_, tag,
+               out + static_cast<std::size_t>(rank_) * bytes_per_rank,
+               bytes_per_rank);
+
+  // The completion owns copies of the comm state: the Comm handle may be
+  // moved or destroyed while the request is outstanding.
+  return CollectiveRequest([world = world_, comm_id = comm_id_,
+                            members = members_, rank = rank_, p, next, prev,
+                            tag, out, bytes_per_rank] {
+    const int my_world = members[static_cast<std::size_t>(rank)];
+    for (int s = 0; s < p - 1; ++s) {
+      // Block received in step s is the one forwarded in step s+1.
+      const int recv_block = (rank + p - s - 1) % p;
+      char* block = out + static_cast<std::size_t>(recv_block) * bytes_per_rank;
+      world->fetch(comm_id, my_world, prev, tag + s, block, bytes_per_rank);
+      if (s + 1 < p - 1) {
+        world->post(comm_id, members[static_cast<std::size_t>(next)], rank,
+                    tag + s + 1, block, bytes_per_rank);
+      }
+    }
+  });
+}
+
+Comm::CollectiveRequest Comm::ireduce(const float* send_data, float* recv,
+                                      std::size_t count, ReduceOp op, int root,
+                                      std::size_t segment_floats,
+                                      SegmentCallback on_segment) {
+  IFDK_ASSERT(root >= 0 && root < size());
+  IFDK_ASSERT_MSG(segment_floats > 0,
+                  "ireduce segment size must be positive (and identical on "
+                  "every rank)");
+  const std::size_t segments =
+      count == 0 ? 0 : (count + segment_floats - 1) / segment_floats;
+  IFDK_ASSERT_MSG(segments <= static_cast<std::size_t>(1 << 20),
+                  "ireduce segment count exceeds the collective tag window");
+  const int tag =
+      kCollectiveTagBase + static_cast<int>(collective_seq_ % (1 << 20));
+  collective_seq_ += segments;
+
+  if (rank_ != root) {
+    // Sends are buffered: post every segment eagerly and complete at once.
+    // The pipelining happens at the root, which folds segment s while the
+    // payload of s+1 is already sitting in its mailbox.
+    for (std::size_t s = 0; s < segments; ++s) {
+      const std::size_t offset = s * segment_floats;
+      const std::size_t len = std::min(segment_floats, count - offset);
+      world_->post(comm_id_, members_[static_cast<std::size_t>(root)], rank_,
+                   tag + static_cast<int>(s), send_data + offset,
+                   len * sizeof(float));
+    }
+    return CollectiveRequest([] {});
+  }
+
+  IFDK_ASSERT_MSG(recv != nullptr, "ireduce root requires a receive buffer");
+  return CollectiveRequest([world = world_, comm_id = comm_id_,
+                            members = members_, rank = rank_, p = size(),
+                            send_data, recv, count, op, root, segment_floats,
+                            segments, tag,
+                            on_segment = std::move(on_segment)] {
+    const int my_world = members[static_cast<std::size_t>(rank)];
+    std::vector<float> incoming(std::min(segment_floats, count));
+    for (std::size_t s = 0; s < segments; ++s) {
+      const std::size_t offset = s * segment_floats;
+      const std::size_t len = std::min(segment_floats, count - offset);
+      // Identical fold order to the blocking reduce(): start from rank 0's
+      // contribution, fold ascending — bitwise-equal results by design.
+      for (int r = 0; r < p; ++r) {
+        const float* contribution;
+        if (r == root) {
+          contribution = send_data + offset;
+        } else {
+          world->fetch(comm_id, my_world, r, tag + static_cast<int>(s),
+                       incoming.data(), len * sizeof(float));
+          contribution = incoming.data();
+        }
+        if (r == 0) {
+          std::memcpy(recv + offset, contribution, len * sizeof(float));
+        } else {
+          for (std::size_t i = 0; i < len; ++i) {
+            recv[offset + i] = apply_op(op, recv[offset + i], contribution[i]);
+          }
+        }
+      }
+      if (on_segment) on_segment(offset, len);
+    }
+  });
 }
 
 void Comm::sendrecv(int dest, const void* send_data, int src, void* recv_data,

@@ -8,8 +8,11 @@
 // see the LLNL MPI programming model and Core Guidelines CP.mess).
 //
 // Supported surface (everything iFDK needs, Section 4.1):
-//   * point-to-point: send / recv with tags,
+//   * point-to-point: send / recv with tags (plus nonblocking isend/irecv),
 //   * collectives: barrier, bcast, gather, allgather, reduce, allreduce,
+//   * nonblocking collectives: iallgather_ring and a chunked, pipelined
+//     ireduce, each returning a waitable CollectiveRequest (the overlap
+//     primitives of the Fig. 4 pipeline),
 //   * communicator split (used to form the R x C rank grid of Fig. 3a).
 //
 // Collectives are implemented over point-to-point with deterministic
@@ -39,7 +42,9 @@ class World;
 /// (like an MPI_Comm); all members must call collectives in the same order.
 class Comm {
  public:
+  /// This rank's id within the communicator, in [0, size()).
   int rank() const { return rank_; }
+  /// Number of member ranks.
   int size() const { return static_cast<int>(members_.size()); }
 
   // -- point to point ------------------------------------------------------
@@ -51,10 +56,12 @@ class Comm {
   /// Blocking receive of exactly `bytes` from `src` with `tag`.
   void recv(int src, int tag, void* data, std::size_t bytes);
 
+  /// Typed convenience wrapper over send() (blocking, buffered).
   template <typename T>
   void send_span(int dest, int tag, std::span<const T> data) {
     send(dest, tag, data.data(), data.size_bytes());
   }
+  /// Typed convenience wrapper over recv() (blocking).
   template <typename T>
   void recv_span(int src, int tag, std::span<T> data) {
     recv(src, tag, data.data(), data.size_bytes());
@@ -77,6 +84,7 @@ class Comm {
     /// Blocks until the operation completed (for isend: the payload was
     /// buffered at the destination; for irecv: the data arrived).
     void wait();
+    /// True while an operation is attached (wait() has not consumed it).
     bool valid() const { return comm_ != nullptr; }
 
    private:
@@ -102,8 +110,82 @@ class Comm {
   /// Waits on all requests in order.
   static void wait_all(std::span<Request> requests);
 
+  // -- nonblocking collectives ----------------------------------------------
+
+  /// Waitable handle to an outstanding nonblocking collective
+  /// (iallgather_ring / ireduce). wait() must be called exactly once before
+  /// destruction (asserted; dropping an unwaited handle is tolerated only
+  /// while an exception unwinds, i.e. after a world abort). Handles may be
+  /// waited out of order with respect to each other and to point-to-point
+  /// traffic: every collective reserves its tag block at *initiation* time,
+  /// so message matching cannot cross between operations regardless of
+  /// completion order.
+  class CollectiveRequest {
+   public:
+    CollectiveRequest() = default;
+    CollectiveRequest(CollectiveRequest&&) noexcept;
+    CollectiveRequest& operator=(CollectiveRequest&&) noexcept;
+    CollectiveRequest(const CollectiveRequest&) = delete;
+    CollectiveRequest& operator=(const CollectiveRequest&) = delete;
+    ~CollectiveRequest();
+
+    /// Drives the remaining steps of the collective to completion, blocking
+    /// as needed. Throws Error if the world was aborted by another rank; the
+    /// handle counts as completed either way (no second wait).
+    void wait();
+    /// True until wait() has been called (default-constructed handles are
+    /// born completed).
+    bool valid() const { return !done_; }
+
+   private:
+    friend class Comm;
+    explicit CollectiveRequest(std::function<void()> complete);
+    std::function<void()> complete_;
+    bool done_ = true;
+  };
+
+  /// Invoked by ireduce's root after each segment has been fully reduced
+  /// into the receive buffer; arguments are the segment's float offset and
+  /// length. Runs on the thread that calls wait().
+  using SegmentCallback = std::function<void(std::size_t offset,
+                                             std::size_t length)>;
+
+  /// Default ireduce segment: 64K floats (256 KiB), small enough that the
+  /// reduction of segment s overlaps delivery of segment s+1, large enough
+  /// to amortize per-message cost.
+  static constexpr std::size_t kDefaultReduceSegment = std::size_t{1} << 16;
+
+  /// Nonblocking ring AllGather. Semantics and output are identical to
+  /// allgather_ring() (same tag consumption: p-1 collective sequence
+  /// numbers, reserved at initiation). The caller's block is copied into
+  /// `recv` and the first neighbour exchange is posted before returning, so
+  /// neighbours that wait early never stall on this rank's initiation; the
+  /// remaining p-2 exchange steps run inside wait(). `send_data` may be
+  /// reused as soon as this call returns; `recv` must stay alive and
+  /// untouched until wait() completes.
+  CollectiveRequest iallgather_ring(const void* send_data,
+                                    std::size_t bytes_per_rank, void* recv);
+
+  /// Nonblocking, chunked, pipelined reduce to `root`. The payload is split
+  /// into ceil(count / segment_floats) segments; non-root ranks post every
+  /// segment eagerly (buffered) and their wait() is a no-op, while the root
+  /// folds segments one at a time inside wait() — so the reduction of
+  /// segment s overlaps the delivery of segment s+1, and `on_segment`
+  /// (root only, may be empty) streams finished segments to a consumer
+  /// (e.g. an async PFS writer) while later segments are still in flight.
+  /// The per-element fold order is ascending rank, exactly like reduce(),
+  /// so results are bitwise identical to the blocking linear algorithm.
+  /// `segment_floats` must be positive and identical on every rank (it
+  /// determines the number of reserved tags). `recv` may be null on
+  /// non-root ranks and must not alias `send_data` on the root.
+  CollectiveRequest ireduce(const float* send_data, float* recv,
+                            std::size_t count, ReduceOp op, int root,
+                            std::size_t segment_floats = kDefaultReduceSegment,
+                            SegmentCallback on_segment = {});
+
   // -- collectives ---------------------------------------------------------
 
+  /// Blocks until every member of the communicator reached the barrier.
   void barrier();
 
   /// Broadcast `bytes` from `root` to every rank.

@@ -1,0 +1,68 @@
+#include "pfs/async_writer.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace ifdk::pfs {
+
+AsyncWriter::AsyncWriter(ParallelFileSystem& fs, std::size_t queue_capacity)
+    : fs_(fs), queue_(queue_capacity), worker_([this] { run(); }) {}
+
+AsyncWriter::~AsyncWriter() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void AsyncWriter::enqueue(std::string name, std::vector<float> payload) {
+  IFDK_REQUIRE(!finished_, "AsyncWriter: enqueue after finish()");
+  if (!queue_.push(Item{std::move(name), std::move(payload)})) {
+    // The queue only closes early when the writer thread failed; surface
+    // that root cause instead of a generic refused-push message.
+    finish();
+    throw Error("AsyncWriter: queue closed before enqueue completed");
+  }
+}
+
+void AsyncWriter::finish() {
+  if (!finished_) {
+    finished_ = true;
+    queue_.close();
+    if (worker_.joinable()) worker_.join();
+  }
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+double AsyncWriter::busy_seconds() const {
+  return busy_seconds_.load(std::memory_order_relaxed);
+}
+
+std::size_t AsyncWriter::writes_completed() const {
+  return writes_.load(std::memory_order_relaxed);
+}
+
+void AsyncWriter::run() {
+  while (auto item = queue_.pop()) {
+    if (error_) continue;  // drain remaining items after a failure
+    try {
+      Timer t;
+      fs_.write_object(item->name, item->payload.data(),
+                       item->payload.size() * sizeof(float));
+      busy_seconds_.store(busy_seconds_.load(std::memory_order_relaxed) +
+                              t.seconds(),
+                          std::memory_order_relaxed);
+      writes_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      error_ = std::current_exception();
+      // Close so a producer blocked on a full queue fails fast instead of
+      // feeding a dead consumer.
+      queue_.close();
+    }
+  }
+}
+
+}  // namespace ifdk::pfs

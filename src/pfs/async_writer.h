@@ -1,0 +1,74 @@
+// Asynchronous PFS store path (the Fig. 4b "Store"-stage overlap).
+//
+// The paper's row root must write Nz slices while the tail of the row-Reduce
+// is still arriving; a blocking write_object loop would serialize the two
+// stages. AsyncWriter runs a single background writer thread fed through a
+// bounded CircularBuffer, so enqueue() returns as soon as the payload is
+// queued and the producer (the reduce fold) keeps running. Write order is
+// FIFO, errors are captured on the writer thread and rethrown from finish().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/circular_buffer.h"
+#include "pfs/pfs.h"
+
+namespace ifdk::pfs {
+
+/// Background writer over a ParallelFileSystem. Single producer / single
+/// writer thread; enqueue() applies back-pressure when `queue_capacity`
+/// payloads are in flight. finish() must be called before destruction to
+/// observe errors; the destructor drains silently if it was not.
+class AsyncWriter {
+ public:
+  /// Starts the writer thread. `fs` must outlive this object.
+  explicit AsyncWriter(ParallelFileSystem& fs, std::size_t queue_capacity = 8);
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Joins the writer thread, draining queued writes. Errors that finish()
+  /// did not already surface are swallowed (destructors must not throw);
+  /// call finish() to observe them.
+  ~AsyncWriter();
+
+  /// Queues one object write (payload is taken by value so the caller's
+  /// buffer is free immediately). Blocks while the queue is full — the
+  /// back-pressure that keeps the store stage from buffering an unbounded
+  /// volume. Throws Error if called after finish().
+  void enqueue(std::string name, std::vector<float> payload);
+
+  /// Closes the queue, waits for every queued write to hit the store, and
+  /// rethrows the first writer-thread error (if any). Idempotent.
+  void finish();
+
+  /// Wall-clock seconds the writer thread spent inside write_object — the
+  /// "busy" numerator of the store stage's overlap efficiency.
+  double busy_seconds() const;
+
+  /// Number of objects written so far (successful writes only).
+  std::size_t writes_completed() const;
+
+ private:
+  struct Item {
+    std::string name;
+    std::vector<float> payload;
+  };
+
+  void run();
+
+  ParallelFileSystem& fs_;
+  CircularBuffer<Item> queue_;
+  std::thread worker_;
+  bool finished_ = false;
+  std::exception_ptr error_;
+  std::atomic<double> busy_seconds_{0.0};
+  std::atomic<std::size_t> writes_{0};
+};
+
+}  // namespace ifdk::pfs

@@ -36,6 +36,7 @@ struct PfsConfig {
 
 class ParallelFileSystem {
  public:
+  /// Validates and adopts the striping/bandwidth configuration.
   explicit ParallelFileSystem(PfsConfig config = {});
   virtual ~ParallelFileSystem() = default;
 
@@ -44,15 +45,22 @@ class ParallelFileSystem {
   // write_object/read_object are virtual so tests can inject faults (e.g. a
   // read that throws on one distributed rank) without a separate store.
 
+  /// Stores (or overwrites) the whole object atomically; safe to call from
+  /// any thread, including pfs::AsyncWriter's background writer.
   virtual void write_object(const std::string& name, const void* data,
                             std::size_t bytes);
   /// Reads the whole object; throws IoError when missing or size mismatches.
   virtual void read_object(const std::string& name, void* data,
                            std::size_t bytes) const;
+  /// True when an object of this name is stored.
   bool exists(const std::string& name) const;
+  /// Size in bytes of the named object; throws IoError when missing.
   std::size_t object_size(const std::string& name) const;
+  /// Removes the object (no-op when absent).
   void remove_object(const std::string& name);
+  /// Names of every stored object, sorted.
   std::vector<std::string> list_objects() const;
+  /// Sum of all stored payload sizes.
   std::uint64_t total_bytes_stored() const;
 
   // -- cost model -----------------------------------------------------------
@@ -61,6 +69,8 @@ class ParallelFileSystem {
   /// `total_bytes` (shared-bandwidth: time does not improve with more ranks
   /// once the aggregate link saturates).
   double estimate_read_seconds(std::uint64_t total_bytes, int ranks = 1) const;
+  /// Modeled wall time for `ranks` clients collectively writing
+  /// `total_bytes` against the shared aggregate write bandwidth.
   double estimate_write_seconds(std::uint64_t total_bytes,
                                 int ranks = 1) const;
 
@@ -68,8 +78,10 @@ class ParallelFileSystem {
   /// targets a single such object can keep busy — the file-striping
   /// utilization the paper's Tstore gap analysis points at (§5.3.3).
   std::uint64_t stripes_for(std::uint64_t bytes) const;
+  /// Fraction of storage targets one object of `bytes` keeps busy.
   double stripe_utilization(std::uint64_t bytes) const;
 
+  /// The striping/bandwidth configuration this store models.
   const PfsConfig& config() const { return config_; }
 
  private:

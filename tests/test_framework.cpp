@@ -7,12 +7,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 
 #include "backproj/backprojector.h"
 #include "common/error.h"
 #include "ifdk/fdk.h"
 #include "ifdk/framework.h"
+#include "minimpi/minimpi.h"
 #include "phantom/phantom.h"
 
 namespace ifdk {
@@ -128,6 +130,73 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<int, int>{12, 6},  // R=6, C=2 minimal slabs
                       std::pair<int, int>{8, 2})); // R=2, C=4
 
+class OverlapEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // ranks, rows
+
+TEST_P(OverlapEquivalence, OverlappedVolumeIsBitwiseIdenticalToBlocking) {
+  // The tentpole invariant: the overlapped pipeline (nonblocking ring
+  // AllGather double-buffered across rounds, segmented pipelined row
+  // ireduce, async PFS store) must reproduce the blocking path bit for bit.
+  const auto [ranks, rows] = GetParam();
+  const Scene s = make_scene(48, 24, 12);
+
+  pfs::ParallelFileSystem fs_blocking;
+  stage_projections(fs_blocking, "proj/", s.projections);
+  IfdkOptions blocking;
+  blocking.ranks = ranks;
+  blocking.rows = rows;
+  blocking.overlap = false;
+  run_distributed(s.g, fs_blocking, blocking);
+  const Volume ref = load_volume(fs_blocking, "vol/slice_", s.g.vol_dims());
+
+  // Exercise segment sizes around the slice granularity: smaller than a
+  // slice, non-divisible, and the default (larger than the whole slab).
+  for (const std::size_t segment :
+       {std::size_t{64}, std::size_t{1000},
+        mpi::Comm::kDefaultReduceSegment}) {
+    pfs::ParallelFileSystem fs;
+    stage_projections(fs, "proj/", s.projections);
+    IfdkOptions overlapped;
+    overlapped.ranks = ranks;
+    overlapped.rows = rows;
+    overlapped.overlap = true;
+    overlapped.reduce_segment_floats = segment;
+    const IfdkStats stats = run_distributed(s.g, fs, overlapped);
+    EXPECT_TRUE(stats.overlapped);
+    const Volume vol = load_volume(fs, "vol/slice_", s.g.vol_dims());
+    for (std::size_t n = 0; n < ref.voxels(); ++n) {
+      ASSERT_EQ(vol.data()[n], ref.data()[n])
+          << "grid " << rows << "x" << ranks / rows << ", segment " << segment
+          << ", voxel " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, OverlapEquivalence,
+    ::testing::Values(std::pair<int, int>{1, 1},   // degenerate single rank
+                      std::pair<int, int>{2, 2},   // R=2, C=1 (no reduce)
+                      std::pair<int, int>{2, 1},   // R=1, C=2 (no gather)
+                      std::pair<int, int>{4, 2},   // R=2, C=2
+                      std::pair<int, int>{6, 3})); // R=3, C=2
+
+TEST(Framework, OverlapStatsExposeThreadEfficiencies) {
+  const Scene s = make_scene(48, 12, 12);
+  pfs::ParallelFileSystem fs;
+  stage_projections(fs, "proj/", s.projections);
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+  const IfdkStats stats = run_distributed(s.g, fs, opts);
+  ASSERT_TRUE(stats.overlapped);
+  for (const char* thread :
+       {"filter_thread", "main_thread", "bp_thread", "store_thread"}) {
+    const double eff = stats.overlap_efficiency.get(thread);
+    EXPECT_GT(eff, 0.0) << thread;
+    EXPECT_LE(eff, 1.0 + 1e-9) << thread;
+  }
+}
+
 TEST(Framework, ReconstructsPhantomAccurately) {
   // Beyond matching the reference implementation: the distributed output
   // must actually reconstruct the phantom (absolute quality check).
@@ -222,20 +291,37 @@ TEST(Framework, RejectsInvalidDecompositions) {
   pfs::ParallelFileSystem fs;
   stage_projections(fs, "proj/", s.projections);
 
+  // Every validation error must name the offending values, so a bad run
+  // script can be fixed from the message alone.
+  const auto expect_config_error = [&](const IfdkOptions& opts,
+                                       std::initializer_list<const char*>
+                                           fragments) {
+    try {
+      run_distributed(s.g, fs, opts);
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      const std::string what = e.what();
+      for (const char* fragment : fragments) {
+        EXPECT_NE(what.find(fragment), std::string::npos)
+            << "message \"" << what << "\" lacks \"" << fragment << "\"";
+      }
+    }
+  };
+
   IfdkOptions bad_ranks;
   bad_ranks.ranks = 3;
   bad_ranks.rows = 2;  // 3 % 2 != 0
-  EXPECT_THROW(run_distributed(s.g, fs, bad_ranks), ConfigError);
+  expect_config_error(bad_ranks, {"ranks (3)", "row count R (2)"});
 
   IfdkOptions bad_np;
   bad_np.ranks = 16;  // 8 projections across 16 ranks
   bad_np.rows = 2;
-  EXPECT_THROW(run_distributed(s.g, fs, bad_np), ConfigError);
+  expect_config_error(bad_np, {"Np (8)", "ranks=16"});
 
   IfdkOptions bad_nz;
   bad_nz.ranks = 8;
   bad_nz.rows = 8;  // nz=12 not divisible by 2*8
-  EXPECT_THROW(run_distributed(s.g, fs, bad_nz), ConfigError);
+  expect_config_error(bad_nz, {"Nz (12)", "2*rows (16)"});
 }
 
 TEST(Framework, MissingProjectionsSurfaceAsIoError) {
@@ -290,6 +376,56 @@ TEST(Framework, InjectedReadFailureSurfacesAndUnblocksAllRanks) {
       if (fs.exists("vol/slice_" + std::string(buf))) ++stored;
     }
     EXPECT_LT(stored, s.g.nz) << "fail_at " << fail_at;
+  }
+}
+
+TEST(Framework, InjectedReadFailureOnBlockingPath) {
+  // The blocking reference pipeline must keep the same abort guarantees.
+  const Scene s = make_scene(48, 12, 12);
+  FailingReadFs fs(/*fail_at=*/5);
+  stage_projections(fs, "proj/", s.projections);
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+  opts.overlap = false;
+  EXPECT_THROW(run_distributed(s.g, fs, opts), Error);
+}
+
+/// PFS wrapper that throws on the Nth *slice* write: the fault hits the row
+/// root's async writer thread while the pipelined reduce is still feeding it.
+class FailingWriteFs : public pfs::ParallelFileSystem {
+ public:
+  explicit FailingWriteFs(int fail_at) : fail_at_(fail_at) {}
+
+  void write_object(const std::string& name, const void* data,
+                    std::size_t bytes) override {
+    if (name.rfind("vol/", 0) == 0 && writes_.fetch_add(1) == fail_at_) {
+      throw IoError("injected PFS write failure: " + name);
+    }
+    pfs::ParallelFileSystem::write_object(name, data, bytes);
+  }
+
+ private:
+  int fail_at_;
+  std::atomic<int> writes_{0};
+};
+
+TEST(Framework, InjectedWriteFailureSurfacesFromAsyncStore) {
+  // A store failure on the async writer thread must surface from
+  // run_distributed on both pipeline paths, not hang the other ranks.
+  const Scene s = make_scene(48, 12, 12);
+  for (const bool overlap : {true, false}) {
+    for (const int fail_at : {0, 7}) {
+      FailingWriteFs fs(fail_at);
+      stage_projections(fs, "proj/", s.projections);
+      IfdkOptions opts;
+      opts.ranks = 4;
+      opts.rows = 2;
+      opts.overlap = overlap;
+      opts.reduce_segment_floats = 256;  // several segments per slab
+      EXPECT_THROW(run_distributed(s.g, fs, opts), Error)
+          << "overlap " << overlap << ", fail_at " << fail_at;
+    }
   }
 }
 

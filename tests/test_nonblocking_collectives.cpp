@@ -1,0 +1,321 @@
+// Nonblocking-collective tests: iallgather_ring / ireduce correctness
+// against their blocking references, adversarial interleaving with
+// point-to-point traffic and other collectives on the same communicator,
+// out-of-order waits, pipelined segment callbacks, and failure injection
+// (one rank aborting mid-collective) — the PR 2 failure-injection suite
+// extended to the overlap primitives.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "minimpi/minimpi.h"
+
+namespace ifdk::mpi {
+namespace {
+
+TEST(NonblockingCollectives, IallgatherRingMatchesBlocking) {
+  for (int ranks : {1, 2, 3, 5, 8}) {
+    run_world(ranks, [ranks](Comm& comm) {
+      std::array<float, 3> mine{};
+      for (int i = 0; i < 3; ++i) {
+        mine[static_cast<std::size_t>(i)] =
+            static_cast<float>(comm.rank() * 10 + i);
+      }
+      const std::size_t total = static_cast<std::size_t>(3 * comm.size());
+      std::vector<float> blocking(total), nonblocking(total);
+      comm.allgather_ring(mine.data(), sizeof(mine), blocking.data());
+      Comm::CollectiveRequest req =
+          comm.iallgather_ring(mine.data(), sizeof(mine), nonblocking.data());
+      req.wait();
+      EXPECT_FALSE(req.valid());
+      EXPECT_EQ(blocking, nonblocking) << ranks << " ranks";
+    });
+  }
+}
+
+TEST(NonblockingCollectives, IreduceBitwiseMatchesBlockingReduce) {
+  // Every segment size must give bitwise-identical sums to the blocking
+  // linear reduce (same ascending-rank fold), including segments that do
+  // not divide the count and a segment larger than the payload.
+  for (const std::size_t segment : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{100000}}) {
+    run_world(5, [segment](Comm& comm) {
+      constexpr std::size_t kCount = 1000;
+      std::vector<float> mine(kCount);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        mine[i] = (comm.rank() % 2 == 0 ? 1.0f : -1.0f) *
+                  (1.0f + static_cast<float>(i) * 1e-6f) *
+                  static_cast<float>(1 + comm.rank());
+      }
+      std::vector<float> blocking(kCount), nonblocking(kCount);
+      comm.reduce(mine.data(), blocking.data(), kCount, ReduceOp::kSum, 0);
+      Comm::CollectiveRequest req =
+          comm.ireduce(mine.data(), nonblocking.data(), kCount, ReduceOp::kSum,
+                       /*root=*/0, segment);
+      req.wait();
+      if (comm.rank() == 0) {
+        for (std::size_t i = 0; i < kCount; ++i) {
+          EXPECT_EQ(blocking[i], nonblocking[i])
+              << "segment " << segment << ", element " << i;
+        }
+      }
+    });
+  }
+}
+
+TEST(NonblockingCollectives, IreduceNonZeroRootMaxAndMin) {
+  run_world(6, [](Comm& comm) {
+    const float mine = static_cast<float>((comm.rank() * 7) % 5);
+    float max_out = -1, min_out = -1;
+    Comm::CollectiveRequest rmax =
+        comm.ireduce(&mine, &max_out, 1, ReduceOp::kMax, 4, 1);
+    Comm::CollectiveRequest rmin =
+        comm.ireduce(&mine, &min_out, 1, ReduceOp::kMin, 4, 1);
+    rmax.wait();
+    rmin.wait();
+    if (comm.rank() == 4) {
+      EXPECT_FLOAT_EQ(max_out, 4.0f);  // values are 0,2,4,1,3,0
+      EXPECT_FLOAT_EQ(min_out, 0.0f);
+    }
+  });
+}
+
+TEST(NonblockingCollectives, IreduceSegmentCallbackStreamsPrefixes) {
+  run_world(3, [](Comm& comm) {
+    constexpr std::size_t kCount = 10;
+    constexpr std::size_t kSegment = 4;  // segments: 4, 4, 2
+    std::vector<float> mine(kCount, static_cast<float>(comm.rank() + 1));
+    std::vector<float> out(kCount);
+    std::vector<std::pair<std::size_t, std::size_t>> seen;
+    Comm::CollectiveRequest req = comm.ireduce(
+        mine.data(), out.data(), kCount, ReduceOp::kSum, 0, kSegment,
+        comm.rank() == 0
+            ? Comm::SegmentCallback([&](std::size_t off, std::size_t len) {
+                // The reduced prefix must already hold final values when
+                // the callback fires.
+                for (std::size_t i = off; i < off + len; ++i) {
+                  EXPECT_FLOAT_EQ(out[i], 6.0f);
+                }
+                seen.emplace_back(off, len);
+              })
+            : Comm::SegmentCallback{});
+    req.wait();
+    if (comm.rank() == 0) {
+      ASSERT_EQ(seen.size(), 3u);
+      EXPECT_EQ(seen[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+      EXPECT_EQ(seen[1], (std::pair<std::size_t, std::size_t>{4, 4}));
+      EXPECT_EQ(seen[2], (std::pair<std::size_t, std::size_t>{8, 2}));
+    }
+  });
+}
+
+TEST(NonblockingCollectives, OutOfOrderWaits) {
+  // Initiate an iallgather and an ireduce back to back, then wait them in
+  // reverse order: tag reservation at initiation must keep the two message
+  // streams separate.
+  run_world(4, [](Comm& comm) {
+    const float gathered = static_cast<float>(comm.rank() + 1);
+    const float summed = static_cast<float>(10 * (comm.rank() + 1));
+    std::vector<float> gather_out(4);
+    float reduce_out = 0;
+    Comm::CollectiveRequest gather =
+        comm.iallgather_ring(&gathered, sizeof(float), gather_out.data());
+    Comm::CollectiveRequest reduce =
+        comm.ireduce(&summed, &reduce_out, 1, ReduceOp::kSum, 0, 1);
+    reduce.wait();  // waited before the earlier-initiated gather
+    gather.wait();
+    for (int r = 0; r < 4; ++r) {
+      EXPECT_FLOAT_EQ(gather_out[static_cast<std::size_t>(r)],
+                      static_cast<float>(r + 1));
+    }
+    if (comm.rank() == 0) {
+      EXPECT_FLOAT_EQ(reduce_out, 100.0f);
+    }
+  });
+}
+
+TEST(NonblockingCollectives, TwoOutstandingIallgathers) {
+  // The double-buffered pattern run_distributed uses: round t+1 initiated
+  // while round t is still outstanding, into separate buffers.
+  run_world(3, [](Comm& comm) {
+    constexpr int kRounds = 6;
+    std::vector<float> bufs[2];
+    bufs[0].resize(3);
+    bufs[1].resize(3);
+    Comm::CollectiveRequest pending;
+    int pending_round = -1;
+    auto check = [&](int round, const std::vector<float>& buf) {
+      for (int r = 0; r < 3; ++r) {
+        EXPECT_FLOAT_EQ(buf[static_cast<std::size_t>(r)],
+                        static_cast<float>(100 * round + r));
+      }
+    };
+    for (int t = 0; t < kRounds; ++t) {
+      const float mine = static_cast<float>(100 * t + comm.rank());
+      Comm::CollectiveRequest req =
+          comm.iallgather_ring(&mine, sizeof(float), bufs[t % 2].data());
+      if (pending.valid()) {
+        pending.wait();
+        check(pending_round, bufs[pending_round % 2]);
+      }
+      pending = std::move(req);
+      pending_round = t;
+    }
+    pending.wait();
+    check(pending_round, bufs[pending_round % 2]);
+  });
+}
+
+TEST(NonblockingCollectives, InterleaveWithPointToPointAndCollectives) {
+  // While a nonblocking gather and a segmented reduce are outstanding, run
+  // user-tag point-to-point traffic and a blocking collective on the same
+  // communicator; nothing may cross-match.
+  for (int ranks : {2, 4}) {
+    run_world(ranks, [](Comm& comm) {
+      const int p = comm.size();
+      for (int round = 0; round < 3; ++round) {
+        const float mine = static_cast<float>(comm.rank() + 1 + round);
+        std::vector<float> gather_out(static_cast<std::size_t>(p));
+        float sum_out = 0;
+        Comm::CollectiveRequest gather =
+            comm.iallgather_ring(&mine, sizeof(float), gather_out.data());
+        Comm::CollectiveRequest reduce =
+            comm.ireduce(&mine, &sum_out, 1, ReduceOp::kSum, 0, 1);
+
+        // User point-to-point traffic in the gap (ring neighbour exchange).
+        const int right = (comm.rank() + 1) % p;
+        const int left = (comm.rank() + p - 1) % p;
+        int token = comm.rank() * 1000 + round;
+        int from_left = -1;
+        comm.sendrecv(right, &token, left, &from_left, sizeof(int),
+                      /*tag=*/round);
+        EXPECT_EQ(from_left, left * 1000 + round);
+
+        // A blocking collective initiated while both requests are in
+        // flight: its tags come after the reserved blocks.
+        float bcast_val = comm.rank() == 0 ? 42.0f + round : 0.0f;
+        comm.bcast(&bcast_val, sizeof(float), 0);
+        EXPECT_FLOAT_EQ(bcast_val, 42.0f + round);
+
+        gather.wait();
+        reduce.wait();
+        for (int r = 0; r < p; ++r) {
+          EXPECT_FLOAT_EQ(gather_out[static_cast<std::size_t>(r)],
+                          static_cast<float>(r + 1 + round));
+        }
+        if (comm.rank() == 0) {
+          EXPECT_FLOAT_EQ(sum_out,
+                          static_cast<float>(p * (p + 1) / 2 + p * round));
+        }
+      }
+    });
+  }
+}
+
+TEST(NonblockingCollectives, OnSubCommunicators) {
+  // The iFDK shape: iallgather down the columns, ireduce across the rows of
+  // a 2x2 grid, both nonblocking and outstanding simultaneously.
+  static constexpr int kR = 2, kC = 2;
+  run_world(kR * kC, [](Comm& comm) {
+    const int col = comm.rank() / kR;
+    const int row = comm.rank() % kR;
+    Comm col_comm = comm.split(col, row);
+    Comm row_comm = comm.split(row, col);
+
+    const float mine = static_cast<float>(comm.rank() + 1);
+    std::vector<float> gathered(kR);
+    float reduced = 0;
+    Comm::CollectiveRequest g =
+        col_comm.iallgather_ring(&mine, sizeof(float), gathered.data());
+    Comm::CollectiveRequest r =
+        row_comm.ireduce(&mine, &reduced, 1, ReduceOp::kSum, 0, 1);
+    g.wait();
+    r.wait();
+    for (int rr = 0; rr < kR; ++rr) {
+      EXPECT_FLOAT_EQ(gathered[static_cast<std::size_t>(rr)],
+                      static_cast<float>(col * kR + rr + 1));
+    }
+    if (col == 0) {
+      EXPECT_FLOAT_EQ(reduced, static_cast<float>((row + 1) + (kR + row + 1)));
+    }
+  });
+}
+
+TEST(NonblockingCollectives, RankAbortMidIreduceUnblocksTheWorld) {
+  // One rank initiates the segmented reduce, then dies before contributing
+  // its wait; the root is blocked folding segments. The abort protocol must
+  // unblock every rank and surface the original error.
+  EXPECT_THROW(
+      run_world(4,
+                [](Comm& comm) {
+                  constexpr std::size_t kCount = 1 << 12;
+                  std::vector<float> mine(kCount, 1.0f);
+                  std::vector<float> out(comm.rank() == 0 ? kCount : 0);
+                  if (comm.rank() == 2) {
+                    // Post only the first segment's worth by aborting right
+                    // after initiation of an unrelated op would be racy;
+                    // instead die before initiating at all so the root
+                    // never receives rank 2's segments.
+                    throw ConfigError("rank 2 exploded mid-pipeline");
+                  }
+                  Comm::CollectiveRequest req = comm.ireduce(
+                      mine.data(), comm.rank() == 0 ? out.data() : nullptr,
+                      kCount, ReduceOp::kSum, 0, /*segment_floats=*/64);
+                  req.wait();  // root blocks on rank 2's segments -> abort
+                }),
+      Error);
+}
+
+TEST(NonblockingCollectives, RankAbortMidIallgatherUnblocksTheWorld) {
+  // A rank dies while its neighbours' ring exchanges are in flight: waits
+  // on the surviving ranks must throw instead of hanging.
+  EXPECT_THROW(
+      run_world(3,
+                [](Comm& comm) {
+                  const float mine = static_cast<float>(comm.rank());
+                  std::vector<float> out(3);
+                  if (comm.rank() == 1) {
+                    throw ConfigError("rank 1 exploded before the gather");
+                  }
+                  Comm::CollectiveRequest req =
+                      comm.iallgather_ring(&mine, sizeof(float), out.data());
+                  req.wait();
+                }),
+      Error);
+}
+
+TEST(NonblockingCollectives, SingleRankDegenerateCases) {
+  run_world(1, [](Comm& comm) {
+    const float mine = 3.25f;
+    float gathered = 0, reduced = 0;
+    Comm::CollectiveRequest g =
+        comm.iallgather_ring(&mine, sizeof(float), &gathered);
+    Comm::CollectiveRequest r =
+        comm.ireduce(&mine, &reduced, 1, ReduceOp::kSum, 0);
+    g.wait();
+    r.wait();
+    EXPECT_FLOAT_EQ(gathered, 3.25f);
+    EXPECT_FLOAT_EQ(reduced, 3.25f);
+  });
+}
+
+TEST(NonblockingCollectives, MoveSemantics) {
+  run_world(2, [](Comm& comm) {
+    const float mine = static_cast<float>(comm.rank());
+    std::vector<float> out(2);
+    Comm::CollectiveRequest a =
+        comm.iallgather_ring(&mine, sizeof(float), out.data());
+    Comm::CollectiveRequest b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.wait();
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 1.0f);
+  });
+}
+
+}  // namespace
+}  // namespace ifdk::mpi

@@ -2,9 +2,11 @@
 // shared-aggregate-bandwidth cost model, and striping accounting.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "pfs/async_writer.h"
 #include "pfs/pfs.h"
 
 namespace ifdk::pfs {
@@ -118,6 +120,77 @@ TEST(Pfs, StripeAccounting) {
   // A 4 MiB slice keeps 4 of 8 targets busy; a 64 MiB slice saturates.
   EXPECT_DOUBLE_EQ(fs.stripe_utilization(4 << 20), 0.5);
   EXPECT_DOUBLE_EQ(fs.stripe_utilization(64 << 20), 1.0);
+}
+
+TEST(AsyncWriter, WritesEverythingBeforeFinishReturns) {
+  ParallelFileSystem fs;
+  AsyncWriter writer(fs, /*queue_capacity=*/4);
+  constexpr int kObjects = 37;  // more than the queue holds: back-pressure
+  for (int i = 0; i < kObjects; ++i) {
+    writer.enqueue("vol/" + std::to_string(i),
+                   std::vector<float>(16, static_cast<float>(i)));
+  }
+  writer.finish();
+  EXPECT_EQ(writer.writes_completed(), static_cast<std::size_t>(kObjects));
+  for (int i = 0; i < kObjects; ++i) {
+    std::vector<float> back(16);
+    fs.read_object("vol/" + std::to_string(i), back.data(),
+                   back.size() * sizeof(float));
+    EXPECT_EQ(back[0], static_cast<float>(i));
+  }
+  EXPECT_GT(writer.busy_seconds(), 0.0);
+}
+
+TEST(AsyncWriter, FinishIsIdempotentAndEnqueueAfterFinishThrows) {
+  ParallelFileSystem fs;
+  AsyncWriter writer(fs);
+  writer.enqueue("a", {1.0f});
+  writer.finish();
+  writer.finish();  // idempotent
+  EXPECT_THROW(writer.enqueue("b", {2.0f}), Error);
+}
+
+TEST(AsyncWriter, DestructorDrainsWithoutFinish) {
+  ParallelFileSystem fs;
+  {
+    AsyncWriter writer(fs);
+    writer.enqueue("drained", {4.0f});
+  }
+  EXPECT_TRUE(fs.exists("drained"));
+}
+
+/// Store that fails every write: the error must come back out of finish()
+/// (or a later enqueue), not vanish on the writer thread.
+class AlwaysFailingFs : public ParallelFileSystem {
+ public:
+  void write_object(const std::string& name, const void*,
+                    std::size_t) override {
+    throw IoError("injected write failure: " + name);
+  }
+};
+
+TEST(AsyncWriter, WriterThreadErrorSurfacesFromFinish) {
+  AlwaysFailingFs fs;
+  AsyncWriter writer(fs);
+  writer.enqueue("x", {1.0f});
+  EXPECT_THROW(writer.finish(), IoError);
+  EXPECT_EQ(writer.writes_completed(), 0u);
+}
+
+TEST(AsyncWriter, WriterThreadErrorSurfacesFromBlockedEnqueue) {
+  // After the writer dies, the queue closes; a producer pushing into it must
+  // get the root-cause IoError instead of blocking forever.
+  AlwaysFailingFs fs;
+  AsyncWriter writer(fs, /*queue_capacity=*/1);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1000; ++i) {
+          std::string name = "x";  // avoids a gcc-12 -Wrestrict false
+          name += std::to_string(i);  // positive on operator+(char*, &&)
+          writer.enqueue(std::move(name), std::vector<float>(1024, 0.0f));
+        }
+      },
+      IoError);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Docs gate, run by CI (.github/workflows/ci.yml, job `docs`) and locally:
+#
+#   tools/check_docs.sh
+#
+# 1. Intra-repo markdown links: every relative `](path)` target in the
+#    tracked *.md files must exist (http/mailto/pure-#anchor links are
+#    skipped; #fragments are stripped before the existence check).
+# 2. Header contracts: every public function declaration in the refactored
+#    layers' headers (src/minimpi, src/ifdk, src/pfs) must carry a doc
+#    comment on the line above (grep/awk heuristic: two-space-indented
+#    class members and column-0 free functions; move/copy boilerplate,
+#    destructors and `= default/delete` lines are exempt).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# ---- 1. markdown link check -------------------------------------------------
+for md in *.md docs/*.md; do
+  [ -f "$md" ] || continue
+  dir=$(dirname "$md")
+  # Extract every ](target) occurrence, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"            # strip fragment
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//')
+done
+
+# ---- 2. header doc-comment check -------------------------------------------
+check_header() {
+  awk '
+    # Track public/private regions: struct opens public, class private.
+    # Column-0 types only — nested types keep the enclosing access.
+    /^(class|struct)[[:space:]]+[A-Za-z_]/ {
+      if (!/;[[:space:]]*$/) access = /^class/ ? "private" : "public"
+    }
+    /^[[:space:]]*public:/    { access = "public" }
+    /^[[:space:]]*private:/   { access = "private" }
+    /^[[:space:]]*protected:/ { access = "private" }
+    /^};/                     { access = "public" }  # back to namespace scope
+    {
+      line = $0
+      is_decl = 0
+      # Function declarations: column-0 free functions or 2-space class
+      # members, starting with an identifier and containing an open paren.
+      # (Plain "(  )?" rather than an interval: mawk has no {n} support.)
+      if (line ~ /^(  )?[A-Za-z_][A-Za-z0-9_:<>,&* ]*\(/ &&
+          line !~ /^[[:space:]]*(if|for|while|return|switch|else|do|using|namespace|template|typedef)[^A-Za-z0-9_]/)
+        is_decl = 1
+      # Exemptions: rule-of-five boilerplate and destructors.
+      if (line ~ /= *(default|delete)/ || line ~ /operator/ ||
+          line ~ /^( {2})?~/)
+        is_decl = 0
+      if (is_decl && access != "private" && prev !~ /\/\//) {
+        printf "UNDOCUMENTED: %s:%d: %s\n", FILENAME, FNR, line
+        found = 1
+      }
+      # template<...> lines are transparent: the doc comment sits above them.
+      if (line !~ /^[[:space:]]*$/ && line !~ /^[[:space:]]*template/)
+        prev = line
+    }
+    BEGIN { access = "public" }
+    END { exit found }
+  ' "$1"
+}
+
+for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h; do
+  if ! check_header "$header"; then
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"
