@@ -39,6 +39,42 @@ struct PipelineResult {
   StageTimer efficiency;
 };
 
+/// Streaming smoke point: N volumes pipelined through one world — the
+/// volumes/sec number the 4D-CT "instant reconstruction" trajectory is
+/// plotted against, plus per-thread busy/wall of the critical rank.
+struct StreamingResult {
+  int ranks = 4;
+  int rows = 2;
+  int volumes = 4;
+  double seconds = 0.0;
+  double volumes_per_second = 0.0;
+  StageTimer efficiency;
+};
+
+StreamingResult time_streaming(const bench::Scene& scene, int runs) {
+  StreamingResult r;
+  IfdkOptions opts;
+  opts.ranks = r.ranks;
+  opts.rows = r.rows;
+  std::vector<StreamVolume> volumes;
+  for (int v = 0; v < r.volumes; ++v) {
+    volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
+                                   "out" + std::to_string(v) + "/slice_"});
+  }
+  StreamingStats last;
+  r.seconds = bench::median_seconds(runs, [&] {
+    pfs::ParallelFileSystem fs;
+    for (const StreamVolume& vol : volumes) {
+      stage_projections(fs, vol.input_prefix, scene.projections);
+    }
+    last = run_streaming(scene.g, fs, opts, volumes);
+  });
+  r.volumes_per_second =
+      r.seconds > 0.0 ? static_cast<double>(r.volumes) / r.seconds : 0.0;
+  r.efficiency = last.overlap_efficiency;
+  return r;
+}
+
 PipelineResult time_pipeline(const bench::Scene& scene, int runs) {
   PipelineResult p;
   IfdkOptions opts;
@@ -130,6 +166,9 @@ int main(int argc, char** argv) {
   // runtime, so fewer runs than the kernel timings).
   const PipelineResult pipeline = time_pipeline(scene, 3);
 
+  // Streaming-4DCT smoke point: 4 volumes through the same 2x2 world.
+  const StreamingResult streaming = time_streaming(scene, 3);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_smoke: cannot open %s for writing\n",
@@ -160,13 +199,28 @@ int main(int argc, char** argv) {
                "    \"overlap_efficiency\": {\"filter_thread\": %.4f, "
                "\"main_thread\": %.4f, \"bp_thread\": %.4f, "
                "\"store_thread\": %.4f}\n"
-               "  }\n}\n",
+               "  },\n",
                pipeline.ranks, pipeline.rows, pipeline.blocking_seconds,
                pipeline.overlapped_seconds,
                pipeline.efficiency.get("filter_thread"),
                pipeline.efficiency.get("main_thread"),
                pipeline.efficiency.get("bp_thread"),
                pipeline.efficiency.get("store_thread"));
+  std::fprintf(out,
+               "  \"streaming\": {\n"
+               "    \"ranks\": %d, \"rows\": %d, \"volumes\": %d,\n"
+               "    \"seconds\": %.6f,\n"
+               "    \"volumes_per_second\": %.4f,\n"
+               "    \"busy_wall\": {\"main_thread\": %.4f, "
+               "\"bp_thread\": %.4f, \"reduce_thread\": %.4f, "
+               "\"store_thread\": %.4f}\n"
+               "  }\n}\n",
+               streaming.ranks, streaming.rows, streaming.volumes,
+               streaming.seconds, streaming.volumes_per_second,
+               streaming.efficiency.get("main_thread"),
+               streaming.efficiency.get("bp_thread"),
+               streaming.efficiency.get("reduce_thread"),
+               streaming.efficiency.get("store_thread"));
   std::fclose(out);
 
   std::printf("wrote %s (simd backend: %s)\n", out_path.c_str(),
@@ -204,5 +258,14 @@ int main(int argc, char** argv) {
               pipeline.efficiency.get("main_thread"),
               pipeline.efficiency.get("bp_thread"),
               pipeline.efficiency.get("store_thread"));
+  std::printf("  streaming %d volumes through %dx%d: %.3f s (%.2f vol/s); "
+              "busy/wall main %.2f, bp %.2f, reduce %.2f, store %.2f\n",
+              streaming.volumes, streaming.rows,
+              streaming.ranks / streaming.rows, streaming.seconds,
+              streaming.volumes_per_second,
+              streaming.efficiency.get("main_thread"),
+              streaming.efficiency.get("bp_thread"),
+              streaming.efficiency.get("reduce_thread"),
+              streaming.efficiency.get("store_thread"));
   return 0;
 }

@@ -34,6 +34,40 @@ class QueueClosedError : public Error {
   explicit QueueClosedError(const std::string& what) : Error(what) {}
 };
 
+/// Severity class for root-cause selection: real failures beat world-abort
+/// symptoms (another rank owns the root cause — run_world() deprioritizes
+/// these globally), which beat queue-shutdown symptoms (a sibling thread of
+/// this rank owns it). A rank whose errors are all symptoms must rethrow
+/// the *abort* one, so the faulty rank's real error wins at run_world no
+/// matter which rank's body exits first.
+int error_class(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const QueueClosedError&) {
+    return 2;
+  } catch (const mpi::WorldAbortedError&) {
+    return 1;
+  } catch (...) {
+    return 0;
+  }
+}
+
+/// Picks the most root-cause-like error (lowest class, earliest wins ties);
+/// null when none set.
+std::exception_ptr pick_root_cause(std::span<const std::exception_ptr> errors) {
+  std::exception_ptr best;
+  int best_class = 3;
+  for (const std::exception_ptr& e : errors) {
+    if (!e) continue;
+    const int c = error_class(e);
+    if (c < best_class) {
+      best_class = c;
+      best = e;
+    }
+  }
+  return best;
+}
+
 /// Per-rank result handed back to the coordinator after run_world.
 struct RankStats {
   StageTimer wall;
@@ -44,6 +78,81 @@ struct RankStats {
   double v_d2h = 0;
   double total = 0;
 };
+
+mpi::ReduceAlgo to_mpi_algo(ReduceFanIn fan_in) {
+  return fan_in == ReduceFanIn::kLinear ? mpi::ReduceAlgo::kLinear
+                                        : mpi::ReduceAlgo::kTree;
+}
+
+/// The validated R x C decomposition shared by run_distributed and
+/// run_streaming (identical constraints, identical error messages).
+struct Decomposition {
+  int rows = 0;
+  int cols = 0;
+  std::size_t slab_h = 0;    ///< half-height of each row's slab pair
+  std::size_t per_rank = 0;  ///< projections loaded (= gather rounds) per rank
+  std::size_t pixels = 0;    ///< nu * nv
+};
+
+Decomposition validate_decomposition(const geo::CbctGeometry& geometry,
+                                     const IfdkOptions& options) {
+  geometry.validate();
+  const Problem problem = geometry.problem();
+
+  const int rows = options.rows > 0
+                       ? options.rows
+                       : perfmodel::select_rows(problem, options.microbench);
+  if (options.ranks < rows || options.ranks % rows != 0) {
+    throw ConfigError("ranks (" + std::to_string(options.ranks) +
+                      ") must be a positive multiple of the row count R (" +
+                      std::to_string(rows) + ")");
+  }
+  if (geometry.np % static_cast<std::size_t>(options.ranks) != 0) {
+    throw ConfigError("Np (" + std::to_string(geometry.np) +
+                      ") must divide evenly across the rank grid (ranks=" +
+                      std::to_string(options.ranks) + ")");
+  }
+  if (geometry.nz % (2 * static_cast<std::size_t>(rows)) != 0) {
+    throw ConfigError("Nz (" + std::to_string(geometry.nz) +
+                      ") must be divisible by 2*rows (" +
+                      std::to_string(2 * rows) +
+                      "): each row owns a symmetric slab pair");
+  }
+  IFDK_REQUIRE(options.reduce_segment_floats > 0,
+               "reduce_segment_floats must be positive");
+
+  Decomposition d;
+  d.rows = rows;
+  d.cols = options.ranks / rows;
+  d.slab_h = geometry.nz / (2 * static_cast<std::size_t>(rows));
+  d.per_rank = geometry.np / static_cast<std::size_t>(options.ranks);
+  d.pixels = geometry.nu * geometry.nv;
+  return d;
+}
+
+/// Global slice index of local slab-pair slice `local_k` of row `row`:
+/// local k < slab_h is global row*h + k; local slab_h + k is global
+/// Nz - (row+1)*h + k (Theorem 1's symmetric pairing).
+std::size_t global_slice_index(std::size_t nz, std::size_t slab_h, int row,
+                               std::size_t local_k) {
+  return local_k < slab_h
+             ? static_cast<std::size_t>(row) * slab_h + local_k
+             : nz - (static_cast<std::size_t>(row) + 1) * slab_h +
+                   (local_k - slab_h);
+}
+
+/// Extracts slice `local_k` of a z-major slab pair into a slice-major
+/// destination. Shared by every pipeline path: the bitwise-equivalence
+/// guarantees depend on the permutation being identical.
+void extract_zmajor_slice(const float* zmajor, std::size_t nx, std::size_t ny,
+                          std::size_t pair_depth, std::size_t local_k,
+                          float* dst) {
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      dst[j * nx + i] = zmajor[(i * ny + j) * pair_depth + local_k];
+    }
+  }
+}
 
 }  // namespace
 
@@ -75,36 +184,12 @@ static_assert(IfdkOptions{}.reduce_segment_floats ==
 IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                           pfs::ParallelFileSystem& fs,
                           const IfdkOptions& options) {
-  geometry.validate();
-  const Problem problem = geometry.problem();
-
-  const int rows = options.rows > 0
-                       ? options.rows
-                       : perfmodel::select_rows(problem, options.microbench);
-  if (options.ranks < rows || options.ranks % rows != 0) {
-    throw ConfigError("ranks (" + std::to_string(options.ranks) +
-                      ") must be a positive multiple of the row count R (" +
-                      std::to_string(rows) + ")");
-  }
-  const int cols = options.ranks / rows;
-  if (geometry.np % static_cast<std::size_t>(options.ranks) != 0) {
-    throw ConfigError("Np (" + std::to_string(geometry.np) +
-                      ") must divide evenly across the rank grid (ranks=" +
-                      std::to_string(options.ranks) + ")");
-  }
-  if (geometry.nz % (2 * static_cast<std::size_t>(rows)) != 0) {
-    throw ConfigError("Nz (" + std::to_string(geometry.nz) +
-                      ") must be divisible by 2*rows (" +
-                      std::to_string(2 * rows) +
-                      "): each row owns a symmetric slab pair");
-  }
-  IFDK_REQUIRE(options.reduce_segment_floats > 0,
-               "reduce_segment_floats must be positive");
-
-  const std::size_t slab_h = geometry.nz / (2 * static_cast<std::size_t>(rows));
-  const std::size_t per_rank =
-      geometry.np / static_cast<std::size_t>(options.ranks);
-  const std::size_t pixels = geometry.nu * geometry.nv;
+  const Decomposition decomp = validate_decomposition(geometry, options);
+  const int rows = decomp.rows;
+  const int cols = decomp.cols;
+  const std::size_t slab_h = decomp.slab_h;
+  const std::size_t per_rank = decomp.per_rank;
+  const std::size_t pixels = decomp.pixels;
 
   std::vector<RankStats> rank_stats(static_cast<std::size_t>(options.ranks));
 
@@ -329,54 +414,24 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     // closes, and the threads at the other end fail with a secondary
     // QueueClosedError. A bp failure makes the main push fail; a filter
     // failure ends the main thread's pop early; a remote-rank abort surfaces
-    // in the main thread's collective. Prefer the first error that is not a
-    // queue-shutdown symptom.
-    const auto is_queue_symptom = [](const std::exception_ptr& e) {
-      try {
-        std::rethrow_exception(e);
-      } catch (const QueueClosedError&) {
-        return true;
-      } catch (...) {
-        return false;
-      }
-    };
+    // in the main thread's collective.
     const std::exception_ptr errors[] = {bp_error, main_error, filter_error};
-    std::exception_ptr first;
-    for (const std::exception_ptr& e : errors) {
-      if (!e) continue;
-      if (!first) first = e;
-      if (!is_queue_symptom(e)) {
-        first = e;
-        break;
-      }
+    if (const std::exception_ptr first = pick_root_cause(errors)) {
+      std::rethrow_exception(first);
     }
-    if (first) std::rethrow_exception(first);
     const double compute_span = rank_timer.seconds();
 
     // ---- Post: D2H, row Reduce, store (Fig. 4b) ----------------------------
     main_timer.time("d2h", [&] { device.charge_d2h(slab.bytes()); });
 
-    // Global slice index of local slab-pair slice `local_k`: local t <
-    // slab_h is global row*h + t; local slab_h + t is global
-    // Nz - (row+1)*h + t.
     auto global_slice = [&](std::size_t local_k) {
-      return local_k < slab_h
-                 ? static_cast<std::size_t>(row) * slab_h + local_k
-                 : geometry.nz - (static_cast<std::size_t>(row) + 1) * slab_h +
-                       (local_k - slab_h);
+      return global_slice_index(geometry.nz, slab_h, row, local_k);
     };
     const std::size_t slice_px = geometry.nx * geometry.ny;
-    // Extracts slice `local_k` of a z-major slab pair into a slice-major
-    // destination. Shared by both pipeline paths: the overlap-equivalence
-    // guarantee depends on the permutation being identical.
     auto extract_slice = [&](const float* zmajor, std::size_t local_k,
                              float* dst) {
-      for (std::size_t j = 0; j < geometry.ny; ++j) {
-        for (std::size_t i = 0; i < geometry.nx; ++i) {
-          dst[j * geometry.nx + i] =
-              zmajor[(i * geometry.ny + j) * 2 * slab_h + local_k];
-        }
-      }
+      extract_zmajor_slice(zmajor, geometry.nx, geometry.ny, 2 * slab_h,
+                           local_k, dst);
     };
     // Seconds the async writer thread spent writing (overlapped root only);
     // the numerator of the store thread's overlap efficiency.
@@ -421,7 +476,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
       mpi::Comm::CollectiveRequest reduce_req = row_comm.ireduce(
           partial.data(), col == 0 ? reduced.data() : nullptr, partial.size(),
           mpi::ReduceOp::kSum, /*root=*/0, options.reduce_segment_floats,
-          std::move(on_segment));
+          std::move(on_segment), to_mpi_algo(options.reduce_fan_in));
       main_timer.time("reduce", [&] { reduce_req.wait(); });
       if (col == 0) {
         // "store" on the main thread is only the residual drain: writes that
@@ -497,6 +552,449 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     out.device_model.set_max("v_d2h", rs.v_d2h);
     out.wall_total = std::max(out.wall_total, rs.total);
   }
+  return out;
+}
+
+namespace {
+
+/// Per-rank result of a streaming run.
+struct StreamRankStats {
+  StageTimer wall;
+  StageTimer efficiency;
+  double total = 0;
+  std::vector<std::string> volume_errors;  ///< row roots only; "" = stored
+};
+
+}  // namespace
+
+StreamingStats run_streaming(const geo::CbctGeometry& geometry,
+                             pfs::ParallelFileSystem& fs,
+                             const IfdkOptions& options,
+                             std::span<const StreamVolume> volumes) {
+  const Decomposition decomp = validate_decomposition(geometry, options);
+  const int rows = decomp.rows;
+  const std::size_t slab_h = decomp.slab_h;
+  const std::size_t per_rank = decomp.per_rank;
+  const std::size_t pixels = decomp.pixels;
+  const std::size_t n_volumes = volumes.size();
+  const mpi::ReduceAlgo algo = to_mpi_algo(options.reduce_fan_in);
+
+  StreamingStats out;
+  out.grid = {rows, decomp.cols};
+  out.volumes = static_cast<int>(n_volumes);
+  out.fused_filter_gather = options.fuse_filter_gather;
+  out.volume_errors.assign(n_volumes, "");
+  if (n_volumes == 0) return out;
+
+  std::vector<StreamRankStats> rank_stats(
+      static_cast<std::size_t>(options.ranks));
+
+  mpi::run_world(options.ranks, [&](mpi::Comm& world) {
+    const int rank = world.rank();
+    const int col = rank / rows;
+    const int row = rank % rows;
+    StreamRankStats& stats = rank_stats[static_cast<std::size_t>(rank)];
+    stats.volume_errors.assign(n_volumes, "");
+    Timer rank_timer;
+
+    mpi::Comm col_comm = world.split(col, row);
+    mpi::Comm row_comm = world.split(row, col);
+
+    filter::FilterEngine engine(geometry, options.filter);
+
+    bp::BpConfig bp_cfg;
+    bp_cfg.batch = options.bp_batch;
+    bp_cfg.k_begin = static_cast<std::size_t>(row) * slab_h;
+    bp_cfg.k_half = slab_h;
+    bp::Backprojector backprojector(geometry, bp_cfg);
+    const auto matrices = geo::make_all_projection_matrices(geometry);
+
+    // Streaming keeps TWO slab pairs resident per device: the one the
+    // Bp-thread is accumulating (volume v+1) and the one draining through
+    // the row reduce (volume v) — the double buffer that lets back-
+    // projection run ahead of the previous volume's reduce/store.
+    gpusim::Device device(options.device);
+    const std::uint64_t slab_bytes =
+        2ull * slab_h * geometry.nx * geometry.ny * sizeof(float);
+    gpusim::DeviceBuffer bp_slab_buf = device.allocate(slab_bytes);
+    gpusim::DeviceBuffer reduce_slab_buf =
+        device.allocate(n_volumes > 1 ? slab_bytes : 0);
+    gpusim::DeviceBuffer batch_buf = device.allocate(
+        static_cast<std::uint64_t>(options.bp_batch) * pixels * sizeof(float));
+    gpusim::KernelModel kernel_model;
+
+    const std::size_t column_base = static_cast<std::size_t>(col) * per_rank *
+                                    static_cast<std::size_t>(rows);
+    auto owned_index = [&](std::size_t t) {
+      return column_base + t * static_cast<std::size_t>(rows) +
+             static_cast<std::size_t>(row);
+    };
+
+    struct Filtered {
+      std::size_t vol;
+      std::size_t index;
+      Image2D image;
+    };
+    struct Round {
+      std::size_t vol;
+      std::vector<Filtered> images;
+    };
+    struct SlabPair {
+      std::size_t vol;
+      Volume slab;
+    };
+    CircularBuffer<Filtered> q_filtered(options.queue_capacity);
+    CircularBuffer<Round> q_gathered(options.queue_capacity);
+    // Depth-1 handoff: the Bp-thread may run at most one volume ahead of
+    // the reduce (bounding resident slabs to the double buffer above).
+    CircularBuffer<SlabPair> q_slabs(1);
+
+    std::exception_ptr filter_error;
+    std::exception_ptr bp_error;
+    std::exception_ptr reduce_error;
+    std::exception_ptr main_error;
+
+    // ---- Filtering-thread (only when not fused onto the worker) -----------
+    StageTimer filter_timer;
+    std::thread filtering_thread;
+    if (!options.fuse_filter_gather) {
+      filtering_thread = std::thread([&] {
+        try {
+          for (std::size_t v = 0; v < n_volumes; ++v) {
+            for (std::size_t t = 0; t < per_rank; ++t) {
+              const std::size_t s = owned_index(t);
+              Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+              filter_timer.time("load", [&] {
+                fs.read_object(object_name(volumes[v].input_prefix, s),
+                               img.data(), img.bytes());
+              });
+              filter_timer.time("filter", [&] { engine.apply(img); });
+              if (!q_filtered.push(Filtered{v, s, std::move(img)})) {
+                throw QueueClosedError(
+                    "iFDK streaming: filtered-projection queue closed before "
+                    "all volumes were delivered");
+              }
+            }
+          }
+        } catch (...) {
+          filter_error = std::current_exception();
+        }
+        q_filtered.close();
+      });
+    }
+
+    // ---- Bp-thread: accumulate rounds; hand each finished slab over -------
+    StageTimer bp_timer;
+    std::thread bp_thread([&] {
+      Volume slab(geometry.nx, geometry.ny, 2 * slab_h, VolumeLayout::kZMajor,
+                  /*zero_fill=*/true);
+      std::size_t current_vol = 0;
+      std::size_t rounds_done = 0;
+      while (auto round = q_gathered.pop()) {
+        if (bp_error) continue;  // drain remaining rounds after a failure
+        try {
+          IFDK_ASSERT(round->vol == current_vol);
+          for (const Filtered& f : round->images) {
+            device.charge_h2d(f.image.bytes());
+          }
+          std::vector<Image2D> images;
+          std::vector<geo::Mat34> mats;
+          images.reserve(round->images.size());
+          mats.reserve(round->images.size());
+          for (Filtered& f : round->images) {
+            mats.push_back(matrices[f.index]);
+            images.push_back(std::move(f.image));
+          }
+          bp_timer.time("backprojection", [&] {
+            backprojector.accumulate(slab, images, mats);
+          });
+          const Problem sub{{geometry.nu, geometry.nv, images.size()},
+                            {geometry.nx, geometry.ny, 2 * slab_h}};
+          device.charge_kernel(
+              kernel_model.kernel_seconds(bp::KernelVariant::kL1Tran, sub));
+          if (++rounds_done == per_rank) {
+            bp_timer.time("d2h", [&] { device.charge_d2h(slab.bytes()); });
+            if (!q_slabs.push(SlabPair{current_vol, std::move(slab)})) {
+              throw QueueClosedError(
+                  "iFDK streaming: slab queue closed before all volumes were "
+                  "back-projected");
+            }
+            rounds_done = 0;
+            ++current_vol;
+            if (current_vol < n_volumes) {
+              slab = Volume(geometry.nx, geometry.ny, 2 * slab_h,
+                            VolumeLayout::kZMajor, /*zero_fill=*/true);
+            }
+          }
+        } catch (...) {
+          bp_error = std::current_exception();
+          q_gathered.close();
+          q_slabs.close();
+        }
+      }
+      if (!bp_error) q_slabs.close();
+    });
+
+    // ---- Reduce-thread: transpose + row ireduce + store, volume by volume --
+    // Runs the per-volume collective epochs while the worker threads above
+    // are already filtering/gathering/back-projecting the NEXT volumes.
+    StageTimer reduce_timer;
+    double store_busy = 0;
+    std::thread reduce_thread([&] {
+      try {
+        const std::size_t slice_px = geometry.nx * geometry.ny;
+        std::optional<pfs::AsyncWriter> writer;
+        std::vector<pfs::AsyncWriter::StreamId> streams(n_volumes);
+        if (col == 0) {
+          writer.emplace(fs, options.queue_capacity);
+          for (std::size_t v = 0; v < n_volumes; ++v) {
+            streams[v] = writer->open_stream();
+          }
+        }
+        std::vector<float> partial(2 * slab_h * slice_px);
+        std::vector<float> reduced(col == 0 ? partial.size() : 0);
+        for (std::size_t v = 0; v < n_volumes; ++v) {
+          auto slab = q_slabs.pop();
+          if (!slab.has_value()) {
+            throw QueueClosedError(
+                "iFDK streaming: slab queue closed before all volumes were "
+                "reduced");
+          }
+          IFDK_ASSERT(slab->vol == v);
+          reduce_timer.time("transpose", [&] {
+            for (std::size_t k = 0; k < 2 * slab_h; ++k) {
+              extract_zmajor_slice(slab->slab.data(), geometry.nx,
+                                   geometry.ny, 2 * slab_h, k,
+                                   partial.data() + k * slice_px);
+            }
+          });
+          std::size_t next_slice = 0;
+          bool stream_open = true;
+          mpi::Comm::SegmentCallback on_segment;
+          if (col == 0) {
+            on_segment = [&](std::size_t offset, std::size_t length) {
+              const std::size_t prefix = offset + length;
+              while (next_slice < 2 * slab_h &&
+                     (next_slice + 1) * slice_px <= prefix) {
+                const float* src = reduced.data() + next_slice * slice_px;
+                if (stream_open) {
+                  // A poisoned stream (write error on THIS volume) refuses
+                  // further slices; volume v fails at finish_stream below
+                  // while every other volume keeps flowing.
+                  stream_open = writer->enqueue(
+                      streams[v],
+                      object_name(volumes[v].output_prefix,
+                                  global_slice_index(geometry.nz, slab_h, row,
+                                                     next_slice)),
+                      std::vector<float>(src, src + slice_px));
+                }
+                ++next_slice;
+              }
+            };
+          }
+          mpi::Comm::CollectiveRequest req = row_comm.ireduce(
+              partial.data(), col == 0 ? reduced.data() : nullptr,
+              partial.size(), mpi::ReduceOp::kSum, /*root=*/0,
+              options.reduce_segment_floats, std::move(on_segment), algo);
+          reduce_timer.time("reduce", [&] { req.wait(); });
+          if (col == 0) {
+            try {
+              reduce_timer.time("store",
+                                [&] { writer->finish_stream(streams[v]); });
+            } catch (const std::exception& e) {
+              stats.volume_errors[v] = e.what();
+            }
+          }
+        }
+        if (col == 0) {
+          writer->finish();  // all stream errors were claimed above
+          store_busy = writer->busy_seconds();
+        }
+      } catch (...) {
+        reduce_error = std::current_exception();
+        // Unblock a Bp-thread stalled on the slab handoff; the closed queue
+        // propagates the shutdown up the pipeline.
+        q_slabs.close();
+      }
+    });
+
+    // ---- Worker (main) thread: filter (fused) + column gather per round ----
+    StageTimer main_timer;
+    auto deliver_round = [&](std::size_t g, const std::vector<float>& recv) {
+      const std::size_t v = g / per_rank;
+      const std::size_t t = g % per_rank;
+      std::vector<Filtered> images;
+      images.reserve(static_cast<std::size_t>(rows));
+      for (int r = 0; r < rows; ++r) {
+        Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+        const float* src = recv.data() + static_cast<std::size_t>(r) * pixels;
+        std::copy(src, src + pixels, img.data());
+        images.push_back(Filtered{
+            v,
+            column_base + t * static_cast<std::size_t>(rows) +
+                static_cast<std::size_t>(r),
+            std::move(img)});
+      }
+      if (!q_gathered.push(Round{v, std::move(images)})) {
+        throw QueueClosedError(
+            "iFDK streaming: gathered-projection queue closed before all "
+            "rounds were delivered");
+      }
+    };
+    const std::size_t total_rounds = n_volumes * per_rank;
+    try {
+      std::vector<float> gather_recv[2];
+      gather_recv[0].resize(static_cast<std::size_t>(rows) * pixels);
+      gather_recv[1].resize(static_cast<std::size_t>(rows) * pixels);
+      if (options.fuse_filter_gather) {
+        // Same-thread overlap via irecv: post round g's receives, then
+        // load+filter round g+1 while g's blocks are in transit, then wait
+        // g's receives and deliver. Tags are per-round user tags — the
+        // column communicator is framework-private, so the space is free.
+        std::vector<mpi::Comm::Request> reqs[2];
+        std::size_t pending = 0;
+        bool have_pending = false;
+        for (std::size_t g = 0; g < total_rounds; ++g) {
+          const std::size_t v = g / per_rank;
+          const std::size_t t = g % per_rank;
+          const std::size_t s = owned_index(t);
+          Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+          main_timer.time("load", [&] {
+            fs.read_object(object_name(volumes[v].input_prefix, s),
+                           img.data(), img.bytes());
+          });
+          main_timer.time("filter", [&] { engine.apply(img); });
+          main_timer.time("allgather", [&] {
+            const int tag = static_cast<int>(g % (std::size_t{1} << 20));
+            std::vector<float>& buf = gather_recv[g % 2];
+            std::copy(img.data(), img.data() + pixels,
+                      buf.data() + static_cast<std::size_t>(row) * pixels);
+            std::vector<mpi::Comm::Request>& rr = reqs[g % 2];
+            rr.clear();
+            for (int r = 0; r < rows; ++r) {
+              if (r == row) continue;
+              col_comm.isend(r, tag, img.data(), pixels * sizeof(float))
+                  .wait();  // buffered: completion is immediate
+              rr.push_back(col_comm.irecv(
+                  r, tag, buf.data() + static_cast<std::size_t>(r) * pixels,
+                  pixels * sizeof(float)));
+            }
+          });
+          if (have_pending) {
+            main_timer.time("allgather", [&] {
+              mpi::Comm::wait_all(reqs[pending % 2]);
+            });
+            deliver_round(pending, gather_recv[pending % 2]);
+          }
+          pending = g;
+          have_pending = true;
+        }
+        if (have_pending) {
+          main_timer.time("allgather",
+                          [&] { mpi::Comm::wait_all(reqs[pending % 2]); });
+          deliver_round(pending, gather_recv[pending % 2]);
+        }
+      } else {
+        // Dedicated filtering thread feeds us; double-buffered nonblocking
+        // ring gather across the whole round stream, volume boundaries
+        // included (round g of volume v+1 is initiated while the last round
+        // of volume v is still outstanding).
+        mpi::Comm::CollectiveRequest pending;
+        std::size_t pending_g = 0;
+        for (std::size_t g = 0; g < total_rounds; ++g) {
+          const std::size_t t = g % per_rank;
+          auto mine = q_filtered.pop();
+          if (!mine.has_value()) {
+            throw QueueClosedError(
+                "iFDK streaming: filtered-projection queue closed before all "
+                "rounds were gathered");
+          }
+          IFDK_ASSERT(mine->vol == g / per_rank &&
+                      mine->index == owned_index(t));
+          mpi::Comm::CollectiveRequest req;
+          main_timer.time("allgather", [&] {
+            req = col_comm.iallgather_ring(mine->image.data(),
+                                           pixels * sizeof(float),
+                                           gather_recv[g % 2].data());
+          });
+          if (pending.valid()) {
+            main_timer.time("allgather", [&] { pending.wait(); });
+            deliver_round(pending_g, gather_recv[pending_g % 2]);
+          }
+          pending = std::move(req);
+          pending_g = g;
+        }
+        if (pending.valid()) {
+          main_timer.time("allgather", [&] { pending.wait(); });
+          deliver_round(pending_g, gather_recv[pending_g % 2]);
+        }
+      }
+    } catch (...) {
+      main_error = std::current_exception();
+      // Sibling threads of THIS rank may be blocked inside collectives whose
+      // remote peers will never progress past our failure; poison the world
+      // before joining them so every epoch unwinds instead of hanging. The
+      // local root cause still wins the error report (run_world prefers
+      // non-abort errors).
+      world.abort_world();
+    }
+    q_gathered.close();
+    q_filtered.close();
+
+    if (filtering_thread.joinable()) filtering_thread.join();
+    bp_thread.join();
+    reduce_thread.join();
+
+    // Rethrow the root cause: real failures > world-abort symptoms >
+    // queue-shutdown symptoms (same policy as run_distributed).
+    const std::exception_ptr errors[] = {bp_error, reduce_error, main_error,
+                                         filter_error};
+    if (const std::exception_ptr first = pick_root_cause(errors)) {
+      std::rethrow_exception(first);
+    }
+    world.barrier();
+
+    stats.wall.merge(filter_timer);
+    stats.wall.merge(bp_timer);
+    stats.wall.merge(main_timer);
+    stats.wall.merge(reduce_timer);
+    stats.wall.set_max("store", store_busy);
+    stats.total = rank_timer.seconds();
+    if (stats.total > 0) {
+      stats.efficiency.add(
+          "filter_thread",
+          (filter_timer.get("load") + filter_timer.get("filter")) /
+              stats.total);
+      stats.efficiency.add(
+          "main_thread",
+          (main_timer.get("load") + main_timer.get("filter") +
+           main_timer.get("allgather")) /
+              stats.total);
+      stats.efficiency.add("bp_thread",
+                           bp_timer.get("backprojection") / stats.total);
+      stats.efficiency.add(
+          "reduce_thread",
+          (reduce_timer.get("transpose") + reduce_timer.get("reduce") +
+           reduce_timer.get("store")) /
+              stats.total);
+      stats.efficiency.add("store_thread", store_busy / stats.total);
+    }
+  });
+
+  double wall_total = 0;
+  for (const StreamRankStats& rs : rank_stats) {
+    out.wall.max_merge(rs.wall);
+    out.overlap_efficiency.max_merge(rs.efficiency);
+    wall_total = std::max(wall_total, rs.total);
+    for (std::size_t v = 0; v < n_volumes; ++v) {
+      if (out.volume_errors[v].empty() && !rs.volume_errors[v].empty()) {
+        out.volume_errors[v] = rs.volume_errors[v];
+      }
+    }
+  }
+  out.wall_total = wall_total;
+  out.volumes_per_second =
+      wall_total > 0 ? static_cast<double>(n_volumes) / wall_total : 0;
   return out;
 }
 

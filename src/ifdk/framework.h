@@ -45,6 +45,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/image.h"
 #include "common/timer.h"
@@ -56,6 +57,13 @@
 #include "pfs/pfs.h"
 
 namespace ifdk {
+
+/// Fan-in topology of the segmented row ireduce (mirrors mpi::ReduceAlgo;
+/// the framework header deliberately does not include minimpi.h).
+/// kTree is the default; kLinear is kept for bitwise back-compat tests —
+/// both produce bitwise-identical volumes because the tree relays only
+/// concatenate and the root folds in ascending-rank order either way.
+enum class ReduceFanIn { kTree, kLinear };
 
 struct IfdkOptions {
   /// Total ranks (= simulated GPUs). Must be a multiple of the row count.
@@ -86,6 +94,16 @@ struct IfdkOptions {
   /// Smaller segments start the store earlier; larger ones amortize
   /// per-message cost. Matches mpi::Comm::kDefaultReduceSegment.
   std::size_t reduce_segment_floats = std::size_t{1} << 16;
+  /// Fan-in topology of the segmented row ireduce (overlapped path and
+  /// streaming mode). Tree and linear produce bitwise-identical volumes.
+  ReduceFanIn reduce_fan_in = ReduceFanIn::kTree;
+  /// Streaming mode only: fuse filtering onto the gather worker thread —
+  /// the worker posts its filtered block and the irecvs for round t, then
+  /// filters round t+1 while t's messages are in flight, then waits the
+  /// irecvs (the paper's same-thread overlap). false runs the dedicated
+  /// Filtering-thread exactly like run_distributed. Both settings produce
+  /// bitwise-identical volumes.
+  bool fuse_filter_gather = true;
   /// Simulated per-rank GPU (memory budget + modeled PCIe/kernel rates).
   gpusim::DeviceSpec device;
   /// Projection objects are read from `<input_prefix><s>`, s in [0, Np).
@@ -117,6 +135,59 @@ struct IfdkStats {
   bool overlapped = false;
   double wall_total = 0;
 };
+
+/// One frame of a 4D-CT time series handed to run_streaming: where its
+/// projections live and where its slices go. Every volume shares the run's
+/// geometry (one gantry rotation per temporal frame).
+struct StreamVolume {
+  /// Projections are read from `<input_prefix><s>`, s in [0, Np).
+  std::string input_prefix;
+  /// Slices are written to `<output_prefix><k>`, k in [0, Nz).
+  std::string output_prefix;
+};
+
+/// Aggregate result of a run_streaming call.
+struct StreamingStats {
+  /// The R x C grid the run used (after Eq. (7) auto-selection).
+  perfmodel::GridShape grid;
+  /// Number of volumes pushed through the world.
+  int volumes = 0;
+  /// Wall-clock of the slowest rank, volume 0's first load to the last
+  /// volume's store.
+  double wall_total = 0;
+  /// volumes / wall_total — the streaming throughput headline.
+  double volumes_per_second = 0;
+  /// Per-stage busy seconds summed over all volumes, max over ranks:
+  /// "load", "filter", "allgather", "backprojection", "transpose",
+  /// "reduce", "store", "d2h".
+  StageTimer wall;
+  /// Busy/wall per pipeline thread, max over ranks: "filter_thread" (0 in
+  /// fused mode, where load+filter bill to the worker), "main_thread"
+  /// (filter+gather worker), "bp_thread", "reduce_thread" (transpose +
+  /// row-reduce + store drain), "store_thread" (async writer).
+  StageTimer overlap_efficiency;
+  /// Per-volume store outcome, merged over row roots: empty string =
+  /// every slice of that volume was stored; otherwise the first error the
+  /// writer hit. A failed volume never aborts the stream — later volumes
+  /// keep flowing and must stay bit-exact (asserted by tests).
+  std::vector<std::string> volume_errors;
+  /// Whether the fused filter/gather worker ran (IfdkOptions).
+  bool fused_filter_gather = false;
+};
+
+/// Streams `volumes.size()` independent volumes (a 4D-CT time series)
+/// through ONE rank world: volume v+1's filtering and column gather begin
+/// while volume v is still back-projecting, row-reducing, and storing.
+/// Requires the same decomposition constraints as run_distributed (checked
+/// identically). Output volumes are bitwise-identical to volumes.size()
+/// sequential run_distributed calls with the same options. A PFS *write*
+/// failure on volume v fails only that volume (see
+/// StreamingStats::volume_errors); any other rank failure aborts the world
+/// and is rethrown, with every in-flight collective epoch unwound.
+StreamingStats run_streaming(const geo::CbctGeometry& geometry,
+                             pfs::ParallelFileSystem& fs,
+                             const IfdkOptions& options,
+                             std::span<const StreamVolume> volumes);
 
 /// Runs the full distributed pipeline: reads projections
 /// `<input_prefix><s>` (raw float Nu*Nv objects, s in [0, Np)) from `fs`,

@@ -76,7 +76,8 @@ class World {
 
   void check_alive() const {
     if (aborted_.load(std::memory_order_relaxed)) {
-      throw Error("minimpi world aborted because another rank failed");
+      throw WorldAbortedError(
+          "minimpi world aborted because another rank failed");
     }
   }
 
@@ -100,6 +101,11 @@ namespace {
 // Collective operations use a reserved tag space far above user tags.
 constexpr int kCollectiveTagBase = 1 << 24;
 
+// Collective tags live in a window of this many sequence numbers; a tag
+// block never straddles the wrap (reserve_collective_tags skips ahead), so
+// two blocks can only collide after a full window of intervening traffic.
+constexpr std::uint64_t kCollectiveTagWindow = std::uint64_t{1} << 20;
+
 float apply_op(ReduceOp op, float a, float b) {
   switch (op) {
     case ReduceOp::kSum: return a + b;
@@ -118,6 +124,23 @@ Comm::Comm(std::shared_ptr<detail::World> world, std::uint64_t comm_id,
       members_(std::move(members)),
       rank_(rank) {}
 
+int Comm::reserve_collective_tags(std::uint64_t n) {
+  IFDK_ASSERT_MSG(n > 0 && n <= kCollectiveTagWindow,
+                  "collective tag block exceeds the tag window");
+  const std::uint64_t offset = collective_seq_ % kCollectiveTagWindow;
+  if (offset + n > kCollectiveTagWindow) {
+    // Never hand out a block that straddles the window wrap: tags above the
+    // window top would collide with a later epoch's wrapped block while both
+    // are in flight. Skipping to the window start is deterministic — the
+    // sequence counter advances identically on every member.
+    collective_seq_ += kCollectiveTagWindow - offset;
+  }
+  const int tag = kCollectiveTagBase +
+                  static_cast<int>(collective_seq_ % kCollectiveTagWindow);
+  collective_seq_ += n;
+  return tag;
+}
+
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
   IFDK_ASSERT(dest >= 0 && dest < size());
   IFDK_ASSERT_MSG(tag >= 0 && tag < kCollectiveTagBase,
@@ -135,7 +158,7 @@ void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
 
 void Comm::barrier() {
   // Two-phase flat barrier through rank 0: notify, then release.
-  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int tag = reserve_collective_tags(2);  // notify + release
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   char token = 0;
   if (rank_ == 0) {
@@ -150,12 +173,11 @@ void Comm::barrier() {
     world_->post(comm_id_, members_[0], rank_, tag, &token, 1);
     world_->fetch(comm_id_, my_world, 0, tag + 1, &token, 1);
   }
-  collective_seq_++;  // account for the release tag as well
 }
 
 void Comm::bcast(void* data, std::size_t bytes, int root) {
   IFDK_ASSERT(root >= 0 && root < size());
-  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int tag = reserve_collective_tags(1);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
@@ -171,7 +193,7 @@ void Comm::bcast(void* data, std::size_t bytes, int root) {
 void Comm::gather(const void* send_data, std::size_t bytes_per_rank,
                   void* recv, int root) {
   IFDK_ASSERT(root >= 0 && root < size());
-  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int tag = reserve_collective_tags(1);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   if (rank_ == root) {
     IFDK_ASSERT_MSG(recv != nullptr, "gather root requires a receive buffer");
@@ -210,7 +232,9 @@ Comm::Request& Comm::Request::operator=(Request&& other) noexcept {
 }
 
 Comm::Request::~Request() {
-  IFDK_ASSERT_MSG(comm_ == nullptr || done_,
+  // Like CollectiveRequest: dropping an unwaited handle is tolerated only
+  // while an exception unwinds (abort teardown of a half-posted round).
+  IFDK_ASSERT_MSG(comm_ == nullptr || done_ || std::uncaught_exceptions() > 0,
                   "Request destroyed without wait()");
 }
 
@@ -302,9 +326,7 @@ Comm::CollectiveRequest Comm::iallgather_ring(const void* send_data,
   // Same tag budget as the blocking ring (p-1 steps), reserved *now* so any
   // collective initiated while this one is outstanding gets later tags on
   // every rank.
-  const int tag =
-      kCollectiveTagBase + static_cast<int>(collective_seq_ % (1 << 20));
-  collective_seq_ += static_cast<std::uint64_t>(p - 1);
+  const int tag = reserve_collective_tags(static_cast<std::uint64_t>(p - 1));
 
   const int next = (rank_ + 1) % p;
   const int prev = (rank_ + p - 1) % p;
@@ -334,23 +356,54 @@ Comm::CollectiveRequest Comm::iallgather_ring(const void* send_data,
   });
 }
 
+namespace {
+
+/// Binomial fan-in bookkeeping over virtual ranks (vrank 0 = the reduce
+/// root). vrank v's subtree is the contiguous vrank range [v, v + span(v))
+/// clipped to p, where span is p for the root and lowbit(v) otherwise; v's
+/// children are v + 2^j for 2^j < span(v), and its parent is v - lowbit(v).
+struct FanInTree {
+  int p;
+
+  int span(int v) const {
+    const int raw = v == 0 ? p : (v & -v);
+    return std::min(raw, p - v);
+  }
+  int parent(int v) const { return v - (v & -v); }
+  /// Children in ascending vrank order (their subtrees tile [v+1, v+span)).
+  std::vector<int> children(int v) const {
+    std::vector<int> out;
+    const int limit = v == 0 ? p : (v & -v);
+    for (int step = 1; step < limit && v + step < p; step <<= 1) {
+      out.push_back(v + step);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
 Comm::CollectiveRequest Comm::ireduce(const float* send_data, float* recv,
                                       std::size_t count, ReduceOp op, int root,
                                       std::size_t segment_floats,
-                                      SegmentCallback on_segment) {
+                                      SegmentCallback on_segment,
+                                      ReduceAlgo algo) {
   IFDK_ASSERT(root >= 0 && root < size());
   IFDK_ASSERT_MSG(segment_floats > 0,
                   "ireduce segment size must be positive (and identical on "
                   "every rank)");
   const std::size_t segments =
       count == 0 ? 0 : (count + segment_floats - 1) / segment_floats;
-  IFDK_ASSERT_MSG(segments <= static_cast<std::size_t>(1 << 20),
+  IFDK_ASSERT_MSG(segments <= kCollectiveTagWindow,
                   "ireduce segment count exceeds the collective tag window");
-  const int tag =
-      kCollectiveTagBase + static_cast<int>(collective_seq_ % (1 << 20));
-  collective_seq_ += segments;
+  if (segments == 0) return CollectiveRequest([] {});
+  // Per segment, every non-root vrank sends exactly one message to its
+  // parent (the linear fan-in is the depth-1 tree), so both algorithms
+  // consume the same tag budget: one sequence number per segment.
+  const int tag = reserve_collective_tags(segments);
+  const int p = size();
 
-  if (rank_ != root) {
+  if (algo == ReduceAlgo::kLinear && rank_ != root) {
     // Sends are buffered: post every segment eagerly and complete at once.
     // The pipelining happens at the root, which folds segment s while the
     // payload of s+1 is already sitting in its mailbox.
@@ -364,28 +417,132 @@ Comm::CollectiveRequest Comm::ireduce(const float* send_data, float* recv,
     return CollectiveRequest([] {});
   }
 
-  IFDK_ASSERT_MSG(recv != nullptr, "ireduce root requires a receive buffer");
-  return CollectiveRequest([world = world_, comm_id = comm_id_,
-                            members = members_, rank = rank_, p = size(),
-                            send_data, recv, count, op, root, segment_floats,
-                            segments, tag,
-                            on_segment = std::move(on_segment)] {
-    const int my_world = members[static_cast<std::size_t>(rank)];
-    std::vector<float> incoming(std::min(segment_floats, count));
+  if (algo == ReduceAlgo::kLinear) {
+    IFDK_ASSERT_MSG(recv != nullptr, "ireduce root requires a receive buffer");
+    return CollectiveRequest([world = world_, comm_id = comm_id_,
+                              members = members_, rank = rank_, p, send_data,
+                              recv, count, op, root, segment_floats, segments,
+                              tag, on_segment = std::move(on_segment)] {
+      const int my_world = members[static_cast<std::size_t>(rank)];
+      std::vector<float> incoming(std::min(segment_floats, count));
+      for (std::size_t s = 0; s < segments; ++s) {
+        const std::size_t offset = s * segment_floats;
+        const std::size_t len = std::min(segment_floats, count - offset);
+        // Identical fold order to the blocking reduce(): start from rank 0's
+        // contribution, fold ascending — bitwise-equal results by design.
+        for (int r = 0; r < p; ++r) {
+          const float* contribution;
+          if (r == root) {
+            contribution = send_data + offset;
+          } else {
+            world->fetch(comm_id, my_world, r, tag + static_cast<int>(s),
+                         incoming.data(), len * sizeof(float));
+            contribution = incoming.data();
+          }
+          if (r == 0) {
+            std::memcpy(recv + offset, contribution, len * sizeof(float));
+          } else {
+            for (std::size_t i = 0; i < len; ++i) {
+              recv[offset + i] =
+                  apply_op(op, recv[offset + i], contribution[i]);
+            }
+          }
+        }
+        if (on_segment) on_segment(offset, len);
+      }
+    });
+  }
+
+  // -- ReduceAlgo::kTree ----------------------------------------------------
+  // Contributions climb a binomial tree of virtual ranks (vrank = rank
+  // rotated so the root is vrank 0). Relays only *concatenate* — their
+  // upward message is the ascending-vrank concatenation of every
+  // contribution in their subtree — and the root alone folds, in ascending
+  // *communicator* rank order, so the summation order is exactly reduce()'s
+  // and the result is bitwise identical to ReduceAlgo::kLinear.
+  const FanInTree tree{p};
+  const int vrank = (rank_ - root + p) % p;
+
+  if (tree.span(vrank) == 1 && vrank != 0) {
+    // Leaf: one single-contribution message per segment to the parent,
+    // posted eagerly exactly like the linear non-root path.
+    const int parent =
+        members_[static_cast<std::size_t>((tree.parent(vrank) + root) % p)];
     for (std::size_t s = 0; s < segments; ++s) {
       const std::size_t offset = s * segment_floats;
       const std::size_t len = std::min(segment_floats, count - offset);
-      // Identical fold order to the blocking reduce(): start from rank 0's
-      // contribution, fold ascending — bitwise-equal results by design.
-      for (int r = 0; r < p; ++r) {
-        const float* contribution;
-        if (r == root) {
-          contribution = send_data + offset;
-        } else {
-          world->fetch(comm_id, my_world, r, tag + static_cast<int>(s),
-                       incoming.data(), len * sizeof(float));
-          contribution = incoming.data();
+      world_->post(comm_id_, parent, rank_, tag + static_cast<int>(s),
+                   send_data + offset, len * sizeof(float));
+    }
+    return CollectiveRequest([] {});
+  }
+
+  if (vrank != 0) {
+    // Relay: per segment, gather the children's subtree blocks, splice in
+    // this rank's own contribution at vrank position 0, and forward the
+    // assembled [v, v+span) block to the parent. Runs inside wait().
+    return CollectiveRequest([world = world_, comm_id = comm_id_,
+                              members = members_, rank = rank_, p, root,
+                              vrank, tree, send_data, count, segment_floats,
+                              segments, tag] {
+      const int my_world = members[static_cast<std::size_t>(rank)];
+      const int parent =
+          members[static_cast<std::size_t>((tree.parent(vrank) + root) % p)];
+      const std::vector<int> children = tree.children(vrank);
+      const std::size_t span = static_cast<std::size_t>(tree.span(vrank));
+      std::vector<float> block(span * std::min(segment_floats, count));
+      for (std::size_t s = 0; s < segments; ++s) {
+        const std::size_t offset = s * segment_floats;
+        const std::size_t len = std::min(segment_floats, count - offset);
+        std::memcpy(block.data(), send_data + offset, len * sizeof(float));
+        for (const int child : children) {
+          const std::size_t child_span =
+              static_cast<std::size_t>(tree.span(child));
+          const int child_rank = (child + root) % p;
+          world->fetch(comm_id, my_world, child_rank,
+                       tag + static_cast<int>(s),
+                       block.data() +
+                           static_cast<std::size_t>(child - vrank) * len,
+                       child_span * len * sizeof(float));
         }
+        world->post(comm_id, parent, rank, tag + static_cast<int>(s),
+                    block.data(), span * len * sizeof(float));
+      }
+    });
+  }
+
+  // Root (vrank 0): per segment, receive one block per child subtree, then
+  // fold all p contributions in ascending communicator-rank order.
+  IFDK_ASSERT_MSG(recv != nullptr, "ireduce root requires a receive buffer");
+  return CollectiveRequest([world = world_, comm_id = comm_id_,
+                            members = members_, rank = rank_, p, root, tree,
+                            send_data, recv, count, op, segment_floats,
+                            segments, tag,
+                            on_segment = std::move(on_segment)] {
+    const int my_world = members[static_cast<std::size_t>(rank)];
+    const std::vector<int> children = tree.children(0);
+    // Contributions indexed by vrank; vrank 0 (the root's own) is read from
+    // send_data directly.
+    std::vector<float> incoming(static_cast<std::size_t>(p) *
+                                std::min(segment_floats, count));
+    for (std::size_t s = 0; s < segments; ++s) {
+      const std::size_t offset = s * segment_floats;
+      const std::size_t len = std::min(segment_floats, count - offset);
+      for (const int child : children) {
+        const std::size_t child_span =
+            static_cast<std::size_t>(tree.span(child));
+        const int child_rank = (child + root) % p;
+        world->fetch(comm_id, my_world, child_rank, tag + static_cast<int>(s),
+                     incoming.data() + static_cast<std::size_t>(child) * len,
+                     child_span * len * sizeof(float));
+      }
+      // Ascending-rank fold, exactly like reduce(): rank r's contribution
+      // sits at vrank (r - root + p) % p.
+      for (int r = 0; r < p; ++r) {
+        const int v = (r - root + p) % p;
+        const float* contribution =
+            v == 0 ? send_data + offset
+                   : incoming.data() + static_cast<std::size_t>(v) * len;
         if (r == 0) {
           std::memcpy(recv + offset, contribution, len * sizeof(float));
         } else {
@@ -398,6 +555,8 @@ Comm::CollectiveRequest Comm::ireduce(const float* send_data, float* recv,
     }
   });
 }
+
+void Comm::abort_world() { world_->abort(); }
 
 void Comm::sendrecv(int dest, const void* send_data, int src, void* recv_data,
                     std::size_t bytes, int tag) {
@@ -427,9 +586,7 @@ void Comm::allgather_ring(const void* send_data, std::size_t bytes_per_rank,
   // The p-1 neighbour-exchange steps use tags tag .. tag + p - 2; reserve
   // exactly that many sequence numbers so interleaving with other
   // collectives on this communicator stays in sync on every rank.
-  const int tag =
-      kCollectiveTagBase + static_cast<int>(collective_seq_ % (1 << 20));
-  collective_seq_ += static_cast<std::uint64_t>(p - 1);
+  const int tag = reserve_collective_tags(static_cast<std::uint64_t>(p - 1));
 
   const int next = (rank_ + 1) % p;
   const int prev = (rank_ + p - 1) % p;
@@ -449,7 +606,7 @@ void Comm::allgather_ring(const void* send_data, std::size_t bytes_per_rank,
 void Comm::reduce(const float* send_data, float* recv, std::size_t count,
                   ReduceOp op, int root) {
   IFDK_ASSERT(root >= 0 && root < size());
-  const int tag = kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int tag = reserve_collective_tags(1);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   const std::size_t bytes = count * sizeof(float);
   if (rank_ == root) {
@@ -487,8 +644,7 @@ void Comm::reduce_tree(const float* send_data, float* recv, std::size_t count,
                        ReduceOp op, int root) {
   IFDK_ASSERT(root >= 0 && root < size());
   const int p = size();
-  const int tag =
-      kCollectiveTagBase + static_cast<int>(collective_seq_++ % (1 << 20));
+  const int tag = reserve_collective_tags(1);
   const int my_world = members_[static_cast<std::size_t>(rank_)];
   // Rotate ranks so the tree is rooted at `root`.
   const int vrank = (rank_ - root + p) % p;
@@ -573,6 +729,20 @@ void run_world(int size, const std::function<void(Comm&)>& body) {
   std::vector<int> everyone(static_cast<std::size_t>(size));
   for (int r = 0; r < size; ++r) everyone[static_cast<std::size_t>(r)] = r;
 
+  // Prefer a root cause over the WorldAbortedError symptoms every other
+  // rank reports once the abort flag is up — regardless of which rank's
+  // body happened to exit first (a body may abort_world() *before*
+  // rethrowing, so arrival order no longer identifies the culprit).
+  const auto is_abort_symptom = [](const std::exception_ptr& e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const WorldAbortedError&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
+
   for (int r = 0; r < size; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(world, /*comm_id=*/0, everyone, r);
@@ -581,7 +751,10 @@ void run_world(int size, const std::function<void(Comm&)>& body) {
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          if (!first_error || (is_abort_symptom(first_error) &&
+                               !is_abort_symptom(std::current_exception()))) {
+            first_error = std::current_exception();
+          }
         }
         world->abort();  // unblock every other rank
       }

@@ -11,8 +11,11 @@
 //   * point-to-point: send / recv with tags (plus nonblocking isend/irecv),
 //   * collectives: barrier, bcast, gather, allgather, reduce, allreduce,
 //   * nonblocking collectives: iallgather_ring and a chunked, pipelined
-//     ireduce, each returning a waitable CollectiveRequest (the overlap
-//     primitives of the Fig. 4 pipeline),
+//     ireduce (linear or binomial-tree fan-in per segment), each returning a
+//     waitable CollectiveRequest (the overlap primitives of the Fig. 4
+//     pipeline); tag blocks are reserved at initiation, so any number of
+//     collective epochs compose on one communicator (the streaming-4DCT
+//     mode keeps per-volume epochs in flight),
 //   * communicator split (used to form the R x C rank grid of Fig. 3a).
 //
 // Collectives are implemented over point-to-point with deterministic
@@ -34,9 +37,36 @@ namespace ifdk::mpi {
 
 enum class ReduceOp { kSum, kMax, kMin };
 
+/// Fan-in topology of the segmented ireduce.
+///   * kLinear: every rank posts its segments straight to the root, which
+///     folds them in ascending-rank order — the PR 3 algorithm, kept for
+///     bitwise back-compat tests and as the degenerate p<=2 path.
+///   * kTree: per-segment binomial fan-in. Contributions travel up a binomial
+///     tree rooted (virtually) at the reduce root: each relay concatenates
+///     its subtree's contributions and forwards one message, so the root
+///     waits on ceil(log2 p) messages per segment instead of p-1, and the
+///     fan-in latency is spread across the tree. The *summation order is the
+///     same on every path* — relays never fold, only the root does, in
+///     ascending-rank order — so results are bitwise identical to kLinear
+///     (asserted by tests). Relays pay extra copy bandwidth, the in-process
+///     analogue of the switch contention a flat fan-in causes on a real
+///     fabric.
+enum class ReduceAlgo { kLinear, kTree };
+
 namespace detail {
 class World;
 }  // namespace detail
+
+/// Thrown from any blocked or initiated operation when the world was aborted
+/// (another rank failed, or abort_world() was called). Typed so error
+/// reporting can prefer the root cause over this secondary symptom:
+/// run_world() rethrows a rank's non-abort error when one exists.
+class WorldAbortedError : public Error {
+ public:
+  /// `what` names the failing operation; the root cause lives on the rank
+  /// that aborted.
+  explicit WorldAbortedError(const std::string& what) : Error(what) {}
+};
 
 /// A communicator: a subset of ranks with private tag space. Copyable handle
 /// (like an MPI_Comm); all members must call collectives in the same order.
@@ -70,8 +100,10 @@ class Comm {
   // -- nonblocking point to point -------------------------------------------
 
   /// Handle to an outstanding nonblocking operation. wait() must be called
-  /// exactly once before destruction (asserted), mirroring MPI_Request
-  /// semantics without the free-floating MPI_REQUEST_NULL states.
+  /// exactly once before destruction (asserted; like CollectiveRequest, an
+  /// unwaited handle is tolerated only while an exception unwinds, i.e.
+  /// during abort teardown), mirroring MPI_Request semantics without the
+  /// free-floating MPI_REQUEST_NULL states.
   class Request {
    public:
     Request() = default;
@@ -167,21 +199,28 @@ class Comm {
                                     std::size_t bytes_per_rank, void* recv);
 
   /// Nonblocking, chunked, pipelined reduce to `root`. The payload is split
-  /// into ceil(count / segment_floats) segments; non-root ranks post every
+  /// into ceil(count / segment_floats) segments; leaf ranks post every
   /// segment eagerly (buffered) and their wait() is a no-op, while the root
   /// folds segments one at a time inside wait() — so the reduction of
   /// segment s overlaps the delivery of segment s+1, and `on_segment`
   /// (root only, may be empty) streams finished segments to a consumer
   /// (e.g. an async PFS writer) while later segments are still in flight.
-  /// The per-element fold order is ascending rank, exactly like reduce(),
-  /// so results are bitwise identical to the blocking linear algorithm.
+  /// With ReduceAlgo::kTree (the default) segments fan in over a binomial
+  /// tree whose relay ranks forward inside *their* wait(); with kLinear
+  /// every rank posts straight to the root. Either way the per-element fold
+  /// order is ascending rank, exactly like reduce(), so results are bitwise
+  /// identical across algorithms and to the blocking linear reduce.
   /// `segment_floats` must be positive and identical on every rank (it
-  /// determines the number of reserved tags). `recv` may be null on
-  /// non-root ranks and must not alias `send_data` on the root.
+  /// determines the number of reserved tags; `algo` must match too).
+  /// `recv` may be null on non-root ranks and must not alias `send_data` on
+  /// the root. Multiple ireduce epochs may be in flight on one communicator
+  /// (each reserves its own tag block at initiation) as long as every
+  /// member initiates them in the same order.
   CollectiveRequest ireduce(const float* send_data, float* recv,
                             std::size_t count, ReduceOp op, int root,
                             std::size_t segment_floats = kDefaultReduceSegment,
-                            SegmentCallback on_segment = {});
+                            SegmentCallback on_segment = {},
+                            ReduceAlgo algo = ReduceAlgo::kTree);
 
   // -- collectives ---------------------------------------------------------
 
@@ -230,6 +269,16 @@ class Comm {
   void allreduce(const float* send_data, float* recv, std::size_t count,
                  ReduceOp op);
 
+  // -- error handling --------------------------------------------------------
+
+  /// The MPI_Abort analogue: poisons the whole world so every rank's blocked
+  /// or future operation throws WorldAbortedError. Call this when a local
+  /// pipeline thread fails while *sibling threads of the same rank* may be
+  /// blocked inside collectives whose remote peers will never progress —
+  /// rethrowing from the rank body alone cannot unblock them, because the
+  /// body must join those threads first. Idempotent.
+  void abort_world();
+
   // -- communicator management ---------------------------------------------
 
   /// Splits into sub-communicators by color; ranks with equal color join the
@@ -242,6 +291,15 @@ class Comm {
 
   Comm(std::shared_ptr<detail::World> world, std::uint64_t comm_id,
        std::vector<int> members, int rank);
+
+  /// Reserves a contiguous block of `n` collective tags and returns the
+  /// first. Every collective (blocking or not) claims its exact tag budget
+  /// through this single choke point at *initiation* time, so any number of
+  /// collective epochs may be outstanding per communicator: blocks never
+  /// interleave, and a block that would straddle the tag-window wrap is
+  /// pushed past it (deterministically — the skip depends only on the
+  /// sequence counter, which advances identically on every member).
+  int reserve_collective_tags(std::uint64_t n);
 
   std::shared_ptr<detail::World> world_;
   std::uint64_t comm_id_ = 0;

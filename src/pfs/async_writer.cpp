@@ -7,20 +7,65 @@
 namespace ifdk::pfs {
 
 AsyncWriter::AsyncWriter(ParallelFileSystem& fs, std::size_t queue_capacity)
-    : fs_(fs), queue_(queue_capacity), worker_([this] { run(); }) {}
+    : fs_(fs),
+      queue_(queue_capacity),
+      streams_(1),
+      worker_([this] { run(); }) {}
 
 AsyncWriter::~AsyncWriter() {
   queue_.close();
   if (worker_.joinable()) worker_.join();
 }
 
-void AsyncWriter::enqueue(std::string name, std::vector<float> payload) {
+AsyncWriter::StreamId AsyncWriter::open_stream() {
+  IFDK_REQUIRE(!finished_, "AsyncWriter: open_stream after finish()");
+  std::lock_guard<std::mutex> lock(mutex_);
+  streams_.emplace_back();
+  return streams_.size() - 1;
+}
+
+bool AsyncWriter::enqueue(StreamId stream, std::string name,
+                          std::vector<float> payload) {
   IFDK_REQUIRE(!finished_, "AsyncWriter: enqueue after finish()");
-  if (!queue_.push(Item{std::move(name), std::move(payload)})) {
-    // The queue only closes early when the writer thread failed; surface
-    // that root cause instead of a generic refused-push message.
-    finish();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IFDK_ASSERT_MSG(stream < streams_.size(),
+                    "AsyncWriter: enqueue on an unopened stream");
+    // A poisoned stream accepts no further work; the caller learns the
+    // root cause from finish_stream(). Other streams are unaffected.
+    if (streams_[stream].error) return false;
+    ++streams_[stream].pending;
+  }
+  if (!queue_.push(Item{stream, std::move(name), std::move(payload)})) {
+    // Only finish()/the destructor close the queue: pushing afterwards is a
+    // protocol violation, not a writer failure.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --streams_[stream].pending;
     throw Error("AsyncWriter: queue closed before enqueue completed");
+  }
+  return true;
+}
+
+void AsyncWriter::enqueue(std::string name, std::vector<float> payload) {
+  if (!enqueue(StreamId{0}, std::move(name), std::move(payload))) {
+    // Root-cause behaviour of the single-stream API: surface the writer
+    // error at the producer immediately (and only once).
+    finish_stream(0);
+    throw Error("AsyncWriter: queue closed before enqueue completed");
+  }
+}
+
+void AsyncWriter::finish_stream(StreamId stream) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  IFDK_ASSERT_MSG(stream < streams_.size(),
+                  "AsyncWriter: finish_stream on an unopened stream");
+  drained_.wait(lock, [&] { return streams_[stream].pending == 0; });
+  StreamState& state = streams_[stream];
+  if (state.error && !state.error_claimed) {
+    state.error_claimed = true;
+    std::exception_ptr e = state.error;
+    lock.unlock();
+    std::rethrow_exception(e);
   }
 }
 
@@ -30,10 +75,14 @@ void AsyncWriter::finish() {
     queue_.close();
     if (worker_.joinable()) worker_.join();
   }
-  if (error_) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
-    std::rethrow_exception(e);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (StreamState& state : streams_) {
+    if (state.error && !state.error_claimed) {
+      state.error_claimed = true;
+      std::exception_ptr e = state.error;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
   }
 }
 
@@ -47,21 +96,31 @@ std::size_t AsyncWriter::writes_completed() const {
 
 void AsyncWriter::run() {
   while (auto item = queue_.pop()) {
-    if (error_) continue;  // drain remaining items after a failure
-    try {
-      Timer t;
-      fs_.write_object(item->name, item->payload.data(),
-                       item->payload.size() * sizeof(float));
-      busy_seconds_.store(busy_seconds_.load(std::memory_order_relaxed) +
-                              t.seconds(),
-                          std::memory_order_relaxed);
-      writes_.fetch_add(1, std::memory_order_relaxed);
-    } catch (...) {
-      error_ = std::current_exception();
-      // Close so a producer blocked on a full queue fails fast instead of
-      // feeding a dead consumer.
-      queue_.close();
+    bool poisoned;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      poisoned = static_cast<bool>(streams_[item->stream].error);
     }
+    if (!poisoned) {
+      try {
+        Timer t;
+        fs_.write_object(item->name, item->payload.data(),
+                         item->payload.size() * sizeof(float));
+        busy_seconds_.store(busy_seconds_.load(std::memory_order_relaxed) +
+                                t.seconds(),
+                            std::memory_order_relaxed);
+        writes_.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        streams_[item->stream].error = std::current_exception();
+      }
+    }
+    // Written or dropped: either way the item is no longer pending.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --streams_[item->stream].pending;
+    }
+    drained_.notify_all();
   }
 }
 

@@ -4,13 +4,21 @@
 // is still arriving; a blocking write_object loop would serialize the two
 // stages. AsyncWriter runs a single background writer thread fed through a
 // bounded CircularBuffer, so enqueue() returns as soon as the payload is
-// queued and the producer (the reduce fold) keeps running. Write order is
-// FIFO, errors are captured on the writer thread and rethrown from finish().
+// queued and the producer (the reduce fold) keeps running.
+//
+// Writes are multiplexed over *streams* so the streaming-4DCT mode can pipe
+// every volume's slices through one writer thread: each volume opens its own
+// stream, and a write error poisons only that stream — its remaining items
+// are dropped, its finish_stream() rethrows, and every other stream keeps
+// writing (volume v+1 must not be corrupted by volume v's failure). Write
+// order is FIFO across streams.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +34,10 @@ namespace ifdk::pfs {
 /// observe errors; the destructor drains silently if it was not.
 class AsyncWriter {
  public:
+  /// Identifies one independent write stream (one 4D-CT volume). Stream 0
+  /// always exists — the single-stream enqueue/finish API below uses it.
+  using StreamId = std::size_t;
+
   /// Starts the writer thread. `fs` must outlive this object.
   explicit AsyncWriter(ParallelFileSystem& fs, std::size_t queue_capacity = 8);
 
@@ -37,14 +49,33 @@ class AsyncWriter {
   /// call finish() to observe them.
   ~AsyncWriter();
 
-  /// Queues one object write (payload is taken by value so the caller's
-  /// buffer is free immediately). Blocks while the queue is full — the
-  /// back-pressure that keeps the store stage from buffering an unbounded
-  /// volume. Throws Error if called after finish().
+  /// Registers a new independent stream and returns its id. Must not be
+  /// called after finish().
+  StreamId open_stream();
+
+  /// Queues one object write on `stream` (payload is taken by value so the
+  /// caller's buffer is free immediately). Blocks while the queue is full —
+  /// the back-pressure that keeps the store stage from buffering an
+  /// unbounded volume. Returns false without queueing when the stream has
+  /// already failed (the error surfaces from finish_stream()); the caller
+  /// should stop feeding that stream. Throws Error if called after finish().
+  bool enqueue(StreamId stream, std::string name, std::vector<float> payload);
+
+  /// Waits until every write queued on `stream` has hit the store (or been
+  /// dropped by a poisoned stream), then rethrows the stream's first error
+  /// if one occurred (once; a second call returns cleanly). Other streams
+  /// are unaffected. May be called while other streams keep enqueueing.
+  void finish_stream(StreamId stream);
+
+  /// Single-stream convenience (stream 0): like enqueue(0, ...) but an
+  /// already-failed stream rethrows the root-cause error immediately
+  /// instead of returning false, preserving the PR 3 contract that a
+  /// blocked producer gets the writer's error rather than silence.
   void enqueue(std::string name, std::vector<float> payload);
 
   /// Closes the queue, waits for every queued write to hit the store, and
-  /// rethrows the first writer-thread error (if any). Idempotent.
+  /// rethrows the first error that no finish_stream() call has claimed yet
+  /// (if any). Idempotent.
   void finish();
 
   /// Wall-clock seconds the writer thread spent inside write_object — the
@@ -56,17 +87,27 @@ class AsyncWriter {
 
  private:
   struct Item {
+    StreamId stream;
     std::string name;
     std::vector<float> payload;
+  };
+
+  /// Per-stream book-keeping, guarded by mutex_.
+  struct StreamState {
+    std::size_t pending = 0;       ///< enqueued, not yet written/dropped
+    std::exception_ptr error;      ///< first write failure on this stream
+    bool error_claimed = false;    ///< a finish rethrew it already
   };
 
   void run();
 
   ParallelFileSystem& fs_;
   CircularBuffer<Item> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;  ///< signalled whenever pending drops
+  std::vector<StreamState> streams_;
   std::thread worker_;
   bool finished_ = false;
-  std::exception_ptr error_;
   std::atomic<double> busy_seconds_{0.0};
   std::atomic<std::size_t> writes_{0};
 };

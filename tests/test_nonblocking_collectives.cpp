@@ -287,6 +287,185 @@ TEST(NonblockingCollectives, RankAbortMidIallgatherUnblocksTheWorld) {
       Error);
 }
 
+TEST(NonblockingCollectives, TreeFanInBitwiseMatchesLinearAndBlocking) {
+  // The tree relays only concatenate; the root folds ascending-rank — so
+  // the tree fan-in must equal both the linear ireduce and the blocking
+  // reduce bit for bit, on every world size (power-of-two and not) and
+  // segment size.
+  for (int ranks : {1, 2, 3, 4, 5, 7, 8}) {
+    for (const std::size_t segment :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64},
+          std::size_t{100000}}) {
+      run_world(ranks, [ranks, segment](Comm& comm) {
+        constexpr std::size_t kCount = 1000;
+        std::vector<float> mine(kCount);
+        for (std::size_t i = 0; i < kCount; ++i) {
+          mine[i] = (comm.rank() % 2 == 0 ? 1.0f : -1.0f) *
+                    (1.0f + static_cast<float>(i) * 1e-6f) *
+                    static_cast<float>(1 + comm.rank());
+        }
+        std::vector<float> blocking(kCount), linear(kCount), tree(kCount);
+        comm.reduce(mine.data(), blocking.data(), kCount, ReduceOp::kSum, 0);
+        Comm::CollectiveRequest lin =
+            comm.ireduce(mine.data(), linear.data(), kCount, ReduceOp::kSum,
+                         0, segment, {}, ReduceAlgo::kLinear);
+        lin.wait();
+        Comm::CollectiveRequest tr =
+            comm.ireduce(mine.data(), tree.data(), kCount, ReduceOp::kSum, 0,
+                         segment, {}, ReduceAlgo::kTree);
+        tr.wait();
+        if (comm.rank() == 0) {
+          for (std::size_t i = 0; i < kCount; ++i) {
+            ASSERT_EQ(blocking[i], linear[i])
+                << ranks << " ranks, segment " << segment << ", element " << i;
+            ASSERT_EQ(blocking[i], tree[i])
+                << ranks << " ranks, segment " << segment << ", element " << i;
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(NonblockingCollectives, TreeFanInNonZeroRootAllOps) {
+  // Rotated tree: non-zero roots exercise the vrank mapping; max/min and
+  // sum must all match the blocking reference exactly.
+  for (int root : {1, 3, 5}) {
+    run_world(6, [root](Comm& comm) {
+      constexpr std::size_t kCount = 97;
+      std::vector<float> mine(kCount);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        mine[i] = static_cast<float>((comm.rank() * 13 + static_cast<int>(i)) %
+                                     29) -
+                  7.0f;
+      }
+      for (const ReduceOp op :
+           {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+        std::vector<float> blocking(kCount), tree(kCount);
+        comm.reduce(mine.data(),
+                    comm.rank() == root ? blocking.data() : nullptr, kCount,
+                    op, root);
+        Comm::CollectiveRequest req = comm.ireduce(
+            mine.data(), comm.rank() == root ? tree.data() : nullptr, kCount,
+            op, root, /*segment_floats=*/16, {}, ReduceAlgo::kTree);
+        req.wait();
+        if (comm.rank() == root) {
+          for (std::size_t i = 0; i < kCount; ++i) {
+            ASSERT_EQ(blocking[i], tree[i]) << "root " << root << ", element "
+                                            << i;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(NonblockingCollectives, TreeFanInSegmentCallbackStreamsPrefixes) {
+  // The root's per-segment streaming contract is fan-in independent.
+  run_world(5, [](Comm& comm) {
+    constexpr std::size_t kCount = 10;
+    constexpr std::size_t kSegment = 4;  // segments: 4, 4, 2
+    std::vector<float> mine(kCount, static_cast<float>(comm.rank() + 1));
+    std::vector<float> out(kCount);
+    std::vector<std::pair<std::size_t, std::size_t>> seen;
+    Comm::CollectiveRequest req = comm.ireduce(
+        mine.data(), out.data(), kCount, ReduceOp::kSum, 0, kSegment,
+        comm.rank() == 0
+            ? Comm::SegmentCallback([&](std::size_t off, std::size_t len) {
+                for (std::size_t i = off; i < off + len; ++i) {
+                  EXPECT_FLOAT_EQ(out[i], 15.0f);  // 1+2+3+4+5
+                }
+                seen.emplace_back(off, len);
+              })
+            : Comm::SegmentCallback{},
+        ReduceAlgo::kTree);
+    req.wait();
+    if (comm.rank() == 0) {
+      ASSERT_EQ(seen.size(), 3u);
+      EXPECT_EQ(seen[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+      EXPECT_EQ(seen[1], (std::pair<std::size_t, std::size_t>{4, 4}));
+      EXPECT_EQ(seen[2], (std::pair<std::size_t, std::size_t>{8, 2}));
+    }
+  });
+}
+
+TEST(NonblockingCollectives, TwoConcurrentIreduceEpochsDifferentSegments) {
+  // Regression for the tag-block audit: the accounting must support
+  // MULTIPLE ireduce epochs in flight on one communicator — each epoch
+  // reserves its own block at initiation, sized by ITS segment count — so
+  // per-volume epochs compose in the streaming pipeline. Waits run in
+  // initiation-reversed order, with different segment sizes, roots, and
+  // fan-ins per epoch.
+  for (const auto& algos :
+       {std::pair{ReduceAlgo::kLinear, ReduceAlgo::kLinear},
+        std::pair{ReduceAlgo::kTree, ReduceAlgo::kTree},
+        std::pair{ReduceAlgo::kTree, ReduceAlgo::kLinear}}) {
+    run_world(4, [algos](Comm& comm) {
+      constexpr std::size_t kCountA = 1000;
+      constexpr std::size_t kCountB = 333;
+      std::vector<float> a(kCountA), b(kCountB);
+      for (std::size_t i = 0; i < kCountA; ++i) {
+        a[i] = static_cast<float>(comm.rank() + 1) +
+               static_cast<float>(i) * 0.25f;
+      }
+      for (std::size_t i = 0; i < kCountB; ++i) {
+        b[i] = static_cast<float>(10 * (comm.rank() + 1)) -
+               static_cast<float>(i) * 0.5f;
+      }
+      std::vector<float> ref_a(kCountA), ref_b(kCountB);
+      comm.reduce(a.data(), comm.rank() == 0 ? ref_a.data() : nullptr,
+                  kCountA, ReduceOp::kSum, 0);
+      comm.reduce(b.data(), comm.rank() == 2 ? ref_b.data() : nullptr,
+                  kCountB, ReduceOp::kSum, 2);
+
+      std::vector<float> out_a(comm.rank() == 0 ? kCountA : 0);
+      std::vector<float> out_b(comm.rank() == 2 ? kCountB : 0);
+      // Epoch A: 7-float segments (143 tags). Epoch B, initiated while A is
+      // outstanding: 50-float segments (7 tags), different root.
+      Comm::CollectiveRequest ra = comm.ireduce(
+          a.data(), comm.rank() == 0 ? out_a.data() : nullptr, kCountA,
+          ReduceOp::kSum, 0, /*segment_floats=*/7, {}, algos.first);
+      Comm::CollectiveRequest rb = comm.ireduce(
+          b.data(), comm.rank() == 2 ? out_b.data() : nullptr, kCountB,
+          ReduceOp::kSum, 2, /*segment_floats=*/50, {}, algos.second);
+      rb.wait();  // initiation-reversed wait order (identical on all ranks)
+      ra.wait();
+      if (comm.rank() == 0) {
+        for (std::size_t i = 0; i < kCountA; ++i) {
+          ASSERT_EQ(out_a[i], ref_a[i]) << "epoch A element " << i;
+        }
+      }
+      if (comm.rank() == 2) {
+        for (std::size_t i = 0; i < kCountB; ++i) {
+          ASSERT_EQ(out_b[i], ref_b[i]) << "epoch B element " << i;
+        }
+      }
+    });
+  }
+}
+
+TEST(NonblockingCollectives, RankAbortMidTreeIreduceUnblocksTheWorld) {
+  // With the tree fan-in a *relay* rank does its forwarding inside wait();
+  // killing a leaf leaves both the relay and the root blocked mid-epoch.
+  // The abort protocol must unblock the whole chain.
+  EXPECT_THROW(
+      run_world(5,
+                [](Comm& comm) {
+                  constexpr std::size_t kCount = 1 << 12;
+                  std::vector<float> mine(kCount, 1.0f);
+                  std::vector<float> out(comm.rank() == 0 ? kCount : 0);
+                  if (comm.rank() == 3) {  // a leaf of relay vrank 2
+                    throw ConfigError("rank 3 exploded mid-stream");
+                  }
+                  Comm::CollectiveRequest req = comm.ireduce(
+                      mine.data(), comm.rank() == 0 ? out.data() : nullptr,
+                      kCount, ReduceOp::kSum, 0, /*segment_floats=*/64, {},
+                      ReduceAlgo::kTree);
+                  req.wait();
+                }),
+      Error);
+}
+
 TEST(NonblockingCollectives, SingleRankDegenerateCases) {
   run_world(1, [](Comm& comm) {
     const float mine = 3.25f;

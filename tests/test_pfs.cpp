@@ -177,6 +177,94 @@ TEST(AsyncWriter, WriterThreadErrorSurfacesFromFinish) {
   EXPECT_EQ(writer.writes_completed(), 0u);
 }
 
+/// Store that fails writes whose names carry a given prefix; everything
+/// else succeeds — the per-volume fault the multiplexed streams isolate.
+class PrefixFailingFs : public ParallelFileSystem {
+ public:
+  explicit PrefixFailingFs(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void write_object(const std::string& name, const void* data,
+                    std::size_t bytes) override {
+    if (name.rfind(prefix_, 0) == 0) {
+      throw IoError("injected write failure: " + name);
+    }
+    ParallelFileSystem::write_object(name, data, bytes);
+  }
+
+ private:
+  std::string prefix_;
+};
+
+TEST(AsyncWriter, StreamsMultiplexAndIsolateErrors) {
+  // Two volumes share one writer thread; all of "bad"'s writes fail. The
+  // failure must surface from bad's finish_stream only — good's stream
+  // keeps writing through and after the failure.
+  PrefixFailingFs fs("bad/");
+  AsyncWriter writer(fs, /*queue_capacity=*/2);
+  const AsyncWriter::StreamId good = writer.open_stream();
+  const AsyncWriter::StreamId bad = writer.open_stream();
+
+  EXPECT_TRUE(writer.enqueue(good, "good/0", {1.0f}));
+  writer.enqueue(bad, "bad/0", {2.0f});  // poisons the bad stream
+  // Interleave more work on both streams: the poisoned stream eventually
+  // refuses (returns false), the good one never does.
+  bool bad_refused = false;
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_TRUE(writer.enqueue(good, "good/" + std::to_string(i),
+                               {static_cast<float>(i)}));
+    if (!writer.enqueue(bad, "bad/" + std::to_string(i),
+                        {static_cast<float>(i)})) {
+      bad_refused = true;
+    }
+  }
+  EXPECT_TRUE(bad_refused);
+
+  EXPECT_THROW(writer.finish_stream(bad), IoError);
+  writer.finish_stream(bad);  // error already claimed: second call is clean
+  writer.finish_stream(good);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(fs.exists("good/" + std::to_string(i))) << i;
+    EXPECT_FALSE(fs.exists("bad/" + std::to_string(i))) << i;
+  }
+  writer.finish();  // no unclaimed errors remain
+}
+
+TEST(AsyncWriter, FinishStreamWaitsForItsWrites) {
+  ParallelFileSystem fs;
+  AsyncWriter writer(fs, /*queue_capacity=*/2);
+  const AsyncWriter::StreamId a = writer.open_stream();
+  const AsyncWriter::StreamId b = writer.open_stream();
+  for (int i = 0; i < 8; ++i) {
+    writer.enqueue(a, "a/" + std::to_string(i), {0.5f});
+    writer.enqueue(b, "b/" + std::to_string(i), {1.5f});
+  }
+  writer.finish_stream(a);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(fs.exists("a/" + std::to_string(i))) << i;
+  }
+  // Stream b stays usable after a's finish.
+  writer.enqueue(b, "b/late", {2.5f});
+  writer.finish_stream(b);
+  EXPECT_TRUE(fs.exists("b/late"));
+  writer.finish();
+}
+
+TEST(AsyncWriter, UnclaimedStreamErrorSurfacesFromFinish) {
+  PrefixFailingFs fs("bad/");
+  AsyncWriter writer(fs);
+  const AsyncWriter::StreamId bad = writer.open_stream();
+  writer.enqueue(bad, "bad/x", {1.0f});
+  // No finish_stream(bad): the error must still come out of finish().
+  EXPECT_THROW(writer.finish(), IoError);
+}
+
+TEST(AsyncWriter, OpenStreamAfterFinishThrows) {
+  ParallelFileSystem fs;
+  AsyncWriter writer(fs);
+  writer.finish();
+  EXPECT_THROW(writer.open_stream(), Error);
+}
+
 TEST(AsyncWriter, WriterThreadErrorSurfacesFromBlockedEnqueue) {
   // After the writer dies, the queue closes; a producer pushing into it must
   // get the root-cause IoError instead of blocking forever.
