@@ -59,7 +59,8 @@ StreamingResult time_streaming(const bench::Scene& scene, int runs) {
   std::vector<StreamVolume> volumes;
   for (int v = 0; v < r.volumes; ++v) {
     volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
-                                   "out" + std::to_string(v) + "/slice_"});
+                                   "out" + std::to_string(v) + "/slice_",
+                                   {}});
   }
   StreamingStats last;
   r.seconds = bench::median_seconds(runs, [&] {
@@ -214,13 +215,53 @@ int main(int argc, char** argv) {
                "    \"busy_wall\": {\"main_thread\": %.4f, "
                "\"bp_thread\": %.4f, \"reduce_thread\": %.4f, "
                "\"store_thread\": %.4f}\n"
-               "  }\n}\n",
+               "  },\n",
                streaming.ranks, streaming.rows, streaming.volumes,
                streaming.seconds, streaming.volumes_per_second,
                streaming.efficiency.get("main_thread"),
                streaming.efficiency.get("bp_thread"),
                streaming.efficiency.get("reduce_thread"),
                streaming.efficiency.get("store_thread"));
+
+  // The resolved decomposition of the pipeline/streaming points above: the
+  // same DecompositionPlan object the runtime consumed, recorded so the
+  // perf trajectory can attribute a regression to a decomposition change
+  // (see docs/BENCHMARKING.md for the field reference).
+  {
+    IfdkOptions plan_opts;
+    plan_opts.ranks = pipeline.ranks;
+    plan_opts.rows = pipeline.rows;
+    const DecompositionPlan plan =
+        DecompositionPlan::make(scene.g, plan_opts);
+    std::fprintf(out,
+                 "  \"plan\": {\n"
+                 "    \"rows\": %d, \"columns\": %d,\n"
+                 "    \"rounds\": %zu, \"slab_h\": %zu,\n"
+                 "    \"slab_extents\": [",
+                 plan.grid.rows, plan.grid.columns, plan.rounds, plan.slab_h);
+    for (int row = 0; row < plan.grid.rows; ++row) {
+      const SlabExtent e = plan.slab_extent(row);
+      std::fprintf(out, "%s[%zu, %zu, %zu, %zu]", row > 0 ? ", " : "",
+                   e.low_begin, e.low_end, e.high_begin, e.high_end);
+    }
+    std::fprintf(out,
+                 "],\n"
+                 "    \"reduce_segments\": %llu,\n"
+                 "    \"allgather_bytes_per_round\": %llu,\n"
+                 "    \"reduce_bytes_per_epoch\": %llu,\n"
+                 "    \"gather_tag_budget\": %llu,\n"
+                 "    \"reduce_tag_budget\": %llu,\n"
+                 "    \"device_bytes\": %llu\n"
+                 "  }\n}\n",
+                 static_cast<unsigned long long>(plan.reduce_segments()),
+                 static_cast<unsigned long long>(
+                     plan.allgather_bytes_per_round()),
+                 static_cast<unsigned long long>(plan.reduce_bytes_per_epoch()),
+                 static_cast<unsigned long long>(
+                     plan.gather_tag_budget(/*fused=*/false)),
+                 static_cast<unsigned long long>(plan.reduce_tag_budget()),
+                 static_cast<unsigned long long>(plan.device_bytes()));
+  }
   std::fclose(out);
 
   std::printf("wrote %s (simd backend: %s)\n", out_path.c_str(),

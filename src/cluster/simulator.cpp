@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -9,32 +10,31 @@
 
 namespace ifdk::cluster {
 
-SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
-                   int rows) {
+namespace {
+
+/// Per-round stage durations of the Fig. 4a pipeline on an R x C grid —
+/// shared by the single-volume recurrence (simulate / simulate_plan) and
+/// the streaming recurrence (simulate_stream).
+struct RoundCosts {
+  double t_load = 0;
+  double t_filter = 0;
+  double t_ag = 0;
+  double t_h2d = 0;
+  double t_bp = 0;
+};
+
+RoundCosts round_costs(const Problem& problem, int r, int c,
+                       const SimConfig& config) {
   const perfmodel::MicroBench& mb = config.mb;
-  const int r = rows > 0 ? rows : perfmodel::select_rows(problem, mb);
-  IFDK_REQUIRE(gpus >= r && gpus % r == 0,
-               "GPU count must be a positive multiple of R");
-  const int c = gpus / r;
-
-  SimResult out;
-  out.grid = {r, c};
-
   const double pb = static_cast<double>(problem.in.bytes_per_projection());
-  const double np = static_cast<double>(problem.in.np);
-  const double ranks = static_cast<double>(gpus);
-  const std::size_t rounds = static_cast<std::size_t>(
-      np / (static_cast<double>(c) * static_cast<double>(r)));
-  IFDK_REQUIRE(rounds >= 1, "fewer projections than ranks");
-  out.rounds = rounds;
+  const double ranks = static_cast<double>(r) * static_cast<double>(c);
 
-  // ---- Per-round stage durations -----------------------------------------
-
+  RoundCosts rc;
   // Every rank loads one projection per round; all ranks share the PFS link.
-  const double t_load = pb * ranks / mb.bw_load;
+  rc.t_load = pb * ranks / mb.bw_load;
   // One projection filtered per round; a node's THflt is shared by its
   // gpus_per_node ranks.
-  const double t_filter = static_cast<double>(mb.gpus_per_node) / mb.th_flt;
+  rc.t_filter = static_cast<double>(mb.gpus_per_node) / mb.th_flt;
   // Ring AllGather of R contributions of pb bytes, with congestion growing
   // in the group size.
   const double ag_bw = config.allgather_bandwidth /
@@ -42,11 +42,11 @@ SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
                                   config.allgather_congestion_r);
   const double multi_column =
       1.0 + config.allgather_multi_column * (1.0 - 1.0 / static_cast<double>(c));
-  const double t_ag = static_cast<double>(r) * pb / ag_bw * multi_column;
+  rc.t_ag = static_cast<double>(r) * pb / ag_bw * multi_column;
   // H2D of the round's R projections over the node's PCIe links.
-  const double t_h2d = static_cast<double>(r) * pb *
-                       static_cast<double>(mb.gpus_per_node) /
-                       (mb.bw_pcie * static_cast<double>(mb.pcie_per_node));
+  rc.t_h2d = static_cast<double>(r) * pb *
+             static_cast<double>(mb.gpus_per_node) /
+             (mb.bw_pcie * static_cast<double>(mb.pcie_per_node));
   // Back-projection of R projections into this rank's slab pair.
   const double slab_voxels =
       static_cast<double>(problem.out.voxels()) / static_cast<double>(r);
@@ -67,8 +67,51 @@ SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
   kernel_gups /= 1.0 + static_cast<double>(problem.out.nx) /
                            static_cast<double>(local_depth) /
                            config.aspect_penalty_scale;
-  const double t_bp =
+  rc.t_bp =
       static_cast<double>(r) * slab_voxels / (kernel_gups * 1073741824.0);
+  return rc;
+}
+
+/// Post-phase (Fig. 4b) durations. t_reduce excludes the one-time cold-call
+/// penalty — the caller decides when a communicator is cold (once per run
+/// for simulate(); once per distinct grid for simulate_stream, matching the
+/// runtime's communicator caching across re-splits).
+struct PostCosts {
+  double t_d2h = 0;
+  double t_reduce = 0;
+  double t_store = 0;
+};
+
+PostCosts post_costs(const Problem& problem, int r, int c,
+                     const SimConfig& config) {
+  const perfmodel::MicroBench& mb = config.mb;
+  const double out_bytes = static_cast<double>(problem.out.bytes());
+
+  PostCosts pc;
+  pc.t_d2h = out_bytes * static_cast<double>(mb.gpus_per_node) /
+             (static_cast<double>(r) * mb.bw_pcie *
+              static_cast<double>(mb.pcie_per_node) * config.d2h_efficiency);
+  pc.t_reduce =
+      c > 1 ? out_bytes / (static_cast<double>(r) * mb.th_reduce) : 0.0;
+  const double slice_bytes =
+      static_cast<double>(problem.out.nx * problem.out.ny * sizeof(float));
+  const double store_eff =
+      slice_bytes / (slice_bytes + config.store_halfpoint_bytes);
+  pc.t_store = out_bytes / (mb.bw_store * store_eff);
+  return pc;
+}
+
+/// The shared single-volume body: Fig. 4a recurrence + post phase for a
+/// resolved (r, c, rounds) decomposition of `problem`.
+SimResult simulate_grid(const Problem& problem, int r, int c,
+                        std::size_t rounds, const SimConfig& config) {
+  IFDK_REQUIRE(rounds >= 1, "fewer projections than ranks");
+
+  SimResult out;
+  out.grid = {r, c};
+  out.rounds = rounds;
+
+  const RoundCosts rc = round_costs(problem, r, c, config);
 
   // ---- Pipeline recurrence (Fig. 4a) -------------------------------------
 
@@ -84,14 +127,14 @@ SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
     if (t >= config.queue_capacity) {
       f_gate = std::max(f_gate, f_hist[t - config.queue_capacity]);
     }
-    const double f_t = f_gate + t_load + t_filter;
-    const double a_t = std::max(f_t, a_prev) + t_ag;
+    const double f_t = f_gate + rc.t_load + rc.t_filter;
+    const double a_t = std::max(f_t, a_prev) + rc.t_ag;
     // The gamma term models CPU/memory contention between the Main thread's
     // in-flight AllGather and the Bp thread; the last round has no
     // concurrent AllGather left to contend with.
     const double interference =
-        (t + 1 < rounds) ? config.gamma * t_ag : 0.0;
-    const double b_t = std::max(a_t, b_prev) + t_h2d + t_bp + interference;
+        (t + 1 < rounds) ? config.gamma * rc.t_ag : 0.0;
+    const double b_t = std::max(a_t, b_prev) + rc.t_h2d + rc.t_bp + interference;
     f_hist[t] = a_t;  // main-thread progress gates the filtering queue
     f_prev = f_t;
     a_prev = a_t;
@@ -101,27 +144,20 @@ SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
     }
   }
 
-  out.t_load = static_cast<double>(rounds) * t_load;
-  out.t_flt = static_cast<double>(rounds) * (t_load + t_filter);
-  out.t_allgather = static_cast<double>(rounds) * t_ag;
-  out.t_bp = static_cast<double>(rounds) * (t_h2d + t_bp);
+  out.t_load = static_cast<double>(rounds) * rc.t_load;
+  out.t_flt = static_cast<double>(rounds) * (rc.t_load + rc.t_filter);
+  out.t_allgather = static_cast<double>(rounds) * rc.t_ag;
+  out.t_bp = static_cast<double>(rounds) * (rc.t_h2d + rc.t_bp);
   out.t_compute = b_prev;
   out.delta = (out.t_flt + out.t_allgather + out.t_bp) / out.t_compute;
 
   // ---- Post phase (Fig. 4b) -----------------------------------------------
 
-  const double out_bytes = static_cast<double>(problem.out.bytes());
-  out.t_d2h = out_bytes * static_cast<double>(mb.gpus_per_node) /
-              (static_cast<double>(r) * mb.bw_pcie *
-               static_cast<double>(mb.pcie_per_node) * config.d2h_efficiency);
-  out.t_reduce = c > 1 ? out_bytes / (static_cast<double>(r) * mb.th_reduce) +
-                             config.reduce_first_call_penalty_s
-                       : 0.0;
-  const double slice_bytes =
-      static_cast<double>(problem.out.nx * problem.out.ny * sizeof(float));
-  const double store_eff =
-      slice_bytes / (slice_bytes + config.store_halfpoint_bytes);
-  out.t_store = out_bytes / (mb.bw_store * store_eff);
+  const PostCosts pc = post_costs(problem, r, c, config);
+  out.t_d2h = pc.t_d2h;
+  out.t_reduce =
+      c > 1 ? pc.t_reduce + config.reduce_first_call_penalty_s : 0.0;
+  out.t_store = pc.t_store;
 
   if (config.overlap_post) {
     // D2H/Reduce of early slab regions can start once the pipeline's first
@@ -140,6 +176,121 @@ SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
                   problem.in.np, out.t_runtime);
   out.gups_compute = gups(problem.out.nx, problem.out.ny, problem.out.nz,
                           problem.in.np, out.t_runtime - out.t_store);
+  return out;
+}
+
+}  // namespace
+
+SimResult simulate(const Problem& problem, int gpus, const SimConfig& config,
+                   int rows) {
+  const int r = rows > 0 ? rows : perfmodel::select_rows(problem, config.mb);
+  IFDK_REQUIRE(gpus >= r && gpus % r == 0,
+               "GPU count must be a positive multiple of R");
+  const int c = gpus / r;
+  const std::size_t rounds = static_cast<std::size_t>(
+      static_cast<double>(problem.in.np) /
+      (static_cast<double>(c) * static_cast<double>(r)));
+  return simulate_grid(problem, r, c, rounds, config);
+}
+
+SimResult simulate_plan(const DecompositionPlan& plan,
+                        const SimConfig& config) {
+  return simulate_grid(plan.geometry.problem(), plan.grid.rows,
+                       plan.grid.columns, plan.rounds, config);
+}
+
+StreamSimResult simulate_stream(std::span<const DecompositionPlan> plans,
+                                const SimConfig& config) {
+  StreamSimResult out;
+  out.volumes = plans.size();
+  if (plans.empty()) return out;
+  out.ranks = plans[0].ranks();
+  std::size_t total_rounds = 0;
+  for (const DecompositionPlan& plan : plans) {
+    IFDK_REQUIRE(plan.ranks() == out.ranks,
+                 "all plans of a stream must share one rank world");
+    IFDK_REQUIRE(plan.rounds >= 1, "fewer projections than ranks");
+    total_rounds += plan.rounds;
+  }
+  out.epochs.reserve(plans.size());
+
+  // The Fig. 4a recurrence, carried ACROSS volume boundaries: the worker
+  // keeps filtering/gathering and the bp thread keeps back-projecting while
+  // earlier volumes drain through the reduce thread. a_hist implements the
+  // bounded-queue gate over the global round index.
+  double f = config.startup_s;
+  double a = config.startup_s;
+  double b = config.startup_s;
+  std::vector<double> a_hist;
+  a_hist.reserve(total_rounds);
+  std::size_t g = 0;  // global round index across the stream
+
+  // Reduce-thread chain: post_start gates the depth-1 slab handoff,
+  // post_done the next epoch's reduce. A grid first seen in the stream runs
+  // on cold communicators and pays the reduce cold-call penalty; a re-split
+  // BACK to an earlier grid reuses its (warm) communicators, exactly like
+  // the runtime's per-grid comm cache.
+  double post_start_prev = 0;
+  double post_done_prev = 0;
+  std::set<int> warm_grids;
+
+  for (std::size_t v = 0; v < plans.size(); ++v) {
+    const DecompositionPlan& plan = plans[v];
+    const Problem problem = plan.geometry.problem();
+    const int r = plan.grid.rows;
+    const int c = plan.grid.columns;
+    const bool regrid = v > 0 && !plans[v - 1].same_grid(plan);
+    if (regrid) {
+      // Engine rebuild + communicator switch on the worker and bp chains.
+      ++out.regrids;
+      f += config.replan_s;
+      b += config.replan_s;
+    }
+
+    const RoundCosts rc = round_costs(problem, r, c, config);
+    for (std::size_t t = 0; t < plan.rounds; ++t, ++g) {
+      double f_gate = f;
+      if (g >= config.queue_capacity) {
+        f_gate = std::max(f_gate, a_hist[g - config.queue_capacity]);
+      }
+      const double f_t = f_gate + rc.t_load + rc.t_filter;
+      const double a_t = std::max(f_t, a) + rc.t_ag;
+      // Unlike the single-volume run, the next volume's AllGather follows
+      // immediately — only the stream's very last round is contention-free.
+      const double interference =
+          (g + 1 < total_rounds) ? config.gamma * rc.t_ag : 0.0;
+      const double b_t = std::max(a_t, b) + rc.t_h2d + rc.t_bp + interference;
+      a_hist.push_back(a_t);
+      f = f_t;
+      a = a_t;
+      b = b_t;
+    }
+
+    const PostCosts pc = post_costs(problem, r, c, config);
+    // run_streaming charges D2H on the Bp-thread before the slab handoff.
+    b += pc.t_d2h;
+    const double bp_done = b;
+    // Depth-1 slab queue: the push completes once the reduce thread popped
+    // the previous volume's slab; the bp thread resumes the next volume
+    // only then (at most one volume ahead).
+    const double push_done = std::max(bp_done, post_start_prev);
+    const double post_start = std::max(push_done, post_done_prev);
+    double t_reduce = pc.t_reduce;
+    if (c > 1 && warm_grids.insert(r).second) {
+      t_reduce += config.reduce_first_call_penalty_s;
+    }
+    const double done = post_start + t_reduce + pc.t_store;
+
+    out.epochs.push_back(
+        EpochSim{plan.grid, plan.rounds, regrid, bp_done, post_start, done});
+    b = push_done;
+    post_start_prev = post_start;
+    post_done_prev = done;
+  }
+
+  out.t_total = post_done_prev;
+  out.volumes_per_second =
+      out.t_total > 0 ? static_cast<double>(out.volumes) / out.t_total : 0;
   return out;
 }
 

@@ -30,9 +30,11 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "geometry/types.h"
+#include "ifdk/plan.h"
 #include "perfmodel/model.h"
 
 namespace ifdk::cluster {
@@ -75,6 +77,12 @@ struct SimConfig {
 
   /// Circular buffer depth (Fig. 4a) for the back-pressure term.
   std::size_t queue_capacity = 8;
+
+  /// Streaming only: per-epoch replanning cost charged when consecutive
+  /// volumes resolve to *different* R x C grids — the filter/back-projection
+  /// engines are rebuilt and the ranks switch to freshly split
+  /// communicators (whose first reduce pays the cold-call penalty again).
+  double replan_s = 0.05;
 
   /// Use gpusim::KernelModel (Table-4 calibrated) for the kernel rate;
   /// false = flat mb.bp_gups.
@@ -126,5 +134,46 @@ struct SimResult {
 /// Simulates `problem` on `gpus` ranks; R from Eq. (7) unless `rows` > 0.
 SimResult simulate(const Problem& problem, int gpus, const SimConfig& config = {},
                    int rows = 0);
+
+/// Simulates one resolved DecompositionPlan — the same recurrence as
+/// simulate(), but grid, rounds, and problem all come from the plan object
+/// the real runtime executes (no second copy of the decomposition
+/// arithmetic). simulate() is equivalent to building a standard-geometry
+/// plan and calling this.
+SimResult simulate_plan(const DecompositionPlan& plan,
+                        const SimConfig& config = {});
+
+/// One volume epoch of a simulated stream (Fig. 4a recurrence + post
+/// phase), in virtual seconds since stream start.
+struct EpochSim {
+  perfmodel::GridShape grid;
+  std::size_t rounds = 0;
+  bool regrid = false;     ///< grid changed vs the previous epoch (re-split)
+  double bp_done = 0;      ///< last back-projection round of this volume
+  double post_start = 0;   ///< reduce thread picks the slab up
+  double done = 0;         ///< volume fully reduced and stored
+};
+
+/// Virtual-time replay of a whole run_streaming call at scale.
+struct StreamSimResult {
+  std::size_t volumes = 0;
+  int ranks = 0;
+  std::size_t regrids = 0;        ///< epochs that re-split the grid
+  double t_total = 0;             ///< last volume stored
+  double volumes_per_second = 0;  ///< the streaming throughput headline
+  std::vector<EpochSim> epochs;   ///< per-volume timeline
+};
+
+/// Replays a *sequence* of plans — one per streamed volume, exactly what
+/// StreamingStats::plans records — through the streaming recurrence: volume
+/// v+1's filter/gather/bp rounds (the Fig. 4a per-round recurrence,
+/// carried across volume boundaries) overlap volume v's reduce+store, the
+/// depth-1 slab handoff gates the bp thread one volume ahead of the reduce
+/// thread, and a grid change between epochs charges SimConfig::replan_s
+/// plus a fresh reduce cold-call penalty. All plans must share one rank
+/// count (they run in one world). Predicts streaming volumes/sec at scales
+/// one machine cannot execute.
+StreamSimResult simulate_stream(std::span<const DecompositionPlan> plans,
+                                const SimConfig& config = {});
 
 }  // namespace ifdk::cluster

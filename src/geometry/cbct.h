@@ -55,6 +55,10 @@ struct CbctGeometry {
   /// (zero sizes, non-positive distances, detector too small to cover the
   /// magnified volume footprint, ...).
   void validate() const;
+
+  /// Field-wise equality — what streaming uses to decide whether two
+  /// consecutive volumes can share filter/back-projection engines.
+  bool operator==(const CbctGeometry&) const = default;
 };
 
 /// Builds a consistent geometry for the given problem sizes with standard

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -84,61 +85,18 @@ mpi::ReduceAlgo to_mpi_algo(ReduceFanIn fan_in) {
                                         : mpi::ReduceAlgo::kTree;
 }
 
-/// The validated R x C decomposition shared by run_distributed and
-/// run_streaming (identical constraints, identical error messages).
-struct Decomposition {
-  int rows = 0;
-  int cols = 0;
-  std::size_t slab_h = 0;    ///< half-height of each row's slab pair
-  std::size_t per_rank = 0;  ///< projections loaded (= gather rounds) per rank
-  std::size_t pixels = 0;    ///< nu * nv
-};
-
-Decomposition validate_decomposition(const geo::CbctGeometry& geometry,
-                                     const IfdkOptions& options) {
-  geometry.validate();
-  const Problem problem = geometry.problem();
-
-  const int rows = options.rows > 0
-                       ? options.rows
-                       : perfmodel::select_rows(problem, options.microbench);
-  if (options.ranks < rows || options.ranks % rows != 0) {
-    throw ConfigError("ranks (" + std::to_string(options.ranks) +
-                      ") must be a positive multiple of the row count R (" +
-                      std::to_string(rows) + ")");
-  }
-  if (geometry.np % static_cast<std::size_t>(options.ranks) != 0) {
-    throw ConfigError("Np (" + std::to_string(geometry.np) +
-                      ") must divide evenly across the rank grid (ranks=" +
-                      std::to_string(options.ranks) + ")");
-  }
-  if (geometry.nz % (2 * static_cast<std::size_t>(rows)) != 0) {
-    throw ConfigError("Nz (" + std::to_string(geometry.nz) +
-                      ") must be divisible by 2*rows (" +
-                      std::to_string(2 * rows) +
-                      "): each row owns a symmetric slab pair");
-  }
-  IFDK_REQUIRE(options.reduce_segment_floats > 0,
-               "reduce_segment_floats must be positive");
-
-  Decomposition d;
-  d.rows = rows;
-  d.cols = options.ranks / rows;
-  d.slab_h = geometry.nz / (2 * static_cast<std::size_t>(rows));
-  d.per_rank = geometry.np / static_cast<std::size_t>(options.ranks);
-  d.pixels = geometry.nu * geometry.nv;
-  return d;
-}
-
-/// Global slice index of local slab-pair slice `local_k` of row `row`:
-/// local k < slab_h is global row*h + k; local slab_h + k is global
-/// Nz - (row+1)*h + k (Theorem 1's symmetric pairing).
-std::size_t global_slice_index(std::size_t nz, std::size_t slab_h, int row,
-                               std::size_t local_k) {
-  return local_k < slab_h
-             ? static_cast<std::size_t>(row) * slab_h + local_k
-             : nz - (static_cast<std::size_t>(row) + 1) * slab_h +
-                   (local_k - slab_h);
+/// Asserts one epoch's collective-tag consumption against the plan's budget
+/// (the "budget >= actual traffic" invariant). Reservations are sequential,
+/// so at most one deterministic wrap skip (< window) can land inside an
+/// epoch, and only when the budget does not fit before the window top —
+/// the check is exact in both cases.
+void assert_tag_budget(std::uint64_t before, std::uint64_t after,
+                       std::uint64_t budget, const char* what) {
+  const std::uint64_t window = mpi::Comm::kCollectiveTagWindow;
+  const std::uint64_t offset = before % window;
+  const std::uint64_t allowed =
+      offset + budget <= window ? budget : budget + (window - offset);
+  IFDK_ASSERT_MSG(after - before <= allowed, what);
 }
 
 /// Extracts slice `local_k` of a z-major slab pair into a slice-major
@@ -176,27 +134,25 @@ Volume load_volume(const pfs::ParallelFileSystem& fs,
   return vol;
 }
 
-// The framework-level default must track the minimpi tuning constant (the
-// header cannot include minimpi.h just for a default value).
-static_assert(IfdkOptions{}.reduce_segment_floats ==
-              mpi::Comm::kDefaultReduceSegment);
-
 IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                           pfs::ParallelFileSystem& fs,
                           const IfdkOptions& options) {
-  const Decomposition decomp = validate_decomposition(geometry, options);
-  const int rows = decomp.rows;
-  const int cols = decomp.cols;
-  const std::size_t slab_h = decomp.slab_h;
-  const std::size_t per_rank = decomp.per_rank;
-  const std::size_t pixels = decomp.pixels;
+  // The plan is the single source of truth for the decomposition: grid,
+  // slab extents, projection shards, tag budgets, and the memory check.
+  const DecompositionPlan plan = DecompositionPlan::make(geometry, options);
+  plan.check_device_fit(options.device);
+  const int rows = plan.grid.rows;
+  const int cols = plan.grid.columns;
+  const std::size_t slab_h = plan.slab_h;
+  const std::size_t per_rank = plan.rounds;
+  const std::size_t pixels = plan.pixels;
 
   std::vector<RankStats> rank_stats(static_cast<std::size_t>(options.ranks));
 
   mpi::run_world(options.ranks, [&](mpi::Comm& world) {
     const int rank = world.rank();
-    const int col = rank / rows;
-    const int row = rank % rows;
+    const int col = plan.col_of(rank);
+    const int row = plan.row_of(rank);
     RankStats& stats = rank_stats[static_cast<std::size_t>(rank)];
     Timer rank_timer;
 
@@ -216,12 +172,9 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     const auto matrices = geo::make_all_projection_matrices(geometry);
 
     // Device memory: the slab pair plus a batch of projections must fit
-    // (Section 4.1.5's constraint); allocation failure here means R was
-    // chosen too small.
+    // (the plan's Section 4.1.5 check, re-enforced by the allocator).
     gpusim::Device device(options.device);
-    const std::uint64_t slab_bytes =
-        2ull * slab_h * geometry.nx * geometry.ny * sizeof(float);
-    gpusim::DeviceBuffer vol_buf = device.allocate(slab_bytes);
+    gpusim::DeviceBuffer vol_buf = device.allocate(plan.slab_bytes());
     gpusim::DeviceBuffer batch_buf = device.allocate(
         static_cast<std::uint64_t>(options.bp_batch) * pixels * sizeof(float));
     gpusim::KernelModel kernel_model;
@@ -229,13 +182,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     Volume slab(geometry.nx, geometry.ny, 2 * slab_h, VolumeLayout::kZMajor,
                 /*zero_fill=*/true);
 
-    // Projection index owned by this rank in AllGather round t
-    // (Section 4.1.1: each column handles a contiguous block of Np/C).
-    const std::size_t column_base =
-        static_cast<std::size_t>(col) * per_rank * static_cast<std::size_t>(rows);
     auto owned_index = [&](std::size_t t) {
-      return column_base + t * static_cast<std::size_t>(rows) +
-             static_cast<std::size_t>(row);
+      return plan.owned_projection(row, col, t);
     };
 
     struct Filtered {
@@ -339,10 +287,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
         Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
         const float* src = recv.data() + static_cast<std::size_t>(r) * pixels;
         std::copy(src, src + pixels, img.data());
-        round.push_back(Filtered{
-            column_base + t * static_cast<std::size_t>(rows) +
-                static_cast<std::size_t>(r),
-            std::move(img)});
+        round.push_back(Filtered{plan.owned_projection(r, col, t),
+                                 std::move(img)});
       }
       if (!q_gathered.push(std::move(round))) {
         throw QueueClosedError(
@@ -350,6 +296,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
             "rounds were delivered");
       }
     };
+    const std::uint64_t gather_tags_before =
+        col_comm.collective_tags_reserved();
     try {
       // Handle to the in-flight gather of round `pending_t` (overlap only).
       // Declared inside the try block: on a world abort the unwinding path
@@ -419,15 +367,23 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     if (const std::exception_ptr first = pick_root_cause(errors)) {
       std::rethrow_exception(first);
     }
+    // The overlapped ring is what the plan's gather budget models; the
+    // blocking reference path reserves differently and is exempt.
+    if (options.overlap) {
+      assert_tag_budget(gather_tags_before,
+                        col_comm.collective_tags_reserved(),
+                        plan.gather_tag_budget(/*fused=*/false),
+                        "column gather exceeded the plan's tag budget");
+    }
     const double compute_span = rank_timer.seconds();
 
     // ---- Post: D2H, row Reduce, store (Fig. 4b) ----------------------------
     main_timer.time("d2h", [&] { device.charge_d2h(slab.bytes()); });
 
     auto global_slice = [&](std::size_t local_k) {
-      return global_slice_index(geometry.nz, slab_h, row, local_k);
+      return plan.global_slice(row, local_k);
     };
-    const std::size_t slice_px = geometry.nx * geometry.ny;
+    const std::size_t slice_px = plan.slice_px;
     auto extract_slice = [&](const float* zmajor, std::size_t local_k,
                              float* dst) {
       extract_zmajor_slice(zmajor, geometry.nx, geometry.ny, 2 * slab_h,
@@ -436,6 +392,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     // Seconds the async writer thread spent writing (overlapped root only);
     // the numerator of the store thread's overlap efficiency.
     double store_busy = 0;
+    const std::uint64_t reduce_tags_before =
+        row_comm.collective_tags_reserved();
 
     if (options.overlap) {
       // Every rank transposes its partial slab to slice-major (the same
@@ -444,7 +402,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
       // stream each finished slice to the async writer while later segments
       // are still being folded. The per-voxel fold order is unchanged
       // (ascending rank), so stored bits match the blocking path exactly.
-      std::vector<float> partial(2 * slab_h * slice_px);
+      std::vector<float> partial(plan.slab_floats());
       main_timer.time("transpose", [&] {
         for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
           extract_slice(slab.data(), local_k,
@@ -478,6 +436,10 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
           mpi::ReduceOp::kSum, /*root=*/0, options.reduce_segment_floats,
           std::move(on_segment), to_mpi_algo(options.reduce_fan_in));
       main_timer.time("reduce", [&] { reduce_req.wait(); });
+      assert_tag_budget(reduce_tags_before,
+                        row_comm.collective_tags_reserved(),
+                        plan.reduce_tag_budget(),
+                        "row reduce exceeded the plan's tag budget");
       if (col == 0) {
         // "store" on the main thread is only the residual drain: writes that
         // had not finished when the last reduce segment completed.
@@ -571,64 +533,106 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
                              pfs::ParallelFileSystem& fs,
                              const IfdkOptions& options,
                              std::span<const StreamVolume> volumes) {
-  const Decomposition decomp = validate_decomposition(geometry, options);
-  const int rows = decomp.rows;
-  const std::size_t slab_h = decomp.slab_h;
-  const std::size_t per_rank = decomp.per_rank;
-  const std::size_t pixels = decomp.pixels;
   const std::size_t n_volumes = volumes.size();
-  const mpi::ReduceAlgo algo = to_mpi_algo(options.reduce_fan_in);
+  // One DecompositionPlan per volume: the volume's own geometry when set,
+  // the run geometry otherwise. Validation errors name the volume. With
+  // more than one volume the bp/reduce double buffer keeps TWO slab pairs
+  // resident, which the plan's memory-aware row selection accounts for.
+  const std::size_t resident = n_volumes > 1 ? 2 : 1;
+  std::vector<DecompositionPlan> plans;
+  plans.reserve(n_volumes);
+  for (std::size_t v = 0; v < n_volumes; ++v) {
+    plans.push_back(DecompositionPlan::make(
+        volumes[v].geometry.value_or(geometry), options,
+        static_cast<int>(v), resident));
+  }
 
   StreamingStats out;
-  out.grid = {rows, decomp.cols};
   out.volumes = static_cast<int>(n_volumes);
   out.fused_filter_gather = options.fuse_filter_gather;
   out.volume_errors.assign(n_volumes, "");
-  if (n_volumes == 0) return out;
+  if (n_volumes == 0) {
+    // Validate the run configuration even when there is nothing to stream.
+    out.grid = DecompositionPlan::make(geometry, options).grid;
+    return out;
+  }
+  out.grid = plans[0].grid;
+  out.plans = plans;
 
+  // Stream-level memory constraint: the resident slab pairs span *adjacent*
+  // volumes of possibly different geometries, so the worst case is the
+  // largest slab in the stream, twice, plus the largest batch.
+  std::uint64_t max_slab_bytes = 0;
+  std::uint64_t max_batch_bytes = 0;
+  std::size_t max_gather_floats = 0;  // largest rows * pixels in the stream
+  for (const DecompositionPlan& plan : plans) {
+    max_slab_bytes = std::max(max_slab_bytes, plan.slab_bytes());
+    max_batch_bytes = std::max(
+        max_batch_bytes, static_cast<std::uint64_t>(plan.bp_batch) *
+                             plan.pixels * sizeof(float));
+    max_gather_floats =
+        std::max(max_gather_floats,
+                 static_cast<std::size_t>(plan.grid.rows) * plan.pixels);
+  }
+  if (resident * max_slab_bytes + max_batch_bytes >
+      options.device.memory_bytes) {
+    throw DeviceOutOfMemory(
+        "streaming needs " +
+        std::to_string(resident * max_slab_bytes + max_batch_bytes) +
+        " B of device memory (" + std::to_string(resident) +
+        " resident slab pair(s) of up to " + std::to_string(max_slab_bytes) +
+        " B + a batch of " + std::to_string(max_batch_bytes) +
+        " B) but the device has " +
+        std::to_string(options.device.memory_bytes) + " B");
+  }
+
+  const mpi::ReduceAlgo algo = to_mpi_algo(options.reduce_fan_in);
   std::vector<StreamRankStats> rank_stats(
       static_cast<std::size_t>(options.ranks));
 
   mpi::run_world(options.ranks, [&](mpi::Comm& world) {
     const int rank = world.rank();
-    const int col = rank / rows;
-    const int row = rank % rows;
     StreamRankStats& stats = rank_stats[static_cast<std::size_t>(rank)];
     stats.volume_errors.assign(n_volumes, "");
     Timer rank_timer;
 
-    mpi::Comm col_comm = world.split(col, row);
-    mpi::Comm row_comm = world.split(row, col);
-
-    filter::FilterEngine engine(geometry, options.filter);
-
-    bp::BpConfig bp_cfg;
-    bp_cfg.batch = options.bp_batch;
-    bp_cfg.k_begin = static_cast<std::size_t>(row) * slab_h;
-    bp_cfg.k_half = slab_h;
-    bp::Backprojector backprojector(geometry, bp_cfg);
-    const auto matrices = geo::make_all_projection_matrices(geometry);
+    // ---- Per-epoch communicators (the grid re-split) ----------------------
+    // A split is a collective on the parent communicator, so every rank must
+    // perform the same sequence — build the per-volume comms up front, one
+    // col/row pair per distinct row count (with `ranks` fixed, R determines
+    // the grid). Consecutive volumes with the same grid share a pair, which
+    // is what lets their collective epochs stay in flight together; a
+    // geometry whose plan resolves a different R gets its own pair, and the
+    // stream "re-splits" by switching pairs at the volume boundary.
+    struct EpochComms {
+      mpi::Comm col;
+      mpi::Comm row;
+    };
+    std::map<int, EpochComms> comms_by_rows;
+    std::vector<EpochComms*> epoch_comms(n_volumes, nullptr);
+    for (std::size_t v = 0; v < n_volumes; ++v) {
+      const int rows_v = plans[v].grid.rows;
+      auto it = comms_by_rows.find(rows_v);
+      if (it == comms_by_rows.end()) {
+        mpi::Comm col_comm = world.split(rank / rows_v, rank % rows_v);
+        mpi::Comm row_comm = world.split(rank % rows_v, rank / rows_v);
+        it = comms_by_rows
+                 .emplace(rows_v,
+                          EpochComms{std::move(col_comm), std::move(row_comm)})
+                 .first;
+      }
+      epoch_comms[v] = &it->second;
+    }
 
     // Streaming keeps TWO slab pairs resident per device: the one the
     // Bp-thread is accumulating (volume v+1) and the one draining through
-    // the row reduce (volume v) — the double buffer that lets back-
-    // projection run ahead of the previous volume's reduce/store.
+    // the row reduce (volume v) — both sized for the stream's largest slab.
     gpusim::Device device(options.device);
-    const std::uint64_t slab_bytes =
-        2ull * slab_h * geometry.nx * geometry.ny * sizeof(float);
-    gpusim::DeviceBuffer bp_slab_buf = device.allocate(slab_bytes);
+    gpusim::DeviceBuffer bp_slab_buf = device.allocate(max_slab_bytes);
     gpusim::DeviceBuffer reduce_slab_buf =
-        device.allocate(n_volumes > 1 ? slab_bytes : 0);
-    gpusim::DeviceBuffer batch_buf = device.allocate(
-        static_cast<std::uint64_t>(options.bp_batch) * pixels * sizeof(float));
+        device.allocate(n_volumes > 1 ? max_slab_bytes : 0);
+    gpusim::DeviceBuffer batch_buf = device.allocate(max_batch_bytes);
     gpusim::KernelModel kernel_model;
-
-    const std::size_t column_base = static_cast<std::size_t>(col) * per_rank *
-                                    static_cast<std::size_t>(rows);
-    auto owned_index = [&](std::size_t t) {
-      return column_base + t * static_cast<std::size_t>(rows) +
-             static_cast<std::size_t>(row);
-    };
 
     struct Filtered {
       std::size_t vol;
@@ -660,15 +664,25 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
     if (!options.fuse_filter_gather) {
       filtering_thread = std::thread([&] {
         try {
+          std::optional<filter::FilterEngine> engine;
+          const geo::CbctGeometry* engine_geom = nullptr;
           for (std::size_t v = 0; v < n_volumes; ++v) {
-            for (std::size_t t = 0; t < per_rank; ++t) {
-              const std::size_t s = owned_index(t);
-              Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
+            const DecompositionPlan& plan = plans[v];
+            if (engine_geom == nullptr || !(*engine_geom == plan.geometry)) {
+              engine.emplace(plan.geometry, options.filter);
+              engine_geom = &plan.geometry;
+            }
+            const int row = plan.row_of(rank);
+            const int col = plan.col_of(rank);
+            for (std::size_t t = 0; t < plan.rounds; ++t) {
+              const std::size_t s = plan.owned_projection(row, col, t);
+              Image2D img(plan.geometry.nu, plan.geometry.nv,
+                          /*zero_fill=*/false);
               filter_timer.time("load", [&] {
                 fs.read_object(object_name(volumes[v].input_prefix, s),
                                img.data(), img.bytes());
               });
-              filter_timer.time("filter", [&] { engine.apply(img); });
+              filter_timer.time("filter", [&] { engine->apply(img); });
               if (!q_filtered.push(Filtered{v, s, std::move(img)})) {
                 throw QueueClosedError(
                     "iFDK streaming: filtered-projection queue closed before "
@@ -686,14 +700,45 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
     // ---- Bp-thread: accumulate rounds; hand each finished slab over -------
     StageTimer bp_timer;
     std::thread bp_thread([&] {
-      Volume slab(geometry.nx, geometry.ny, 2 * slab_h, VolumeLayout::kZMajor,
-                  /*zero_fill=*/true);
+      std::optional<bp::Backprojector> backprojector;
+      std::vector<geo::Mat34> matrices;
+      const geo::CbctGeometry* bp_geom = nullptr;
+      Volume slab;
+      // (Re)builds the per-volume kernel state: new projection matrices on
+      // a geometry change, a new Backprojector when the geometry or this
+      // rank's slab assignment (row, slab_h) changed, and a fresh
+      // zero-filled slab pair in the volume's own dimensions.
+      auto prepare_volume = [&](std::size_t v) {
+        const DecompositionPlan& plan = plans[v];
+        const bool geom_changed =
+            bp_geom == nullptr || !(*bp_geom == plan.geometry);
+        if (geom_changed) {
+          matrices = geo::make_all_projection_matrices(plan.geometry);
+        }
+        if (geom_changed || v == 0 || !plans[v - 1].same_grid(plan)) {
+          bp::BpConfig bp_cfg;
+          bp_cfg.batch = options.bp_batch;
+          bp_cfg.k_begin =
+              static_cast<std::size_t>(plan.row_of(rank)) * plan.slab_h;
+          bp_cfg.k_half = plan.slab_h;
+          backprojector.emplace(plan.geometry, bp_cfg);
+        }
+        bp_geom = &plan.geometry;
+        slab = Volume(plan.geometry.nx, plan.geometry.ny, 2 * plan.slab_h,
+                      VolumeLayout::kZMajor, /*zero_fill=*/true);
+      };
       std::size_t current_vol = 0;
       std::size_t rounds_done = 0;
+      bool prepared = false;
       while (auto round = q_gathered.pop()) {
         if (bp_error) continue;  // drain remaining rounds after a failure
         try {
           IFDK_ASSERT(round->vol == current_vol);
+          const DecompositionPlan& plan = plans[current_vol];
+          if (!prepared) {
+            prepare_volume(current_vol);
+            prepared = true;
+          }
           for (const Filtered& f : round->images) {
             device.charge_h2d(f.image.bytes());
           }
@@ -706,13 +751,14 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
             images.push_back(std::move(f.image));
           }
           bp_timer.time("backprojection", [&] {
-            backprojector.accumulate(slab, images, mats);
+            backprojector->accumulate(slab, images, mats);
           });
-          const Problem sub{{geometry.nu, geometry.nv, images.size()},
-                            {geometry.nx, geometry.ny, 2 * slab_h}};
+          const Problem sub{
+              {plan.geometry.nu, plan.geometry.nv, images.size()},
+              {plan.geometry.nx, plan.geometry.ny, 2 * plan.slab_h}};
           device.charge_kernel(
               kernel_model.kernel_seconds(bp::KernelVariant::kL1Tran, sub));
-          if (++rounds_done == per_rank) {
+          if (++rounds_done == plan.rounds) {
             bp_timer.time("d2h", [&] { device.charge_d2h(slab.bytes()); });
             if (!q_slabs.push(SlabPair{current_vol, std::move(slab)})) {
               throw QueueClosedError(
@@ -722,8 +768,7 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
             rounds_done = 0;
             ++current_vol;
             if (current_vol < n_volumes) {
-              slab = Volume(geometry.nx, geometry.ny, 2 * slab_h,
-                            VolumeLayout::kZMajor, /*zero_fill=*/true);
+              prepare_volume(current_vol);
             }
           }
         } catch (...) {
@@ -742,18 +787,31 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
     double store_busy = 0;
     std::thread reduce_thread([&] {
       try {
-        const std::size_t slice_px = geometry.nx * geometry.ny;
+        // One multiplexed writer per rank that roots ANY volume's row; which
+        // rank that is can change per volume when the grid re-splits.
+        bool any_root = false;
+        for (std::size_t v = 0; v < n_volumes; ++v) {
+          if (plans[v].col_of(rank) == 0) any_root = true;
+        }
         std::optional<pfs::AsyncWriter> writer;
         std::vector<pfs::AsyncWriter::StreamId> streams(n_volumes);
-        if (col == 0) {
+        if (any_root) {
           writer.emplace(fs, options.queue_capacity);
           for (std::size_t v = 0; v < n_volumes; ++v) {
-            streams[v] = writer->open_stream();
+            if (plans[v].col_of(rank) == 0) {
+              streams[v] = writer->open_stream();
+            }
           }
         }
-        std::vector<float> partial(2 * slab_h * slice_px);
-        std::vector<float> reduced(col == 0 ? partial.size() : 0);
+        std::vector<float> partial;
+        std::vector<float> reduced;
         for (std::size_t v = 0; v < n_volumes; ++v) {
+          const DecompositionPlan& plan = plans[v];
+          const int row = plan.row_of(rank);
+          const int col = plan.col_of(rank);
+          const std::size_t slice_px = plan.slice_px;
+          const std::size_t pair_depth = 2 * plan.slab_h;
+          mpi::Comm& row_comm = epoch_comms[v]->row;
           auto slab = q_slabs.pop();
           if (!slab.has_value()) {
             throw QueueClosedError(
@@ -761,10 +819,12 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
                 "reduced");
           }
           IFDK_ASSERT(slab->vol == v);
+          partial.resize(plan.slab_floats());
+          reduced.resize(col == 0 ? plan.slab_floats() : 0);
           reduce_timer.time("transpose", [&] {
-            for (std::size_t k = 0; k < 2 * slab_h; ++k) {
-              extract_zmajor_slice(slab->slab.data(), geometry.nx,
-                                   geometry.ny, 2 * slab_h, k,
+            for (std::size_t k = 0; k < pair_depth; ++k) {
+              extract_zmajor_slice(slab->slab.data(), plan.geometry.nx,
+                                   plan.geometry.ny, pair_depth, k,
                                    partial.data() + k * slice_px);
             }
           });
@@ -774,7 +834,7 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
           if (col == 0) {
             on_segment = [&](std::size_t offset, std::size_t length) {
               const std::size_t prefix = offset + length;
-              while (next_slice < 2 * slab_h &&
+              while (next_slice < pair_depth &&
                      (next_slice + 1) * slice_px <= prefix) {
                 const float* src = reduced.data() + next_slice * slice_px;
                 if (stream_open) {
@@ -784,19 +844,23 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
                   stream_open = writer->enqueue(
                       streams[v],
                       object_name(volumes[v].output_prefix,
-                                  global_slice_index(geometry.nz, slab_h, row,
-                                                     next_slice)),
+                                  plan.global_slice(row, next_slice)),
                       std::vector<float>(src, src + slice_px));
                 }
                 ++next_slice;
               }
             };
           }
+          const std::uint64_t tags_before =
+              row_comm.collective_tags_reserved();
           mpi::Comm::CollectiveRequest req = row_comm.ireduce(
               partial.data(), col == 0 ? reduced.data() : nullptr,
               partial.size(), mpi::ReduceOp::kSum, /*root=*/0,
               options.reduce_segment_floats, std::move(on_segment), algo);
           reduce_timer.time("reduce", [&] { req.wait(); });
+          assert_tag_budget(tags_before, row_comm.collective_tags_reserved(),
+                            plan.reduce_tag_budget(),
+                            "row-reduce epoch exceeded the plan's tag budget");
           if (col == 0) {
             try {
               reduce_timer.time("store",
@@ -806,7 +870,7 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
             }
           }
         }
-        if (col == 0) {
+        if (writer) {
           writer->finish();  // all stream errors were claimed above
           store_busy = writer->busy_seconds();
         }
@@ -820,20 +884,26 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
 
     // ---- Worker (main) thread: filter (fused) + column gather per round ----
     StageTimer main_timer;
-    auto deliver_round = [&](std::size_t g, const std::vector<float>& recv) {
-      const std::size_t v = g / per_rank;
-      const std::size_t t = g % per_rank;
+    // Both gather buffers are sized for the largest rows x pixels in the
+    // stream, so a geometry change never resizes a buffer with an exchange
+    // still in flight into its sibling.
+    std::vector<float> gather_recv[2];
+    gather_recv[0].resize(max_gather_floats);
+    gather_recv[1].resize(max_gather_floats);
+    // Repackages round `t` of volume `v` from the rank-ordered buffer.
+    auto deliver_round = [&](std::size_t v, std::size_t t,
+                             const std::vector<float>& recv) {
+      const DecompositionPlan& plan = plans[v];
+      const int col = plan.col_of(rank);
       std::vector<Filtered> images;
-      images.reserve(static_cast<std::size_t>(rows));
-      for (int r = 0; r < rows; ++r) {
-        Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
-        const float* src = recv.data() + static_cast<std::size_t>(r) * pixels;
-        std::copy(src, src + pixels, img.data());
-        images.push_back(Filtered{
-            v,
-            column_base + t * static_cast<std::size_t>(rows) +
-                static_cast<std::size_t>(r),
-            std::move(img)});
+      images.reserve(static_cast<std::size_t>(plan.grid.rows));
+      for (int r = 0; r < plan.grid.rows; ++r) {
+        Image2D img(plan.geometry.nu, plan.geometry.nv, /*zero_fill=*/false);
+        const float* src =
+            recv.data() + static_cast<std::size_t>(r) * plan.pixels;
+        std::copy(src, src + plan.pixels, img.data());
+        images.push_back(
+            Filtered{v, plan.owned_projection(r, col, t), std::move(img)});
       }
       if (!q_gathered.push(Round{v, std::move(images)})) {
         throw QueueClosedError(
@@ -841,92 +911,135 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
             "rounds were delivered");
       }
     };
-    const std::size_t total_rounds = n_volumes * per_rank;
     try {
-      std::vector<float> gather_recv[2];
-      gather_recv[0].resize(static_cast<std::size_t>(rows) * pixels);
-      gather_recv[1].resize(static_cast<std::size_t>(rows) * pixels);
       if (options.fuse_filter_gather) {
         // Same-thread overlap via irecv: post round g's receives, then
         // load+filter round g+1 while g's blocks are in transit, then wait
         // g's receives and deliver. Tags are per-round user tags — the
-        // column communicator is framework-private, so the space is free.
+        // column communicators are framework-private, so the space is free
+        // (and per-comm, so a re-split epoch cannot collide with an earlier
+        // grid's in-flight round).
+        std::optional<filter::FilterEngine> engine;
+        const geo::CbctGeometry* engine_geom = nullptr;
         std::vector<mpi::Comm::Request> reqs[2];
-        std::size_t pending = 0;
         bool have_pending = false;
-        for (std::size_t g = 0; g < total_rounds; ++g) {
-          const std::size_t v = g / per_rank;
-          const std::size_t t = g % per_rank;
-          const std::size_t s = owned_index(t);
-          Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
-          main_timer.time("load", [&] {
-            fs.read_object(object_name(volumes[v].input_prefix, s),
-                           img.data(), img.bytes());
-          });
-          main_timer.time("filter", [&] { engine.apply(img); });
-          main_timer.time("allgather", [&] {
-            const int tag = static_cast<int>(g % (std::size_t{1} << 20));
-            std::vector<float>& buf = gather_recv[g % 2];
-            std::copy(img.data(), img.data() + pixels,
-                      buf.data() + static_cast<std::size_t>(row) * pixels);
-            std::vector<mpi::Comm::Request>& rr = reqs[g % 2];
-            rr.clear();
-            for (int r = 0; r < rows; ++r) {
-              if (r == row) continue;
-              col_comm.isend(r, tag, img.data(), pixels * sizeof(float))
-                  .wait();  // buffered: completion is immediate
-              rr.push_back(col_comm.irecv(
-                  r, tag, buf.data() + static_cast<std::size_t>(r) * pixels,
-                  pixels * sizeof(float)));
-            }
-          });
-          if (have_pending) {
-            main_timer.time("allgather", [&] {
-              mpi::Comm::wait_all(reqs[pending % 2]);
-            });
-            deliver_round(pending, gather_recv[pending % 2]);
+        std::size_t pending_v = 0;
+        std::size_t pending_t = 0;
+        std::size_t pending_buf = 0;
+        std::size_t g = 0;  // global round counter across the whole stream
+        for (std::size_t v = 0; v < n_volumes; ++v) {
+          const DecompositionPlan& plan = plans[v];
+          if (engine_geom == nullptr || !(*engine_geom == plan.geometry)) {
+            engine.emplace(plan.geometry, options.filter);
+            engine_geom = &plan.geometry;
           }
-          pending = g;
-          have_pending = true;
+          const int row = plan.row_of(rank);
+          const int col = plan.col_of(rank);
+          mpi::Comm& col_comm = epoch_comms[v]->col;
+          const std::uint64_t tags_before =
+              col_comm.collective_tags_reserved();
+          for (std::size_t t = 0; t < plan.rounds; ++t, ++g) {
+            const std::size_t s = plan.owned_projection(row, col, t);
+            Image2D img(plan.geometry.nu, plan.geometry.nv,
+                        /*zero_fill=*/false);
+            main_timer.time("load", [&] {
+              fs.read_object(object_name(volumes[v].input_prefix, s),
+                             img.data(), img.bytes());
+            });
+            main_timer.time("filter", [&] { engine->apply(img); });
+            main_timer.time("allgather", [&] {
+              const int tag = static_cast<int>(g % (std::size_t{1} << 20));
+              std::vector<float>& buf = gather_recv[g % 2];
+              std::copy(img.data(), img.data() + plan.pixels,
+                        buf.data() +
+                            static_cast<std::size_t>(row) * plan.pixels);
+              std::vector<mpi::Comm::Request>& rr = reqs[g % 2];
+              rr.clear();
+              for (int r = 0; r < plan.grid.rows; ++r) {
+                if (r == row) continue;
+                col_comm.isend(r, tag, img.data(),
+                               plan.pixels * sizeof(float))
+                    .wait();  // buffered: completion is immediate
+                rr.push_back(col_comm.irecv(
+                    r, tag,
+                    buf.data() + static_cast<std::size_t>(r) * plan.pixels,
+                    plan.pixels * sizeof(float)));
+              }
+            });
+            if (have_pending) {
+              main_timer.time("allgather", [&] {
+                mpi::Comm::wait_all(reqs[pending_buf]);
+              });
+              deliver_round(pending_v, pending_t, gather_recv[pending_buf]);
+            }
+            pending_v = v;
+            pending_t = t;
+            pending_buf = g % 2;
+            have_pending = true;
+          }
+          // The fused exchange runs over user tags: its collective budget
+          // is zero, and the plan says so.
+          assert_tag_budget(tags_before, col_comm.collective_tags_reserved(),
+                            plan.gather_tag_budget(/*fused=*/true),
+                            "fused gather epoch reserved collective tags");
         }
         if (have_pending) {
           main_timer.time("allgather",
-                          [&] { mpi::Comm::wait_all(reqs[pending % 2]); });
-          deliver_round(pending, gather_recv[pending % 2]);
+                          [&] { mpi::Comm::wait_all(reqs[pending_buf]); });
+          deliver_round(pending_v, pending_t, gather_recv[pending_buf]);
         }
       } else {
         // Dedicated filtering thread feeds us; double-buffered nonblocking
         // ring gather across the whole round stream, volume boundaries
-        // included (round g of volume v+1 is initiated while the last round
-        // of volume v is still outstanding).
+        // included (round t of volume v+1 is initiated while the last round
+        // of volume v is still outstanding — even across a grid re-split,
+        // where the two rounds ride different communicators).
         mpi::Comm::CollectiveRequest pending;
-        std::size_t pending_g = 0;
-        for (std::size_t g = 0; g < total_rounds; ++g) {
-          const std::size_t t = g % per_rank;
-          auto mine = q_filtered.pop();
-          if (!mine.has_value()) {
-            throw QueueClosedError(
-                "iFDK streaming: filtered-projection queue closed before all "
-                "rounds were gathered");
+        std::size_t pending_v = 0;
+        std::size_t pending_t = 0;
+        std::size_t pending_buf = 0;
+        std::size_t g = 0;
+        for (std::size_t v = 0; v < n_volumes; ++v) {
+          const DecompositionPlan& plan = plans[v];
+          const int row = plan.row_of(rank);
+          const int col = plan.col_of(rank);
+          mpi::Comm& col_comm = epoch_comms[v]->col;
+          const std::uint64_t tags_before =
+              col_comm.collective_tags_reserved();
+          for (std::size_t t = 0; t < plan.rounds; ++t, ++g) {
+            auto mine = q_filtered.pop();
+            if (!mine.has_value()) {
+              throw QueueClosedError(
+                  "iFDK streaming: filtered-projection queue closed before "
+                  "all rounds were gathered");
+            }
+            IFDK_ASSERT(mine->vol == v &&
+                        mine->index == plan.owned_projection(row, col, t));
+            mpi::Comm::CollectiveRequest req;
+            main_timer.time("allgather", [&] {
+              req = col_comm.iallgather_ring(mine->image.data(),
+                                             plan.pixels * sizeof(float),
+                                             gather_recv[g % 2].data());
+            });
+            if (pending.valid()) {
+              main_timer.time("allgather", [&] { pending.wait(); });
+              deliver_round(pending_v, pending_t, gather_recv[pending_buf]);
+            }
+            pending = std::move(req);
+            pending_v = v;
+            pending_t = t;
+            pending_buf = g % 2;
           }
-          IFDK_ASSERT(mine->vol == g / per_rank &&
-                      mine->index == owned_index(t));
-          mpi::Comm::CollectiveRequest req;
-          main_timer.time("allgather", [&] {
-            req = col_comm.iallgather_ring(mine->image.data(),
-                                           pixels * sizeof(float),
-                                           gather_recv[g % 2].data());
-          });
-          if (pending.valid()) {
-            main_timer.time("allgather", [&] { pending.wait(); });
-            deliver_round(pending_g, gather_recv[pending_g % 2]);
-          }
-          pending = std::move(req);
-          pending_g = g;
+          // All of volume v's rings are initiated (and their tags reserved)
+          // by now, even though the last one may still be in flight.
+          assert_tag_budget(tags_before, col_comm.collective_tags_reserved(),
+                            plan.gather_tag_budget(/*fused=*/false),
+                            "column gather epoch exceeded the plan's tag "
+                            "budget");
         }
         if (pending.valid()) {
           main_timer.time("allgather", [&] { pending.wait(); });
-          deliver_round(pending_g, gather_recv[pending_g % 2]);
+          deliver_round(pending_v, pending_t, gather_recv[pending_buf]);
         }
       }
     } catch (...) {

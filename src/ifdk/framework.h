@@ -43,6 +43,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,67 +51,12 @@
 #include "common/image.h"
 #include "common/timer.h"
 #include "common/volume.h"
-#include "filter/filter_engine.h"
 #include "geometry/cbct.h"
-#include "gpusim/device.h"
+#include "ifdk/plan.h"
 #include "perfmodel/model.h"
 #include "pfs/pfs.h"
 
 namespace ifdk {
-
-/// Fan-in topology of the segmented row ireduce (mirrors mpi::ReduceAlgo;
-/// the framework header deliberately does not include minimpi.h).
-/// kTree is the default; kLinear is kept for bitwise back-compat tests —
-/// both produce bitwise-identical volumes because the tree relays only
-/// concatenate and the root folds in ascending-rank order either way.
-enum class ReduceFanIn { kTree, kLinear };
-
-struct IfdkOptions {
-  /// Total ranks (= simulated GPUs). Must be a multiple of the row count.
-  int ranks = 4;
-  /// Rows R of the 2-D grid; 0 = choose via Eq. (7) + the memory constraint
-  /// (Section 4.1.5) using `microbench`.
-  int rows = 0;
-  /// Measured per-GPU rates feeding the Eq. (7) row selection.
-  perfmodel::MicroBench microbench;
-  /// Ramp window etc.; the back-projection kernel is always the proposed
-  /// Algorithm 4 in slab-pair mode.
-  filter::FilterOptions filter;
-  /// Projections per simulated H2D+kernel launch on the Bp-thread.
-  std::size_t bp_batch = 32;
-  /// Circular-buffer depth (Fig. 4a); also the async store queue depth.
-  std::size_t queue_capacity = 8;
-  /// Use the ring AllGather instead of gather+bcast for the column
-  /// collective (identical results; the bandwidth-optimal algorithm the
-  /// simulator's cost model assumes). Only meaningful when overlap=false:
-  /// the overlapped pipeline always uses the nonblocking ring.
-  bool use_ring_allgather = false;
-  /// Run the overlapped pipeline: double-buffered nonblocking column
-  /// AllGather across rounds, segmented pipelined row ireduce, and an async
-  /// PFS store on the row root. false selects the blocking reference path.
-  /// Both paths produce bitwise-identical volumes.
-  bool overlap = true;
-  /// Floats per row-ireduce segment (must be identical on every rank).
-  /// Smaller segments start the store earlier; larger ones amortize
-  /// per-message cost. Matches mpi::Comm::kDefaultReduceSegment.
-  std::size_t reduce_segment_floats = std::size_t{1} << 16;
-  /// Fan-in topology of the segmented row ireduce (overlapped path and
-  /// streaming mode). Tree and linear produce bitwise-identical volumes.
-  ReduceFanIn reduce_fan_in = ReduceFanIn::kTree;
-  /// Streaming mode only: fuse filtering onto the gather worker thread —
-  /// the worker posts its filtered block and the irecvs for round t, then
-  /// filters round t+1 while t's messages are in flight, then waits the
-  /// irecvs (the paper's same-thread overlap). false runs the dedicated
-  /// Filtering-thread exactly like run_distributed. Both settings produce
-  /// bitwise-identical volumes.
-  bool fuse_filter_gather = true;
-  /// Simulated per-rank GPU (memory budget + modeled PCIe/kernel rates).
-  gpusim::DeviceSpec device;
-  /// Projection objects are read from `<input_prefix><s>`, s in [0, Np).
-  std::string input_prefix = "proj/";
-  /// Volume slices are written to `<output_prefix><k>`, k in [0, Nz).
-  std::string output_prefix = "vol/slice_";
-};
 
 struct IfdkStats {
   /// The R x C grid the run actually used (after Eq. (7) auto-selection).
@@ -137,19 +83,29 @@ struct IfdkStats {
 };
 
 /// One frame of a 4D-CT time series handed to run_streaming: where its
-/// projections live and where its slices go. Every volume shares the run's
-/// geometry (one gantry rotation per temporal frame).
+/// projections live, where its slices go, and (optionally) its own
+/// geometry. By default every volume shares the run's geometry (one gantry
+/// rotation per temporal frame); a volume that sets `geometry` is
+/// decomposed by its own per-volume DecompositionPlan, and the ranks
+/// re-split the grid between epochs when the resolved R x C changes.
 struct StreamVolume {
   /// Projections are read from `<input_prefix><s>`, s in [0, Np).
   std::string input_prefix;
   /// Slices are written to `<output_prefix><k>`, k in [0, Nz).
   std::string output_prefix;
+  /// Per-volume geometry override; unset = the run_streaming argument.
+  std::optional<geo::CbctGeometry> geometry;
 };
 
 /// Aggregate result of a run_streaming call.
 struct StreamingStats {
-  /// The R x C grid the run used (after Eq. (7) auto-selection).
+  /// The R x C grid of the FIRST volume (after Eq. (7) auto-selection);
+  /// heterogeneous-geometry streams may re-split per volume — see `plans`.
   perfmodel::GridShape grid;
+  /// The per-volume decomposition plans the run actually executed, in
+  /// volume order — hand these to cluster::simulate_stream to predict the
+  /// same stream's throughput at scale.
+  std::vector<DecompositionPlan> plans;
   /// Number of volumes pushed through the world.
   int volumes = 0;
   /// Wall-clock of the slowest rank, volume 0's first load to the last
@@ -178,10 +134,14 @@ struct StreamingStats {
 /// Streams `volumes.size()` independent volumes (a 4D-CT time series)
 /// through ONE rank world: volume v+1's filtering and column gather begin
 /// while volume v is still back-projecting, row-reducing, and storing.
-/// Requires the same decomposition constraints as run_distributed (checked
-/// identically). Output volumes are bitwise-identical to volumes.size()
-/// sequential run_distributed calls with the same options. A PFS *write*
-/// failure on volume v fails only that volume (see
+/// Each volume is executed from its own DecompositionPlan (built with the
+/// volume's geometry when StreamVolume::geometry is set, the run geometry
+/// otherwise; same constraints and error messages as run_distributed, with
+/// the offending volume index prefixed). When consecutive plans resolve to
+/// different R x C grids the ranks re-split the world between epochs.
+/// Output volumes are bitwise-identical to volumes.size() sequential
+/// run_distributed calls with the same options and per-volume geometries.
+/// A PFS *write* failure on volume v fails only that volume (see
 /// StreamingStats::volume_errors); any other rank failure aborts the world
 /// and is rethrown, with every in-flight collective epoch unwound.
 StreamingStats run_streaming(const geo::CbctGeometry& geometry,

@@ -1,0 +1,185 @@
+#include "ifdk/plan.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "minimpi/minimpi.h"
+
+namespace ifdk {
+
+namespace {
+
+/// "volume 2: " when the plan belongs to a streaming volume, "" otherwise —
+/// streaming validation errors must name the offending volume so a bad
+/// frame in a long 4D-CT series can be found from the message alone.
+std::string volume_prefix(int volume_index) {
+  return volume_index >= 0 ? "volume " + std::to_string(volume_index) + ": "
+                           : std::string{};
+}
+
+}  // namespace
+
+// The plan-level default must track the minimpi tuning constant (the header
+// cannot include minimpi.h just for a default value).
+static_assert(IfdkOptions{}.reduce_segment_floats ==
+              mpi::Comm::kDefaultReduceSegment);
+
+DecompositionPlan DecompositionPlan::make(const geo::CbctGeometry& geometry,
+                                          const IfdkOptions& options,
+                                          int volume_index,
+                                          std::size_t resident_slabs) {
+  geometry.validate();
+  IFDK_REQUIRE(options.reduce_segment_floats > 0,
+               "reduce_segment_floats must be positive");
+  IFDK_REQUIRE(resident_slabs >= 1, "resident_slabs must be at least 1");
+  const std::string prefix = volume_prefix(volume_index);
+  const Problem problem = geometry.problem();
+
+  int rows = options.rows;
+  if (rows <= 0) {
+    // Eq. (7) against the paper's micro-benchmark constants, then the same
+    // §4.1.5 doubling loop against the *actual* simulated device, with
+    // resident_slabs slab pairs (streaming keeps the bp/reduce double
+    // buffer resident).
+    rows = perfmodel::select_rows(problem, options.microbench);
+    rows = perfmodel::constrain_rows_to_memory(
+        problem, rows, options.device.memory_bytes,
+        static_cast<std::uint64_t>(options.bp_batch) * geometry.nu *
+            geometry.nv * sizeof(float),
+        resident_slabs);
+  }
+
+  if (options.ranks < rows || options.ranks % rows != 0) {
+    throw ConfigError(prefix + "ranks (" + std::to_string(options.ranks) +
+                      ") must be a positive multiple of the row count R (" +
+                      std::to_string(rows) + ")");
+  }
+  if (geometry.np % static_cast<std::size_t>(options.ranks) != 0) {
+    throw ConfigError(prefix + "Np (" + std::to_string(geometry.np) +
+                      ") must divide evenly across the rank grid (ranks=" +
+                      std::to_string(options.ranks) + ")");
+  }
+  if (geometry.nz % (2 * static_cast<std::size_t>(rows)) != 0) {
+    throw ConfigError(prefix + "Nz (" + std::to_string(geometry.nz) +
+                      ") must be divisible by 2*rows (" +
+                      std::to_string(2 * rows) +
+                      "): each row owns a symmetric slab pair");
+  }
+
+  DecompositionPlan plan;
+  plan.grid = {rows, options.ranks / rows};
+  plan.geometry = geometry;
+  plan.slab_h = geometry.nz / (2 * static_cast<std::size_t>(rows));
+  plan.rounds = geometry.np / static_cast<std::size_t>(options.ranks);
+  plan.pixels = geometry.nu * geometry.nv;
+  plan.slice_px = geometry.nx * geometry.ny;
+  plan.reduce_segment_floats = options.reduce_segment_floats;
+  plan.bp_batch = options.bp_batch;
+  plan.resident_slabs = resident_slabs;
+  plan.check_invariants();
+  return plan;
+}
+
+SlabExtent DecompositionPlan::slab_extent(int row) const {
+  const std::size_t r = static_cast<std::size_t>(row);
+  return SlabExtent{r * slab_h, (r + 1) * slab_h,
+                    geometry.nz - (r + 1) * slab_h, geometry.nz - r * slab_h};
+}
+
+std::size_t DecompositionPlan::global_slice(int row,
+                                            std::size_t local_k) const {
+  return local_k < slab_h
+             ? static_cast<std::size_t>(row) * slab_h + local_k
+             : geometry.nz - (static_cast<std::size_t>(row) + 1) * slab_h +
+                   (local_k - slab_h);
+}
+
+std::size_t DecompositionPlan::column_base(int col) const {
+  return static_cast<std::size_t>(col) * rounds *
+         static_cast<std::size_t>(grid.rows);
+}
+
+std::size_t DecompositionPlan::owned_projection(int row, int col,
+                                                std::size_t t) const {
+  return column_base(col) + t * static_cast<std::size_t>(grid.rows) +
+         static_cast<std::size_t>(row);
+}
+
+std::vector<std::size_t> DecompositionPlan::projection_shard(int row,
+                                                             int col) const {
+  std::vector<std::size_t> shard;
+  shard.reserve(rounds);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    shard.push_back(owned_projection(row, col, t));
+  }
+  return shard;
+}
+
+std::uint64_t DecompositionPlan::reduce_segments() const {
+  return (slab_floats() + reduce_segment_floats - 1) / reduce_segment_floats;
+}
+
+std::uint64_t DecompositionPlan::allgather_bytes_per_round() const {
+  return static_cast<std::uint64_t>(grid.rows - 1) * pixels * sizeof(float);
+}
+
+std::uint64_t DecompositionPlan::device_bytes() const {
+  return static_cast<std::uint64_t>(resident_slabs) * slab_bytes() +
+         static_cast<std::uint64_t>(bp_batch) * pixels * sizeof(float);
+}
+
+void DecompositionPlan::check_device_fit(const gpusim::DeviceSpec& spec) const {
+  if (device_bytes() > spec.memory_bytes) {
+    throw DeviceOutOfMemory(
+        "decomposition needs " + std::to_string(device_bytes()) +
+        " B of device memory (" + std::to_string(resident_slabs) +
+        " slab pair(s) of " + std::to_string(slab_bytes()) + " B + a " +
+        std::to_string(bp_batch) + "-projection batch) but the device has " +
+        std::to_string(spec.memory_bytes) + " B; increase rows R (" +
+        std::to_string(grid.rows) + ") or shrink the batch");
+  }
+}
+
+void DecompositionPlan::check_invariants() const {
+  // The R slab pairs disjointly cover [0, Nz).
+  std::vector<bool> slice_owned(geometry.nz, false);
+  for (int row = 0; row < grid.rows; ++row) {
+    const SlabExtent e = slab_extent(row);
+    IFDK_ASSERT_MSG(e.low_begin < e.low_end && e.low_end <= e.high_begin &&
+                        e.high_begin < e.high_end &&
+                        e.high_end <= geometry.nz,
+                    "slab extent out of order");
+    for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
+      const std::size_t k = global_slice(row, local_k);
+      IFDK_ASSERT_MSG(k < geometry.nz && !slice_owned[k],
+                      "slab pairs must disjointly cover [0, Nz)");
+      IFDK_ASSERT_MSG((local_k < slab_h &&
+                       k >= e.low_begin && k < e.low_end) ||
+                          (local_k >= slab_h &&
+                           k >= e.high_begin && k < e.high_end),
+                      "global_slice must land inside the row's slab extent");
+      slice_owned[k] = true;
+    }
+  }
+  for (std::size_t k = 0; k < geometry.nz; ++k) {
+    IFDK_ASSERT_MSG(slice_owned[k], "slab pairs must cover every slice");
+  }
+
+  // The R*C projection shards disjointly cover [0, Np).
+  std::vector<bool> proj_owned(geometry.np, false);
+  for (int col = 0; col < grid.columns; ++col) {
+    for (int row = 0; row < grid.rows; ++row) {
+      for (const std::size_t s : projection_shard(row, col)) {
+        IFDK_ASSERT_MSG(s < geometry.np && !proj_owned[s],
+                        "projection shards must disjointly cover [0, Np)");
+        proj_owned[s] = true;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < geometry.np; ++s) {
+    IFDK_ASSERT_MSG(proj_owned[s], "projection shards must cover every index");
+  }
+}
+
+}  // namespace ifdk

@@ -101,10 +101,9 @@ namespace {
 // Collective operations use a reserved tag space far above user tags.
 constexpr int kCollectiveTagBase = 1 << 24;
 
-// Collective tags live in a window of this many sequence numbers; a tag
-// block never straddles the wrap (reserve_collective_tags skips ahead), so
-// two blocks can only collide after a full window of intervening traffic.
-constexpr std::uint64_t kCollectiveTagWindow = std::uint64_t{1} << 20;
+// The tag window itself is Comm::kCollectiveTagWindow (public, so epoch
+// budget checks can account for the wrap skip); alias it locally.
+constexpr std::uint64_t kCollectiveTagWindow = Comm::kCollectiveTagWindow;
 
 float apply_op(ReduceOp op, float a, float b) {
   switch (op) {

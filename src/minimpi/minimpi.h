@@ -187,6 +187,13 @@ class Comm {
   /// to amortize per-message cost.
   static constexpr std::size_t kDefaultReduceSegment = std::size_t{1} << 16;
 
+  /// Collective tags live in a window of this many sequence numbers; a tag
+  /// block never straddles the wrap (reserve_collective_tags skips ahead
+  /// deterministically), so two blocks can only collide after a full window
+  /// of intervening traffic. Public so epoch budget checks against
+  /// collective_tags_reserved() can account for the wrap skip exactly.
+  static constexpr std::uint64_t kCollectiveTagWindow = std::uint64_t{1} << 20;
+
   /// Nonblocking ring AllGather. Semantics and output are identical to
   /// allgather_ring() (same tag consumption: p-1 collective sequence
   /// numbers, reserved at initiation). The caller's block is copied into
@@ -268,6 +275,17 @@ class Comm {
   /// reduce followed by bcast.
   void allreduce(const float* send_data, float* recv, std::size_t count,
                  ReduceOp op);
+
+  // -- introspection ---------------------------------------------------------
+
+  /// Collective sequence numbers reserved so far on this communicator
+  /// (every collective claims its exact tag budget through
+  /// reserve_collective_tags at initiation). This is the observable the
+  /// DecompositionPlan tag budgets are checked against: record it before an
+  /// epoch, run the epoch, and the delta must not exceed the plan's budget
+  /// (the runtime asserts this per streaming epoch; tests/test_plan.cpp
+  /// property-tests it). Read it from the thread that drives this Comm.
+  std::uint64_t collective_tags_reserved() const { return collective_seq_; }
 
   // -- error handling --------------------------------------------------------
 

@@ -14,11 +14,22 @@ int select_rows(const Problem& problem, const MicroBench& mb) {
   // of two (Section 4.1.5: "the value of R is often power of two").
   std::uint64_t r = div_ceil(volume_bytes, mb.sub_volume_bytes);
   r = next_pow2(std::max<std::uint64_t>(1, r));
+  return constrain_rows_to_memory(problem, static_cast<int>(r),
+                                  mb.gpu_memory_bytes,
+                                  problem.in.bytes_per_projection() * mb.batch);
+}
 
-  // Memory constraint: 4 * (Nx*Ny*Nz/R + Nu*Nv*Nbatch) <= Ngpu_mem_size.
-  const std::uint64_t batch_bytes =
-      problem.in.bytes_per_projection() * mb.batch;
-  while (volume_bytes / r + batch_bytes > mb.gpu_memory_bytes) {
+int constrain_rows_to_memory(const Problem& problem, int min_rows,
+                             std::uint64_t memory_bytes,
+                             std::uint64_t batch_bytes,
+                             std::uint64_t resident_slabs) {
+  IFDK_REQUIRE(min_rows >= 1 && resident_slabs >= 1,
+               "rows and resident_slabs must be positive");
+  const std::uint64_t volume_bytes = problem.out.bytes();
+  // Memory constraint (§4.1.5, generalized to the streaming double buffer):
+  // Nresident * Nx*Ny*Nz*4/R + Nu*Nv*Nbatch*4 <= Ngpu_mem_size.
+  std::uint64_t r = static_cast<std::uint64_t>(min_rows);
+  while (resident_slabs * (volume_bytes / r) + batch_bytes > memory_bytes) {
     r *= 2;
     IFDK_REQUIRE(r <= (1ull << 24),
                  "no feasible R: a projection batch alone exceeds GPU memory");

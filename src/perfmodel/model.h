@@ -52,6 +52,18 @@ struct GridShape {
 /// R is also bounded below by sizeof(float)*Nx*Ny*Nz / Nsub_vol.
 int select_rows(const Problem& problem, const MicroBench& mb = {});
 
+/// The §4.1.5 doubling loop alone, parameterized: starting from `min_rows`,
+/// doubles R until `resident_slabs` sub-volumes of volume_bytes/R plus
+/// `batch_bytes` fit `memory_bytes`. select_rows delegates here with the
+/// MicroBench constants and one resident slab; the DecompositionPlan layer
+/// reuses it against the actual gpusim::DeviceSpec with the streaming
+/// double buffer (resident_slabs = 2). Throws ConfigError when no feasible
+/// R exists.
+int constrain_rows_to_memory(const Problem& problem, int min_rows,
+                             std::uint64_t memory_bytes,
+                             std::uint64_t batch_bytes,
+                             std::uint64_t resident_slabs = 1);
+
 /// Grid for a given GPU count: R from select_rows, C = gpus / R.
 /// Throws ConfigError when gpus is not a multiple of R.
 GridShape make_grid(const Problem& problem, int gpus,

@@ -226,6 +226,105 @@ TEST(Platforms, AwsRequiresWholeInstances) {
   EXPECT_THROW(platforms::estimate_aws(problem_4k(), 130), ifdk::ConfigError);
 }
 
+// ---- Plan-driven simulation ------------------------------------------------
+
+/// ABCI-scale plan for `problem` on `ranks` ranks (R via Eq. 7).
+DecompositionPlan make_plan(const Problem& problem, int ranks,
+                            std::size_t resident_slabs = 1) {
+  IfdkOptions options;
+  options.ranks = ranks;
+  options.rows = 0;
+  return DecompositionPlan::make(geo::make_standard_geometry(problem),
+                                 options, -1, resident_slabs);
+}
+
+TEST(SimulatorPlan, MatchesProblemLevelSimulate) {
+  // simulate_plan must reproduce simulate() exactly when the plan resolves
+  // the same grid — one recurrence, two entry points.
+  for (const int gpus : {128, 512, 2048}) {
+    const DecompositionPlan plan = make_plan(problem_4k(), gpus);
+    const SimResult from_plan = simulate_plan(plan);
+    const SimResult from_problem =
+        simulate(problem_4k(), gpus, {}, plan.grid.rows);
+    EXPECT_EQ(from_plan.grid.rows, from_problem.grid.rows);
+    EXPECT_EQ(from_plan.rounds, from_problem.rounds);
+    EXPECT_DOUBLE_EQ(from_plan.t_compute, from_problem.t_compute);
+    EXPECT_DOUBLE_EQ(from_plan.t_runtime, from_problem.t_runtime);
+    EXPECT_DOUBLE_EQ(from_plan.gups, from_problem.gups);
+  }
+}
+
+TEST(SimulatorStream, PipeliningBeatsSequentialAndRespectsBounds) {
+  // N identical volumes streamed through one world: the stream must finish
+  // faster than N sequential runs (volume v+1's compute hides behind volume
+  // v's post phase) but no faster than N times the bp-bound compute.
+  const DecompositionPlan plan = make_plan(problem_4k(), 2048, 2);
+  const std::size_t n = 6;
+  const std::vector<DecompositionPlan> plans(n, plan);
+  const StreamSimResult stream = simulate_stream(plans);
+  const SimResult single = simulate_plan(plan);
+
+  ASSERT_EQ(stream.volumes, n);
+  EXPECT_EQ(stream.ranks, 2048);
+  EXPECT_EQ(stream.regrids, 0u);
+  EXPECT_GT(stream.t_total, single.t_runtime);
+  EXPECT_LT(stream.t_total, static_cast<double>(n) * single.t_runtime);
+  EXPECT_NEAR(stream.volumes_per_second,
+              static_cast<double>(n) / stream.t_total, 1e-12);
+
+  // Per-epoch timeline is monotone and consistent.
+  ASSERT_EQ(stream.epochs.size(), n);
+  double prev_done = 0;
+  for (const EpochSim& e : stream.epochs) {
+    EXPECT_LE(e.bp_done, e.post_start + 1e-12);
+    EXPECT_LT(e.post_start, e.done);
+    EXPECT_GT(e.done, prev_done);
+    prev_done = e.done;
+  }
+  EXPECT_DOUBLE_EQ(stream.t_total, stream.epochs.back().done);
+}
+
+TEST(SimulatorStream, MixedGeometrySequenceResplitsAndStillPipelines) {
+  // Alternating 4K / half-depth frames resolve different R (64 vs 32 with
+  // the streaming double buffer resident): the simulator must count the
+  // re-splits, charge them, and still predict a pipelined stream.
+  const Problem full = problem_4k();
+  const Problem half{{2048, 2048, 4096}, {4096, 4096, 2048}};
+  std::vector<DecompositionPlan> plans;
+  for (int v = 0; v < 6; ++v) {
+    plans.push_back(make_plan(v % 2 == 0 ? full : half, 2048, 2));
+  }
+  ASSERT_NE(plans[0].grid.rows, plans[1].grid.rows);
+
+  const StreamSimResult stream = simulate_stream(plans);
+  EXPECT_EQ(stream.regrids, 5u);  // every boundary changes the grid
+  for (std::size_t v = 0; v < stream.epochs.size(); ++v) {
+    EXPECT_EQ(stream.epochs[v].regrid, v > 0);
+    EXPECT_EQ(stream.epochs[v].grid.rows, plans[v].grid.rows);
+  }
+
+  // Against the homogeneous stream of only full-size frames, the mixed
+  // stream (half the work on odd frames) must be faster per volume.
+  const std::vector<DecompositionPlan> all_full(6, plans[0]);
+  EXPECT_GT(stream.volumes_per_second,
+            simulate_stream(all_full).volumes_per_second);
+
+  // A replan cost of zero can only help; a large one must hurt.
+  SimConfig free_replan;
+  free_replan.replan_s = 0.0;
+  SimConfig slow_replan;
+  slow_replan.replan_s = 10.0;
+  EXPECT_LE(simulate_stream(plans, free_replan).t_total, stream.t_total);
+  EXPECT_GT(simulate_stream(plans, slow_replan).t_total, stream.t_total);
+}
+
+TEST(SimulatorStream, RejectsMixedRankCounts) {
+  std::vector<DecompositionPlan> plans;
+  plans.push_back(make_plan(problem_4k(), 2048));
+  plans.push_back(make_plan(problem_4k(), 1024));
+  EXPECT_THROW(simulate_stream(plans), ifdk::ConfigError);
+}
+
 TEST(Platforms, Dgx2ReasonableForFourKAndFastForTwoK) {
   // Section 6.2.2 claims 4K "within a minute" on a DGX-2; our model, which
   // charges the two sequential slab passes a 16-GPU box needs for R=32,

@@ -53,7 +53,8 @@ StreamScene make_stream_scene(std::size_t n_volumes) {
         static_cast<double>(v) / static_cast<double>(n_volumes);
     s.frames.push_back(phantom::project_all(frame_phantom(phase), s.g));
     s.volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
-                                     "out" + std::to_string(v) + "/slice_"});
+                                     "out" + std::to_string(v) + "/slice_",
+                                     {}});
   }
   return s;
 }
@@ -243,6 +244,198 @@ TEST(Streaming, RejectsInvalidDecompositions) {
   opts.ranks = 3;
   opts.rows = 2;  // 3 % 2 != 0, same contract as run_distributed
   EXPECT_THROW(run_streaming(s.g, fs, opts, s.volumes), ConfigError);
+}
+
+// ---- Mixed-geometry streaming ---------------------------------------------
+
+/// A heterogeneous 4D-CT stream: volume v carries its own geometry (set on
+/// StreamVolume::geometry) and its own moving-phantom projections.
+struct MixedScene {
+  std::vector<geo::CbctGeometry> geoms;
+  std::vector<std::vector<Image2D>> frames;
+  std::vector<StreamVolume> volumes;
+};
+
+MixedScene make_mixed_scene(std::span<const Problem> problems) {
+  MixedScene s;
+  for (std::size_t v = 0; v < problems.size(); ++v) {
+    const double phase =
+        static_cast<double>(v) / static_cast<double>(problems.size());
+    s.geoms.push_back(geo::make_standard_geometry(problems[v]));
+    s.frames.push_back(phantom::project_all(frame_phantom(phase),
+                                            s.geoms.back()));
+    s.volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
+                                     "out" + std::to_string(v) + "/slice_",
+                                     s.geoms.back()});
+  }
+  return s;
+}
+
+void stage_mixed(pfs::ParallelFileSystem& fs, const MixedScene& s) {
+  for (std::size_t v = 0; v < s.frames.size(); ++v) {
+    stage_projections(fs, s.volumes[v].input_prefix, s.frames[v]);
+  }
+}
+
+/// The sequential reference: one run_distributed per volume with the
+/// volume's own geometry and the same options.
+void run_mixed_sequential(const MixedScene& s, pfs::ParallelFileSystem& fs,
+                          IfdkOptions options) {
+  for (std::size_t v = 0; v < s.volumes.size(); ++v) {
+    options.input_prefix = s.volumes[v].input_prefix;
+    options.output_prefix = s.volumes[v].output_prefix;
+    run_distributed(s.geoms[v], fs, options);
+  }
+}
+
+void expect_mixed_bitwise_equal(const pfs::ParallelFileSystem& a,
+                                const pfs::ParallelFileSystem& b,
+                                const MixedScene& s,
+                                const std::string& context) {
+  for (std::size_t v = 0; v < s.volumes.size(); ++v) {
+    const VolDims dims = s.geoms[v].vol_dims();
+    const Volume va = load_volume(a, s.volumes[v].output_prefix, dims);
+    const Volume vb = load_volume(b, s.volumes[v].output_prefix, dims);
+    for (std::size_t n = 0; n < va.voxels(); ++n) {
+      ASSERT_EQ(va.data()[n], vb.data()[n])
+          << context << ", volume " << v << ", voxel " << n;
+    }
+  }
+}
+
+/// Runs one mixed-geometry sequence streamed-vs-sequential across both
+/// reduce fan-ins (and, when `sweep_worker_modes`, both worker modes).
+void check_mixed_sequence(const MixedScene& s, IfdkOptions opts,
+                          const std::string& name,
+                          bool sweep_worker_modes = false) {
+  for (const ReduceFanIn fan_in : {ReduceFanIn::kTree, ReduceFanIn::kLinear}) {
+    for (const bool fuse : sweep_worker_modes
+                               ? std::vector<bool>{true, false}
+                               : std::vector<bool>{true}) {
+      opts.reduce_fan_in = fan_in;
+      opts.fuse_filter_gather = fuse;
+
+      pfs::ParallelFileSystem fs_seq;
+      stage_mixed(fs_seq, s);
+      run_mixed_sequential(s, fs_seq, opts);
+
+      pfs::ParallelFileSystem fs_stream;
+      stage_mixed(fs_stream, s);
+      // The run geometry argument is a fallback only: every volume carries
+      // its own. Pass volume 0's to keep it valid.
+      const StreamingStats stats =
+          run_streaming(s.geoms[0], fs_stream, opts, s.volumes);
+      ASSERT_EQ(stats.plans.size(), s.volumes.size());
+      for (const std::string& err : stats.volume_errors) {
+        EXPECT_TRUE(err.empty()) << err;
+      }
+
+      expect_mixed_bitwise_equal(
+          fs_seq, fs_stream, s,
+          name + (fan_in == ReduceFanIn::kTree ? ", tree" : ", linear") +
+              (fuse ? ", fused" : ", threaded"));
+    }
+  }
+}
+
+TEST(MixedGeometryStreaming, AlternatingSliceCountsMatchSequential) {
+  // Sequence 1: Nz alternates 12 / 8 across four frames (same grid, new
+  // slab extents every epoch); both worker modes swept.
+  const Problem problems[] = {{{32, 32, 16}, {12, 12, 12}},
+                              {{32, 32, 16}, {12, 12, 8}},
+                              {{32, 32, 16}, {12, 12, 12}},
+                              {{32, 32, 16}, {12, 12, 8}}};
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+  check_mixed_sequence(make_mixed_scene(problems), opts, "alternating Nz",
+                       /*sweep_worker_modes=*/true);
+}
+
+TEST(MixedGeometryStreaming, VaryingProjectionCountsMatchSequential) {
+  // Sequence 2: Np alternates 16 / 8 (different round counts per epoch,
+  // exercising the per-volume rounds bookkeeping in every pipeline thread).
+  const Problem problems[] = {{{32, 32, 16}, {12, 12, 12}},
+                              {{32, 32, 8}, {12, 12, 12}},
+                              {{32, 32, 16}, {12, 12, 12}}};
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+  check_mixed_sequence(make_mixed_scene(problems), opts, "varying Np");
+}
+
+TEST(MixedGeometryStreaming, GridResplitMatchesSequential) {
+  // Sequence 3: rows = 0 with a sub-volume budget tuned so the small frames
+  // resolve R=1 (1x4 grid) and the large ones R=2 (2x2) — consecutive
+  // epochs genuinely re-split the world and ride different communicators.
+  const Problem problems[] = {{{32, 32, 16}, {12, 12, 12}},
+                              {{32, 32, 16}, {12, 12, 16}},
+                              {{32, 32, 16}, {12, 12, 12}},
+                              {{32, 32, 16}, {12, 12, 16}}};
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 0;
+  opts.microbench.sub_volume_bytes = 8192;  // 12^3 fits once, 12*12*16 twice
+  const MixedScene s = make_mixed_scene(problems);
+  check_mixed_sequence(s, opts, "grid re-split",
+                       /*sweep_worker_modes=*/true);
+
+  // The sequence must actually have re-split (guards the tuning above).
+  pfs::ParallelFileSystem fs;
+  stage_mixed(fs, s);
+  const StreamingStats stats = run_streaming(s.geoms[0], fs, opts, s.volumes);
+  ASSERT_EQ(stats.plans.size(), 4u);
+  EXPECT_EQ(stats.plans[0].grid.rows, 1);
+  EXPECT_EQ(stats.plans[0].grid.columns, 4);
+  EXPECT_EQ(stats.plans[1].grid.rows, 2);
+  EXPECT_EQ(stats.plans[1].grid.columns, 2);
+  EXPECT_FALSE(stats.plans[0].same_grid(stats.plans[1]));
+}
+
+TEST(MixedGeometryStreaming, ConfigErrorsNameTheOffendingVolume) {
+  // A bad frame in a long series must be identifiable from the message
+  // alone: the volume index and the offending values are all named.
+  const StreamScene good = make_stream_scene(1);
+  const auto expect_stream_error =
+      [&](const std::vector<StreamVolume>& volumes, const IfdkOptions& opts,
+          std::initializer_list<const char*> fragments) {
+        pfs::ParallelFileSystem fs;
+        try {
+          run_streaming(good.g, fs, opts, volumes);
+          FAIL() << "expected ConfigError";
+        } catch (const ConfigError& e) {
+          const std::string what = e.what();
+          for (const char* fragment : fragments) {
+            EXPECT_NE(what.find(fragment), std::string::npos)
+                << "message \"" << what << "\" lacks \"" << fragment << "\"";
+          }
+        }
+      };
+
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+
+  // Volume 1's Nz is not divisible by 2*rows.
+  std::vector<StreamVolume> bad_nz = {
+      StreamVolume{"in0/", "out0/slice_", {}},
+      StreamVolume{"in1/", "out1/slice_",
+                   geo::make_standard_geometry({{32, 32, 16}, {12, 12, 18}})}};
+  expect_stream_error(bad_nz, opts, {"volume 1", "Nz (18)", "2*rows (4)"});
+
+  // Volume 2's Np does not divide across the ranks.
+  std::vector<StreamVolume> bad_np = {
+      StreamVolume{"in0/", "out0/slice_", {}},
+      StreamVolume{"in1/", "out1/slice_", {}},
+      StreamVolume{"in2/", "out2/slice_",
+                   geo::make_standard_geometry({{32, 32, 10}, {12, 12, 12}})}};
+  expect_stream_error(bad_np, opts, {"volume 2", "Np (10)", "ranks=4"});
+
+  // A ranks/rows mismatch fails on the first volume, by name.
+  IfdkOptions bad_ranks = opts;
+  bad_ranks.ranks = 3;
+  expect_stream_error({StreamVolume{"in0/", "out0/slice_", {}}}, bad_ranks,
+                      {"volume 0", "ranks (3)", "row count R (2)"});
 }
 
 /// PFS wrapper that fails writes whose names carry the given prefix,

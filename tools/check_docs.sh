@@ -7,10 +7,12 @@
 #    tracked *.md files must exist (http/mailto/pure-#anchor links are
 #    skipped; #fragments are stripped before the existence check).
 # 2. Header contracts: every public function declaration in the refactored
-#    layers' headers (src/minimpi, src/ifdk, src/pfs) must carry a doc
-#    comment on the line above (grep/awk heuristic: two-space-indented
-#    class members and column-0 free functions; move/copy boilerplate,
-#    destructors and `= default/delete` lines are exempt).
+#    layers' headers (src/minimpi, src/ifdk — including the plan layer
+#    src/ifdk/plan.h — src/pfs, and src/cluster, which consumes the plan)
+#    must carry a doc comment on the line above (grep/awk heuristic:
+#    two-space-indented class members and column-0 free functions;
+#    move/copy boilerplate, destructors and `= default/delete` lines are
+#    exempt).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -72,7 +74,7 @@ check_header() {
   ' "$1"
 }
 
-for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h; do
+for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h; do
   if ! check_header "$header"; then
     fail=1
   fi
