@@ -17,6 +17,7 @@
 #include "geometry/cbct.h"
 #include "ifdk/framework.h"
 #include "pfs/pfs.h"
+#include "service/recon_service.h"
 
 namespace {
 
@@ -73,6 +74,57 @@ StreamingResult time_streaming(const bench::Scene& scene, int runs) {
   r.volumes_per_second =
       r.seconds > 0.0 ? static_cast<double>(r.volumes) / r.seconds : 0.0;
   r.efficiency = last.overlap_efficiency;
+  return r;
+}
+
+/// Service-layer smoke point: N mixed-priority jobs submitted through the
+/// ReconService front door (one deliberately rejected at admission), drained
+/// to completion — the jobs/sec, queue-latency, and rejection numbers the
+/// scheduler trajectory is plotted against.
+struct ServiceResult {
+  int ranks = 4;
+  int rows = 2;
+  int jobs = 4;
+  double seconds = 0.0;
+  double jobs_per_second = 0.0;
+  double mean_queue_latency_s = 0.0;
+  std::size_t rejected = 0;
+  std::size_t resplits = 0;
+};
+
+ServiceResult time_service(const bench::Scene& scene, int runs) {
+  ServiceResult r;
+  service::ServiceOptions opts;
+  opts.ifdk.ranks = r.ranks;
+  opts.ifdk.rows = r.rows;
+  service::ServiceStats last;
+  r.seconds = bench::median_seconds(runs, [&] {
+    pfs::ParallelFileSystem fs;
+    service::ReconService svc(scene.g, fs, opts);
+    for (int j = 0; j < r.jobs; ++j) {
+      JobSpec spec{"in" + std::to_string(j) + "/",
+                   "out" + std::to_string(j) + "/slice_"};
+      spec.tenant = j % 2 == 0 ? "even" : "odd";
+      spec.priority = j % 2;
+      stage_projections(fs, spec.input_prefix, scene.projections);
+      svc.submit(std::move(spec));
+    }
+    // One impossible job exercises the admission path (counted, not run).
+    try {
+      service::ServiceOptions tiny = opts;
+      tiny.ifdk.device.memory_bytes = 1;
+      service::ReconService reject_svc(scene.g, fs, tiny);
+      reject_svc.submit(JobSpec{"in0/", "reject/slice_"});
+    } catch (const service::AdmissionError&) {
+    }
+    svc.drain();
+    last = svc.stats();
+  });
+  r.jobs_per_second =
+      r.seconds > 0.0 ? static_cast<double>(r.jobs) / r.seconds : 0.0;
+  r.mean_queue_latency_s = last.mean_queue_latency_s;
+  r.rejected = 1;  // the reject_svc admission above
+  r.resplits = last.resplits;
   return r;
 }
 
@@ -170,6 +222,10 @@ int main(int argc, char** argv) {
   // Streaming-4DCT smoke point: 4 volumes through the same 2x2 world.
   const StreamingResult streaming = time_streaming(scene, 3);
 
+  // Service smoke point: 4 mixed-priority jobs through the scheduler front
+  // door (plus one admission rejection).
+  const ServiceResult svc = time_service(scene, 3);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_smoke: cannot open %s for writing\n",
@@ -222,6 +278,18 @@ int main(int argc, char** argv) {
                streaming.efficiency.get("bp_thread"),
                streaming.efficiency.get("reduce_thread"),
                streaming.efficiency.get("store_thread"));
+  std::fprintf(out,
+               "  \"service\": {\n"
+               "    \"ranks\": %d, \"rows\": %d, \"jobs\": %d,\n"
+               "    \"seconds\": %.6f,\n"
+               "    \"jobs_per_second\": %.4f,\n"
+               "    \"mean_queue_latency_s\": %.6f,\n"
+               "    \"rejected\": %zu,\n"
+               "    \"resplits\": %zu\n"
+               "  },\n",
+               svc.ranks, svc.rows, svc.jobs, svc.seconds,
+               svc.jobs_per_second, svc.mean_queue_latency_s, svc.rejected,
+               svc.resplits);
 
   // The resolved decomposition of the pipeline/streaming points above: the
   // same DecompositionPlan object the runtime consumed, recorded so the
@@ -308,5 +376,10 @@ int main(int argc, char** argv) {
               streaming.efficiency.get("bp_thread"),
               streaming.efficiency.get("reduce_thread"),
               streaming.efficiency.get("store_thread"));
+  std::printf("  service %d jobs through %dx%d: %.3f s (%.2f jobs/s); "
+              "mean queue latency %.3f s, rejected %zu, resplits %zu\n",
+              svc.jobs, svc.rows, svc.ranks / svc.rows, svc.seconds,
+              svc.jobs_per_second, svc.mean_queue_latency_s, svc.rejected,
+              svc.resplits);
   return 0;
 }

@@ -294,4 +294,16 @@ StreamSimResult simulate_stream(std::span<const DecompositionPlan> plans,
   return out;
 }
 
+std::vector<double> predict_queue_completion(
+    std::span<const DecompositionPlan> plans, const SimConfig& config) {
+  std::vector<double> done;
+  if (plans.empty()) return done;
+  const StreamSimResult sim = simulate_stream(plans, config);
+  done.reserve(sim.epochs.size());
+  for (const EpochSim& epoch : sim.epochs) {
+    done.push_back(epoch.done);
+  }
+  return done;
+}
+
 }  // namespace ifdk::cluster

@@ -176,4 +176,13 @@ struct StreamSimResult {
 StreamSimResult simulate_stream(std::span<const DecompositionPlan> plans,
                                 const SimConfig& config = {});
 
+/// Queue-driven service entry over simulate_stream: given the plan of every
+/// queued job in dispatch order, returns the predicted completion time of
+/// each job in virtual seconds from "the stream starts now" — i.e.
+/// simulate_stream(plans).epochs[i].done for every i. The service layer
+/// (service::ReconService) republishes these as per-job predicted
+/// completions whenever the queue changes; an empty queue predicts nothing.
+std::vector<double> predict_queue_completion(
+    std::span<const DecompositionPlan> plans, const SimConfig& config = {});
+
 }  // namespace ifdk::cluster

@@ -112,6 +112,14 @@ void extract_zmajor_slice(const float* zmajor, std::size_t nx, std::size_t ny,
   }
 }
 
+/// The single overlapped execution core (defined below, after its per-rank
+/// stats type): run_streaming validates and forwards to it, and
+/// run_distributed's overlapped path wraps it with a one-volume stream.
+StreamingStats stream_core(const geo::CbctGeometry& geometry,
+                           pfs::ParallelFileSystem& fs,
+                           const IfdkOptions& options,
+                           std::span<const JobSpec> volumes);
+
 }  // namespace
 
 void stage_projections(pfs::ParallelFileSystem& fs,
@@ -137,8 +145,40 @@ Volume load_volume(const pfs::ParallelFileSystem& fs,
 IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                           pfs::ParallelFileSystem& fs,
                           const IfdkOptions& options) {
-  // The plan is the single source of truth for the decomposition: grid,
-  // slab extents, projection shards, tag budgets, and the memory check.
+  if (options.overlap) {
+    // The documented one-volume wrapper over the streaming execution core:
+    // a JobSpec carrying the options' I/O prefixes rides the exact
+    // plan/epoch machinery of run_streaming, with the dedicated
+    // Filtering-thread (not the fused worker) so the classic stats contract
+    // — filter/main/bp/store thread efficiencies, per-stage wall seconds,
+    // the modeled-V100 ledger — still holds. The core's per-volume store
+    // isolation is converted back to this API's throwing contract: the one
+    // volume's failure IS the run's failure.
+    IfdkOptions stream_options = options;
+    stream_options.fuse_filter_gather = false;
+    const JobSpec job{options.input_prefix, options.output_prefix, {}};
+    const StreamingStats streamed = stream_core(
+        geometry, fs, stream_options, std::span<const JobSpec>(&job, 1));
+    if (!streamed.volume_errors[0].empty()) {
+      throw IoError(streamed.volume_errors[0]);
+    }
+    IfdkStats out;
+    out.grid = streamed.grid;
+    out.overlapped = true;
+    out.wall = streamed.wall;
+    out.device_model = streamed.device_model;
+    out.overlap_efficiency = streamed.overlap_efficiency;
+    out.wall_total = streamed.wall_total;
+    return out;
+  }
+
+  // ---- Blocking reference path (overlap = false) ---------------------------
+  // Self-contained Fig. 4a pipeline with blocking collectives and a serial
+  // slice store: the bitwise reference the overlapped core is tested
+  // against, and the only consumer of the blocking allgather/reduce
+  // primitives. The plan is the single source of truth for the
+  // decomposition: grid, slab extents, projection shards, and the memory
+  // check.
   const DecompositionPlan plan = DecompositionPlan::make(geometry, options);
   plan.check_device_fit(options.device);
   const int rows = plan.grid.rows;
@@ -269,14 +309,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     // (instead of unwinding past the worker threads) guarantees both workers
     // are always joined and this rank exits cleanly.
     StageTimer main_timer;
-    // Two round buffers: in the overlapped pipeline the ring exchange for
-    // round t+1 is in flight into one buffer while round t is packaged out
-    // of the other.
-    std::vector<float> gather_recv[2];
-    gather_recv[0].resize(static_cast<std::size_t>(rows) * pixels);
-    if (options.overlap) {
-      gather_recv[1].resize(static_cast<std::size_t>(rows) * pixels);
-    }
+    std::vector<float> gather_recv(static_cast<std::size_t>(rows) * pixels);
     // Repackages the rank-ordered gather buffer of round `t` into per-
     // projection images and hands them to the Bp-thread (blocks on queue
     // back-pressure — exactly the Fig. 4a coupling of gather and bp rates).
@@ -296,14 +329,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
             "rounds were delivered");
       }
     };
-    const std::uint64_t gather_tags_before =
-        col_comm.collective_tags_reserved();
     try {
-      // Handle to the in-flight gather of round `pending_t` (overlap only).
-      // Declared inside the try block: on a world abort the unwinding path
-      // may drop it unwaited (see CollectiveRequest).
-      mpi::Comm::CollectiveRequest pending;
-      std::size_t pending_t = 0;
       for (std::size_t t = 0; t < per_rank; ++t) {
         auto mine = q_filtered.pop();
         if (!mine.has_value()) {
@@ -314,39 +340,17 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
               "rounds were gathered");
         }
         IFDK_ASSERT(mine->index == owned_index(t));
-        if (options.overlap) {
-          // Initiate round t (posting this rank's block to the ring), THEN
-          // complete round t-1 and deliver it: neighbours waiting on our
-          // t-contribution never stall behind our bp back-pressure.
-          mpi::Comm::CollectiveRequest req;
-          main_timer.time("allgather", [&] {
-            req = col_comm.iallgather_ring(mine->image.data(),
-                                           pixels * sizeof(float),
-                                           gather_recv[t % 2].data());
-          });
-          if (pending.valid()) {
-            main_timer.time("allgather", [&] { pending.wait(); });
-            deliver_round(pending_t, gather_recv[pending_t % 2]);
+        main_timer.time("allgather", [&] {
+          if (options.use_ring_allgather) {
+            col_comm.allgather_ring(mine->image.data(),
+                                    pixels * sizeof(float),
+                                    gather_recv.data());
+          } else {
+            col_comm.allgather(mine->image.data(), pixels * sizeof(float),
+                               gather_recv.data());
           }
-          pending = std::move(req);
-          pending_t = t;
-        } else {
-          main_timer.time("allgather", [&] {
-            if (options.use_ring_allgather) {
-              col_comm.allgather_ring(mine->image.data(),
-                                      pixels * sizeof(float),
-                                      gather_recv[0].data());
-            } else {
-              col_comm.allgather(mine->image.data(), pixels * sizeof(float),
-                                 gather_recv[0].data());
-            }
-          });
-          deliver_round(t, gather_recv[0]);
-        }
-      }
-      if (pending.valid()) {  // drain the last overlapped round
-        main_timer.time("allgather", [&] { pending.wait(); });
-        deliver_round(pending_t, gather_recv[pending_t % 2]);
+        });
+        deliver_round(t, gather_recv);
       }
     } catch (...) {
       main_error = std::current_exception();
@@ -367,14 +371,6 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     if (const std::exception_ptr first = pick_root_cause(errors)) {
       std::rethrow_exception(first);
     }
-    // The overlapped ring is what the plan's gather budget models; the
-    // blocking reference path reserves differently and is exempt.
-    if (options.overlap) {
-      assert_tag_budget(gather_tags_before,
-                        col_comm.collective_tags_reserved(),
-                        plan.gather_tag_budget(/*fused=*/false),
-                        "column gather exceeded the plan's tag budget");
-    }
     const double compute_span = rank_timer.seconds();
 
     // ---- Post: D2H, row Reduce, store (Fig. 4b) ----------------------------
@@ -389,83 +385,24 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
       extract_zmajor_slice(zmajor, geometry.nx, geometry.ny, 2 * slab_h,
                            local_k, dst);
     };
-    // Seconds the async writer thread spent writing (overlapped root only);
-    // the numerator of the store thread's overlap efficiency.
-    double store_busy = 0;
-    const std::uint64_t reduce_tags_before =
-        row_comm.collective_tags_reserved();
+    Volume reduced(geometry.nx, geometry.ny, 2 * slab_h,
+                   VolumeLayout::kZMajor, /*zero_fill=*/col == 0);
+    main_timer.time("reduce", [&] {
+      row_comm.reduce(slab.data(), col == 0 ? reduced.data() : nullptr,
+                      slab.voxels(), mpi::ReduceOp::kSum, /*root=*/0);
+    });
 
-    if (options.overlap) {
-      // Every rank transposes its partial slab to slice-major (the same
-      // permutation the blocking store applies after reducing), so the row
-      // ireduce completes *whole slices* front to back and the root can
-      // stream each finished slice to the async writer while later segments
-      // are still being folded. The per-voxel fold order is unchanged
-      // (ascending rank), so stored bits match the blocking path exactly.
-      std::vector<float> partial(plan.slab_floats());
-      main_timer.time("transpose", [&] {
+    if (col == 0) {
+      // Blocking reference store: extract and write slices serially.
+      main_timer.time("store", [&] {
+        std::vector<float> slice(slice_px);
         for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
-          extract_slice(slab.data(), local_k,
-                        partial.data() + local_k * slice_px);
+          extract_slice(reduced.data(), local_k, slice.data());
+          fs.write_object(
+              object_name(options.output_prefix, global_slice(local_k)),
+              slice.data(), slice.size() * sizeof(float));
         }
       });
-
-      std::vector<float> reduced(col == 0 ? partial.size() : 0);
-      std::optional<pfs::AsyncWriter> writer;
-      std::size_t next_slice = 0;
-      mpi::Comm::SegmentCallback on_segment;
-      if (col == 0) {
-        writer.emplace(fs, options.queue_capacity);
-        on_segment = [&](std::size_t offset, std::size_t length) {
-          // Enqueue every slice fully contained in the reduced prefix; the
-          // writer thread performs the PFS writes while the next segments
-          // are still in flight.
-          const std::size_t prefix = offset + length;
-          while (next_slice < 2 * slab_h &&
-                 (next_slice + 1) * slice_px <= prefix) {
-            const float* src = reduced.data() + next_slice * slice_px;
-            writer->enqueue(
-                object_name(options.output_prefix, global_slice(next_slice)),
-                std::vector<float>(src, src + slice_px));
-            ++next_slice;
-          }
-        };
-      }
-      mpi::Comm::CollectiveRequest reduce_req = row_comm.ireduce(
-          partial.data(), col == 0 ? reduced.data() : nullptr, partial.size(),
-          mpi::ReduceOp::kSum, /*root=*/0, options.reduce_segment_floats,
-          std::move(on_segment), to_mpi_algo(options.reduce_fan_in));
-      main_timer.time("reduce", [&] { reduce_req.wait(); });
-      assert_tag_budget(reduce_tags_before,
-                        row_comm.collective_tags_reserved(),
-                        plan.reduce_tag_budget(),
-                        "row reduce exceeded the plan's tag budget");
-      if (col == 0) {
-        // "store" on the main thread is only the residual drain: writes that
-        // had not finished when the last reduce segment completed.
-        main_timer.time("store", [&] { writer->finish(); });
-        store_busy = writer->busy_seconds();
-      }
-    } else {
-      Volume reduced(geometry.nx, geometry.ny, 2 * slab_h,
-                     VolumeLayout::kZMajor, /*zero_fill=*/col == 0);
-      main_timer.time("reduce", [&] {
-        row_comm.reduce(slab.data(), col == 0 ? reduced.data() : nullptr,
-                        slab.voxels(), mpi::ReduceOp::kSum, /*root=*/0);
-      });
-
-      if (col == 0) {
-        // Blocking reference store: extract and write slices serially.
-        main_timer.time("store", [&] {
-          std::vector<float> slice(slice_px);
-          for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
-            extract_slice(reduced.data(), local_k, slice.data());
-            fs.write_object(
-                object_name(options.output_prefix, global_slice(local_k)),
-                slice.data(), slice.size() * sizeof(float));
-          }
-        });
-      }
     }
     world.barrier();
 
@@ -473,10 +410,6 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     stats.wall.merge(bp_timer);
     stats.wall.merge(main_timer);
     stats.wall.add("compute", compute_span);
-    // Overlapped store: report the larger of writer busy time and residual
-    // drain as the stage cost (the drain alone under-reports when writes
-    // fully overlap the reduce).
-    stats.wall.set_max("store", store_busy);
     stats.v_h2d = device.virtual_h2d_seconds();
     stats.v_kernel = device.virtual_kernel_seconds();
     stats.v_d2h = device.virtual_d2h_seconds();
@@ -498,14 +431,13 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
               stats.total);
       stats.efficiency.add("bp_thread",
                            bp_timer.get("backprojection") / stats.total);
-      stats.efficiency.add("store_thread", store_busy / stats.total);
     }
   });
 
   // Merge: report the per-stage maximum across ranks (the critical path).
   IfdkStats out;
   out.grid = {rows, cols};
-  out.overlapped = options.overlap;
+  out.overlapped = false;
   for (const RankStats& rs : rank_stats) {
     out.wall.max_merge(rs.wall);
     out.overlap_efficiency.max_merge(rs.efficiency);
@@ -524,15 +456,25 @@ struct StreamRankStats {
   StageTimer wall;
   StageTimer efficiency;
   double total = 0;
+  /// Stream start to the Bp-thread's last accumulation: the
+  /// load+filter+gather+bp span ("compute"), written by the Bp-thread and
+  /// read after its join.
+  double compute = 0;
+  double v_h2d = 0;    ///< modeled PCIe H2D seconds (device ledger)
+  double v_kernel = 0; ///< modeled V100 kernel seconds
+  double v_d2h = 0;    ///< modeled PCIe D2H seconds
   std::vector<std::string> volume_errors;  ///< row roots only; "" = stored
 };
 
-}  // namespace
-
-StreamingStats run_streaming(const geo::CbctGeometry& geometry,
-                             pfs::ParallelFileSystem& fs,
-                             const IfdkOptions& options,
-                             std::span<const StreamVolume> volumes) {
+/// The single overlapped execution core (Fig. 4a/4b with streaming epochs):
+/// run_streaming validates the jobs and forwards here, and run_distributed's
+/// overlapped path wraps it with a one-volume stream. Callers have already
+/// validated `volumes`; this function builds the per-volume plans and runs
+/// the world.
+StreamingStats stream_core(const geo::CbctGeometry& geometry,
+                           pfs::ParallelFileSystem& fs,
+                           const IfdkOptions& options,
+                           std::span<const JobSpec> volumes) {
   const std::size_t n_volumes = volumes.size();
   // One DecompositionPlan per volume: the volume's own geometry when set,
   // the run geometry otherwise. Validation errors name the volume. With
@@ -551,13 +493,17 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
   out.volumes = static_cast<int>(n_volumes);
   out.fused_filter_gather = options.fuse_filter_gather;
   out.volume_errors.assign(n_volumes, "");
+  out.plans = plans;
+  // The ONLY place StreamingStats::grid is assigned: always the first
+  // executed plan's grid, so the summary field can never drift from `plans`
+  // (a zero-volume stream still validates the run configuration and reports
+  // the grid it would have used).
+  out.grid = out.plans.empty()
+                 ? DecompositionPlan::make(geometry, options).grid
+                 : out.plans.front().grid;
   if (n_volumes == 0) {
-    // Validate the run configuration even when there is nothing to stream.
-    out.grid = DecompositionPlan::make(geometry, options).grid;
     return out;
   }
-  out.grid = plans[0].grid;
-  out.plans = plans;
 
   // Stream-level memory constraint: the resident slab pairs span *adjacent*
   // volumes of possibly different geometries, so the worst case is the
@@ -777,6 +723,9 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
           q_slabs.close();
         }
       }
+      // The load+filter+gather+bp span, same meaning as the classic
+      // pipeline's "compute" stage (the join below publishes the write).
+      stats.compute = rank_timer.seconds();
       if (!bp_error) q_slabs.close();
     });
 
@@ -1072,6 +1021,10 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
     stats.wall.merge(main_timer);
     stats.wall.merge(reduce_timer);
     stats.wall.set_max("store", store_busy);
+    stats.wall.add("compute", stats.compute);
+    stats.v_h2d = device.virtual_h2d_seconds();
+    stats.v_kernel = device.virtual_kernel_seconds();
+    stats.v_d2h = device.virtual_d2h_seconds();
     stats.total = rank_timer.seconds();
     if (stats.total > 0) {
       stats.efficiency.add(
@@ -1098,6 +1051,9 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
   for (const StreamRankStats& rs : rank_stats) {
     out.wall.max_merge(rs.wall);
     out.overlap_efficiency.max_merge(rs.efficiency);
+    out.device_model.set_max("v_h2d", rs.v_h2d);
+    out.device_model.set_max("v_kernel", rs.v_kernel);
+    out.device_model.set_max("v_d2h", rs.v_d2h);
     wall_total = std::max(wall_total, rs.total);
     for (std::size_t v = 0; v < n_volumes; ++v) {
       if (out.volume_errors[v].empty() && !rs.volume_errors[v].empty()) {
@@ -1109,6 +1065,23 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
   out.volumes_per_second =
       wall_total > 0 ? static_cast<double>(n_volumes) / wall_total : 0;
   return out;
+}
+
+}  // namespace
+
+StreamingStats run_streaming(const geo::CbctGeometry& geometry,
+                             pfs::ParallelFileSystem& fs,
+                             const IfdkOptions& options,
+                             std::span<const JobSpec> volumes) {
+  // The public entry point is validation + forwarding: every JobSpec is
+  // checked with its volume index (so a bad frame in a long series names
+  // itself), then the shared execution core runs the stream. The service
+  // layer calls the same core through this function after admission.
+  options.validate();
+  for (std::size_t v = 0; v < volumes.size(); ++v) {
+    volumes[v].validate(static_cast<int>(v));
+  }
+  return stream_core(geometry, fs, options, volumes);
 }
 
 }  // namespace ifdk

@@ -52,9 +52,15 @@
 #include "common/timer.h"
 #include "common/volume.h"
 #include "geometry/cbct.h"
+#include "ifdk/job.h"
 #include "ifdk/plan.h"
 #include "perfmodel/model.h"
 #include "pfs/pfs.h"
+
+// Re-exported request vocabulary: ifdk::JobSpec (and its deprecated alias
+// ifdk::StreamVolume) live in ifdk/job.h so the service layer can name them
+// without pulling in the runtime; framework.h remains the one-stop include
+// for runtime callers.
 
 namespace ifdk {
 
@@ -71,8 +77,9 @@ struct IfdkStats {
   StageTimer device_model;
   /// Per-thread overlap efficiency, max over ranks: busy seconds of each
   /// pipeline thread divided by that rank's wall-clock. Entries:
-  /// "filter_thread" (load+filter), "main_thread" (gather+reduce+store
-  /// coordination), "bp_thread" (back-projection), "store_thread" (async
+  /// "filter_thread" (load+filter), "main_thread" (column gather),
+  /// "bp_thread" (back-projection), "reduce_thread" (transpose + row
+  /// reduce + store drain; overlapped path only), "store_thread" (async
   /// writer; 0 unless overlapped). An efficiency near 1 means the thread —
   /// and therefore its stage — is the pipeline bottleneck; the paper's
   /// overlap claim holds when bp_thread dominates.
@@ -82,25 +89,14 @@ struct IfdkStats {
   double wall_total = 0;
 };
 
-/// One frame of a 4D-CT time series handed to run_streaming: where its
-/// projections live, where its slices go, and (optionally) its own
-/// geometry. By default every volume shares the run's geometry (one gantry
-/// rotation per temporal frame); a volume that sets `geometry` is
-/// decomposed by its own per-volume DecompositionPlan, and the ranks
-/// re-split the grid between epochs when the resolved R x C changes.
-struct StreamVolume {
-  /// Projections are read from `<input_prefix><s>`, s in [0, Np).
-  std::string input_prefix;
-  /// Slices are written to `<output_prefix><k>`, k in [0, Nz).
-  std::string output_prefix;
-  /// Per-volume geometry override; unset = the run_streaming argument.
-  std::optional<geo::CbctGeometry> geometry;
-};
-
 /// Aggregate result of a run_streaming call.
 struct StreamingStats {
   /// The R x C grid of the FIRST volume (after Eq. (7) auto-selection);
   /// heterogeneous-geometry streams may re-split per volume — see `plans`.
+  /// Always `plans.front().grid` (populated from the executed plan sequence
+  /// in one place, so a volume-0 geometry override can never make the two
+  /// drift); kept as a field only for callers that drop `plans`. Streams of
+  /// zero volumes fall back to the run geometry's plan.
   perfmodel::GridShape grid;
   /// The per-volume decomposition plans the run actually executed, in
   /// volume order — hand these to cluster::simulate_stream to predict the
@@ -129,33 +125,47 @@ struct StreamingStats {
   std::vector<std::string> volume_errors;
   /// Whether the fused filter/gather worker ran (IfdkOptions).
   bool fused_filter_gather = false;
+  /// Modeled V100 seconds summed over the device ledger of the slowest
+  /// rank, whole stream: "v_h2d", "v_kernel", "v_d2h".
+  StageTimer device_model;
 };
 
-/// Streams `volumes.size()` independent volumes (a 4D-CT time series)
+/// Streams `volumes.size()` independent jobs (e.g. a 4D-CT time series)
 /// through ONE rank world: volume v+1's filtering and column gather begin
 /// while volume v is still back-projecting, row-reducing, and storing.
-/// Each volume is executed from its own DecompositionPlan (built with the
-/// volume's geometry when StreamVolume::geometry is set, the run geometry
-/// otherwise; same constraints and error messages as run_distributed, with
-/// the offending volume index prefixed). When consecutive plans resolve to
-/// different R x C grids the ranks re-split the world between epochs.
-/// Output volumes are bitwise-identical to volumes.size() sequential
-/// run_distributed calls with the same options and per-volume geometries.
-/// A PFS *write* failure on volume v fails only that volume (see
-/// StreamingStats::volume_errors); any other rank failure aborts the world
-/// and is rethrown, with every in-flight collective epoch unwound.
+/// Each JobSpec is validated (JobSpec::validate) and executed from its own
+/// DecompositionPlan (built with the job's geometry when JobSpec::geometry
+/// is set, the run geometry otherwise; same constraints and error messages
+/// as run_distributed, with the offending volume index prefixed); the
+/// scheduling fields (tenant/priority/deadline) are ignored here — ordering
+/// is the service layer's concern, and volumes execute in span order. When
+/// consecutive plans resolve to different R x C grids the ranks re-split
+/// the world between epochs. Output volumes are bitwise-identical to
+/// volumes.size() sequential run_distributed calls with the same options
+/// and per-volume geometries. A PFS *write* failure on volume v fails only
+/// that volume (see StreamingStats::volume_errors); any other rank failure
+/// aborts the world and is rethrown, with every in-flight collective epoch
+/// unwound.
 StreamingStats run_streaming(const geo::CbctGeometry& geometry,
                              pfs::ParallelFileSystem& fs,
                              const IfdkOptions& options,
-                             std::span<const StreamVolume> volumes);
+                             std::span<const JobSpec> volumes);
 
-/// Runs the full distributed pipeline: reads projections
+/// Runs the full distributed pipeline for ONE volume: reads projections
 /// `<input_prefix><s>` (raw float Nu*Nv objects, s in [0, Np)) from `fs`,
 /// writes slices `<output_prefix><k>` (raw float Nx*Ny objects, k in
 /// [0, Nz)). Requires Np % ranks == 0 and even Nz divisible by 2*rows;
 /// violations throw ConfigError naming the offending values. A failure on
-/// any rank (I/O, device memory, ...) aborts the whole world and is
-/// rethrown here; no complete output volume is left behind in that case.
+/// any rank (I/O, device memory, PFS write, ...) is rethrown here; no
+/// complete output volume is left behind in that case.
+///
+/// With IfdkOptions::overlap (the default) this is a documented one-volume
+/// wrapper over the streaming execution core — the exact plan/epoch
+/// machinery run_streaming and the service layer use, with a dedicated
+/// Filtering-thread — so there is a single overlapped pipeline
+/// implementation to maintain. overlap=false runs the self-contained
+/// blocking reference path (plain allgather + blocking reduce + serial
+/// store); both produce bitwise-identical volumes.
 IfdkStats run_distributed(const geo::CbctGeometry& geometry,
                           pfs::ParallelFileSystem& fs,
                           const IfdkOptions& options);

@@ -1,0 +1,26 @@
+#include "ifdk/job.h"
+
+#include "common/error.h"
+
+namespace ifdk {
+
+void JobSpec::validate(int volume_index) const {
+  const std::string prefix =
+      volume_index >= 0 ? "volume " + std::to_string(volume_index) + ": "
+                        : std::string{};
+  if (input_prefix.empty()) {
+    throw ConfigError(prefix +
+                      "input_prefix must not be empty: projections are read "
+                      "from <input_prefix><s>");
+  }
+  if (output_prefix.empty()) {
+    throw ConfigError(prefix +
+                      "output_prefix must not be empty: slices are written "
+                      "to <output_prefix><k>");
+  }
+  if (geometry.has_value()) {
+    geometry->validate();
+  }
+}
+
+}  // namespace ifdk

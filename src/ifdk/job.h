@@ -1,0 +1,63 @@
+// The job-centric request type of the reconstruction service front door.
+//
+// A JobSpec describes ONE reconstruction request end to end: where its
+// projections live, where its slices go, which geometry decomposes it, and —
+// for the multi-tenant scheduler (src/service) — who asked, how urgent it
+// is, and by when it should be done. The same type is what run_streaming
+// consumes per volume (a streamed 4D-CT frame IS a job with default
+// scheduling fields), so the service, the streaming runtime, and the
+// simulator all speak one request vocabulary.
+//
+// StreamVolume, the pre-service name of the first three fields, remains a
+// source-compatible alias below; new code should say JobSpec.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "geometry/cbct.h"
+
+namespace ifdk {
+
+/// One reconstruction request: a volume to reconstruct from staged
+/// projections, plus the scheduling metadata the service front door orders
+/// the queue by. Aggregate-initializable with the historical StreamVolume
+/// field order `{input_prefix, output_prefix, geometry}`; the scheduling
+/// fields default to a lowest-urgency anonymous job.
+struct JobSpec {
+  /// Projections are read from `<input_prefix><s>`, s in [0, Np).
+  std::string input_prefix;
+  /// Slices are written to `<output_prefix><k>`, k in [0, Nz).
+  std::string output_prefix;
+  /// Per-job geometry override; unset = the run/service default geometry.
+  std::optional<geo::CbctGeometry> geometry = std::nullopt;
+
+  // -- scheduling metadata (service layer; ignored by run_streaming) --------
+
+  /// Who submitted the job; ServiceStats aggregates throughput per tenant.
+  std::string tenant = "default";
+  /// Dispatch priority: higher runs first. The scheduler never reorders
+  /// across priority bands (a deadline cannot promote a low-priority job
+  /// past a high-priority one — EDF applies within a band only).
+  int priority = 0;
+  /// Optional completion deadline in seconds from submit (the SLO the
+  /// service predicts against via cluster::simulate_stream). Within one
+  /// priority band, earlier deadlines dispatch first; unset sorts last.
+  std::optional<double> deadline_s = std::nullopt;
+
+  /// Validates the request shape: both prefixes must be non-empty and a
+  /// per-job geometry, when set, must be self-consistent
+  /// (geo::CbctGeometry::validate). Throws ConfigError naming the offending
+  /// field; when `volume_index >= 0` the message is prefixed with the
+  /// offending volume ("volume 2: ..."), matching the plan layer's
+  /// convention. Called by run_streaming per volume and by
+  /// service::ReconService::submit before admission.
+  void validate(int volume_index = -1) const;
+};
+
+/// Deprecated pre-service name for JobSpec (one frame of a 4D-CT time
+/// series). Source-compatible — the first three JobSpec fields are exactly
+/// the historical StreamVolume layout — but new code should say JobSpec.
+using StreamVolume = JobSpec;
+
+}  // namespace ifdk

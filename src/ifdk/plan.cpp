@@ -25,13 +25,21 @@ std::string volume_prefix(int volume_index) {
 static_assert(IfdkOptions{}.reduce_segment_floats ==
               mpi::Comm::kDefaultReduceSegment);
 
+void IfdkOptions::validate() const {
+  IFDK_REQUIRE(ranks >= 1, "ranks (" + std::to_string(ranks) +
+                               ") must be at least 1");
+  IFDK_REQUIRE(bp_batch >= 1, "bp_batch must be positive");
+  IFDK_REQUIRE(queue_capacity >= 1, "queue_capacity must be positive");
+  IFDK_REQUIRE(reduce_segment_floats > 0,
+               "reduce_segment_floats must be positive");
+}
+
 DecompositionPlan DecompositionPlan::make(const geo::CbctGeometry& geometry,
                                           const IfdkOptions& options,
                                           int volume_index,
                                           std::size_t resident_slabs) {
   geometry.validate();
-  IFDK_REQUIRE(options.reduce_segment_floats > 0,
-               "reduce_segment_floats must be positive");
+  options.validate();
   IFDK_REQUIRE(resident_slabs >= 1, "resident_slabs must be at least 1");
   const std::string prefix = volume_prefix(volume_index);
   const Problem problem = geometry.problem();

@@ -88,6 +88,13 @@ struct IfdkOptions {
   std::string input_prefix = "proj/";
   /// Volume slices are written to `<output_prefix><k>`, k in [0, Nz).
   std::string output_prefix = "vol/slice_";
+
+  /// Validates the geometry-independent option invariants (positive ranks,
+  /// batch, queue depth, reduce segment) in one place; throws ConfigError
+  /// naming the offending value. DecompositionPlan::make, both runtimes,
+  /// and service::ReconService all call this — a new pre-run check belongs
+  /// here, not inline at a call site (message wording is pinned by tests).
+  void validate() const;
 };
 
 /// The two half-slabs owned by one row of the grid: the low slab

@@ -8,8 +8,9 @@
 #    skipped; #fragments are stripped before the existence check).
 # 2. Header contracts: every public function declaration in the refactored
 #    layers' headers (src/minimpi, src/ifdk — including the plan layer
-#    src/ifdk/plan.h — src/pfs, and src/cluster, which consumes the plan)
-#    must carry a doc comment on the line above (grep/awk heuristic:
+#    src/ifdk/plan.h — src/pfs, src/cluster, which consumes the plan, and
+#    src/service, the scheduler front door over it) must carry a doc
+#    comment on the line above (grep/awk heuristic:
 #    two-space-indented class members and column-0 free functions;
 #    move/copy boilerplate, destructors and `= default/delete` lines are
 #    exempt).
@@ -74,7 +75,8 @@ check_header() {
   ' "$1"
 }
 
-for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h; do
+for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h \
+              src/service/*.h; do
   if ! check_header "$header"; then
     fail=1
   fi
