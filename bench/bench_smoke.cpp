@@ -16,6 +16,7 @@
 #include "filter/filter_engine.h"
 #include "geometry/cbct.h"
 #include "ifdk/framework.h"
+#include "iterative/distributed.h"
 #include "pfs/pfs.h"
 #include "service/recon_service.h"
 
@@ -57,16 +58,16 @@ StreamingResult time_streaming(const bench::Scene& scene, int runs) {
   IfdkOptions opts;
   opts.ranks = r.ranks;
   opts.rows = r.rows;
-  std::vector<StreamVolume> volumes;
+  std::vector<JobSpec> volumes;
   for (int v = 0; v < r.volumes; ++v) {
-    volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
+    volumes.push_back(JobSpec{"in" + std::to_string(v) + "/",
                                    "out" + std::to_string(v) + "/slice_",
                                    {}});
   }
   StreamingStats last;
   r.seconds = bench::median_seconds(runs, [&] {
     pfs::ParallelFileSystem fs;
-    for (const StreamVolume& vol : volumes) {
+    for (const JobSpec& vol : volumes) {
       stage_projections(fs, vol.input_prefix, scene.projections);
     }
     last = run_streaming(scene.g, fs, opts, volumes);
@@ -125,6 +126,33 @@ ServiceResult time_service(const bench::Scene& scene, int runs) {
   r.mean_queue_latency_s = last.mean_queue_latency_s;
   r.rejected = 1;  // the reject_svc admission above
   r.resplits = last.resplits;
+  return r;
+}
+
+/// Iterative-workload smoke point: SART on the engine — iterations/sec, the
+/// residual trajectory, and per-stage busy seconds of the critical rank (the
+/// numbers the §6.2 solver trajectory is plotted against).
+struct IterativeResult {
+  int ranks = 4;
+  int rows = 2;
+  int iterations = 2;
+  double seconds = 0.0;
+  iterative::IterStats stats;
+};
+
+IterativeResult time_iterative(const bench::Scene& scene, int runs) {
+  IterativeResult r;
+  IfdkOptions opts;
+  opts.ranks = r.ranks;
+  opts.rows = r.rows;
+  JobSpec spec{"in/", "iter_out/slice_"};
+  spec.workload = WorkloadKind::kIterative;
+  spec.iterative.iterations = r.iterations;
+  r.seconds = bench::median_seconds(runs, [&] {
+    pfs::ParallelFileSystem fs;
+    stage_projections(fs, spec.input_prefix, scene.projections);
+    r.stats = iterative::run_iterative(scene.g, fs, opts, spec);
+  });
   return r;
 }
 
@@ -226,6 +254,9 @@ int main(int argc, char** argv) {
   // door (plus one admission rejection).
   const ServiceResult svc = time_service(scene, 3);
 
+  // Iterative-workload smoke point: 2 SART iterations on the same 2x2 world.
+  const IterativeResult iter = time_iterative(scene, 3);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_smoke: cannot open %s for writing\n",
@@ -290,6 +321,31 @@ int main(int argc, char** argv) {
                svc.ranks, svc.rows, svc.jobs, svc.seconds,
                svc.jobs_per_second, svc.mean_queue_latency_s, svc.rejected,
                svc.resplits);
+  std::fprintf(out,
+               "  \"iterative\": {\n"
+               "    \"ranks\": %d, \"rows\": %d,\n"
+               "    \"algorithm\": \"%s\", \"iterations\": %d,\n"
+               "    \"seconds\": %.6f,\n"
+               "    \"iterations_per_second\": %.4f,\n"
+               "    \"residual_rmse\": [",
+               iter.ranks, iter.rows, iter.stats.algorithm.c_str(),
+               iter.stats.iterations_run, iter.seconds,
+               iter.stats.iterations_per_second);
+  for (std::size_t n = 0; n < iter.stats.residual_rmse.size(); ++n) {
+    std::fprintf(out, "%s%.6f", n > 0 ? ", " : "",
+                 iter.stats.residual_rmse[n]);
+  }
+  std::fprintf(out,
+               "],\n"
+               "    \"stage_seconds\": {\"load\": %.6f, \"normalize\": %.6f, "
+               "\"forward\": %.6f, \"backproject\": %.6f, "
+               "\"allreduce\": %.6f, \"update\": %.6f, \"store\": %.6f}\n"
+               "  },\n",
+               iter.stats.wall.get("load"), iter.stats.wall.get("normalize"),
+               iter.stats.wall.get("forward"),
+               iter.stats.wall.get("backproject"),
+               iter.stats.wall.get("allreduce"), iter.stats.wall.get("update"),
+               iter.stats.wall.get("store"));
 
   // The resolved decomposition of the pipeline/streaming points above: the
   // same DecompositionPlan object the runtime consumed, recorded so the
@@ -381,5 +437,14 @@ int main(int argc, char** argv) {
               svc.jobs, svc.rows, svc.ranks / svc.rows, svc.seconds,
               svc.jobs_per_second, svc.mean_queue_latency_s, svc.rejected,
               svc.resplits);
+  std::printf("  iterative %s x%d through %dx%d: %.3f s (%.2f iter/s); "
+              "residual %.4f -> %.4f\n",
+              iter.stats.algorithm.c_str(), iter.stats.iterations_run,
+              iter.rows, iter.ranks / iter.rows, iter.seconds,
+              iter.stats.iterations_per_second,
+              iter.stats.residual_rmse.empty() ? 0.0
+                                               : iter.stats.residual_rmse.front(),
+              iter.stats.residual_rmse.empty() ? 0.0
+                                               : iter.stats.residual_rmse.back());
   return 0;
 }

@@ -130,12 +130,12 @@ int main(int argc, char** argv) {
   std::printf("\nstreaming cross-check (4 ranks, 4 mixed frames):\n");
   {
     pfs::ParallelFileSystem sfs;
-    std::vector<StreamVolume> volumes;
+    std::vector<JobSpec> volumes;
     for (int f = 0; f < 4; ++f) {
       const geo::CbctGeometry fg = geo::make_standard_geometry(
           {{64, 64, 32}, {32, 32, f % 2 == 0 ? std::size_t{32}
                                              : std::size_t{16}}});
-      StreamVolume vol{"scan/f" + std::to_string(f) + "/",
+      JobSpec vol{"scan/f" + std::to_string(f) + "/",
                        "recon/f" + std::to_string(f) + "/slice_", fg};
       stage_projections(sfs, vol.input_prefix,
                         phantom::project_all(phantom::shepp_logan(), fg));

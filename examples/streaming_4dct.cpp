@@ -13,7 +13,7 @@
 // With --mixed 1 the scanner alternates slice counts across frames (a
 // coarse "scout" frame every other rotation): even frames reconstruct
 // N slices, odd frames N/2. Every frame carries its own geometry on
-// StreamVolume::geometry, rows is auto-selected per frame (Eq. 7 with a
+// JobSpec::geometry, rows is auto-selected per frame (Eq. 7 with a
 // sub-volume budget that makes the two frame kinds resolve different R),
 // and the ranks re-split the grid between epochs — the heterogeneous
 // scheduler end to end.
@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
   // geometry; the physical field of view is unchanged (the voxel pitch
   // doubles), so the lesion track stays comparable across frame kinds.
   pfs::ParallelFileSystem fs;
-  std::vector<StreamVolume> volumes;
+  std::vector<JobSpec> volumes;
   std::vector<geo::CbctGeometry> frame_geometry;
   for (std::size_t f = 0; f < frames; ++f) {
     const std::size_t frame_nz = mixed && f % 2 == 1 ? n / 2 : n;
@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
     const double phase = static_cast<double>(f) / static_cast<double>(frames);
     const auto projections =
         phantom::project_all(breathing_phantom(phase), frame_geometry[f]);
-    StreamVolume vol{"scan/frame" + std::to_string(f) + "/",
+    JobSpec vol{"scan/frame" + std::to_string(f) + "/",
                      "recon/frame" + std::to_string(f) + "/slice_",
                      {}};
     if (mixed) vol.geometry = frame_geometry[f];

@@ -306,4 +306,92 @@ std::vector<double> predict_queue_completion(
   return done;
 }
 
+IterSimResult simulate_iterative(const DecompositionPlan& plan,
+                                 int iterations, int subsets,
+                                 const SimConfig& config) {
+  IFDK_REQUIRE(iterations >= 1, "iterations must be at least 1");
+  IFDK_REQUIRE(subsets >= 1, "subsets must be at least 1");
+  const perfmodel::MicroBench& mb = config.mb;
+  const Problem problem = plan.geometry.problem();
+  const double ranks = static_cast<double>(plan.ranks());
+  const double rounds = static_cast<double>(plan.rounds);
+  const double pb = static_cast<double>(problem.in.bytes_per_projection());
+  const double voxels = static_cast<double>(problem.out.voxels());
+  const double vol_bytes = static_cast<double>(problem.out.bytes());
+
+  IterSimResult out;
+  out.grid = plan.grid;
+
+  // One sweep over a subset: each rank forward-projects its rounds/subsets
+  // owned views (each ray marches ~2*max(N) samples across the volume) and
+  // back-projects the correction into the full replicated volume.
+  const double views_per_sweep = rounds / static_cast<double>(subsets);
+  const double samples_per_view =
+      static_cast<double>(plan.pixels) * 2.0 *
+      static_cast<double>(std::max({problem.out.nx, problem.out.ny,
+                                    problem.out.nz}));
+  const double t_fwd_sweep =
+      views_per_sweep * samples_per_view / config.iter_fp_samples_per_s;
+  const double t_bp_sweep =
+      views_per_sweep * voxels / config.iter_bp_updates_per_s;
+  // Volume all-reduce per sweep (tree ireduce + bcast); free at one rank.
+  const double t_allreduce =
+      plan.ranks() > 1 ? 2.0 * vol_bytes / (ranks * mb.th_reduce) : 0.0;
+
+  out.t_iteration = static_cast<double>(subsets) *
+                    (t_fwd_sweep + t_bp_sweep + t_allreduce);
+
+  // Setup: the shard load (all ranks share the PFS link), the normalization
+  // back-projections (one B*1 pass over every view, spread across ranks)
+  // and their per-subset all-reduces.
+  const double t_load = rounds * pb * ranks / mb.bw_load;
+  const double t_norm = rounds * voxels / config.iter_bp_updates_per_s +
+                        static_cast<double>(subsets) * t_allreduce;
+  out.t_setup = t_load + t_norm;
+
+  // Rank 0's serial slice store of the replicated volume.
+  const double slice_bytes =
+      static_cast<double>(problem.out.nx * problem.out.ny * sizeof(float));
+  const double store_eff =
+      slice_bytes / (slice_bytes + config.store_halfpoint_bytes);
+  const double t_store = vol_bytes / (mb.bw_store * store_eff);
+
+  out.t_total = config.startup_s + out.t_setup +
+                static_cast<double>(iterations) * out.t_iteration + t_store;
+  return out;
+}
+
+std::vector<double> predict_queue_completion(std::span<const QueuedJob> jobs,
+                                             const SimConfig& config) {
+  std::vector<double> done(jobs.size(), 0.0);
+  double clock = 0;
+  std::size_t i = 0;
+  while (i < jobs.size()) {
+    if (jobs[i].iterative) {
+      // Iterative jobs dispatch one at a time (no cross-job overlap).
+      clock += simulate_iterative(jobs[i].plan, jobs[i].iterations,
+                                  jobs[i].subsets, config)
+                   .t_total;
+      done[i] = clock;
+      ++i;
+      continue;
+    }
+    // A contiguous FDK run streams as one batch: its epochs overlap exactly
+    // as simulate_stream models, then the next queue entry starts after the
+    // batch's last volume is stored.
+    std::vector<DecompositionPlan> plans;
+    const std::size_t first = i;
+    while (i < jobs.size() && !jobs[i].iterative) {
+      plans.push_back(jobs[i].plan);
+      ++i;
+    }
+    const StreamSimResult sim = simulate_stream(plans, config);
+    for (std::size_t v = 0; v < sim.epochs.size(); ++v) {
+      done[first + v] = clock + sim.epochs[v].done;
+    }
+    clock += sim.t_total;
+  }
+  return done;
+}
+
 }  // namespace ifdk::cluster

@@ -88,6 +88,15 @@ struct SimConfig {
   /// false = flat mb.bp_gups.
   bool use_kernel_model = true;
 
+  /// Iterative workload rates (iterative::run_iterative): the forward
+  /// projector's ray samples per second and the unweighted back-projector's
+  /// voxel updates per second, per rank. These are the SCALAR ray-driven /
+  /// bilinear kernels of src/projector and src/iterative — deliberately not
+  /// the Table-4 Algorithm-4 model, which prices the FDK-weighted kernel
+  /// the iterative solvers do not use.
+  double iter_fp_samples_per_s = 1.5e8;
+  double iter_bp_updates_per_s = 4.0e8;
+
   /// Paper §4.1.4 future work: "overlapping the tasks after the
   /// back-projection (the device to host copy, reduction, and storing to
   /// PFS) does not guarantee any performance improvement". When true, the
@@ -184,5 +193,44 @@ StreamSimResult simulate_stream(std::span<const DecompositionPlan> plans,
 /// completions whenever the queue changes; an empty queue predicts nothing.
 std::vector<double> predict_queue_completion(
     std::span<const DecompositionPlan> plans, const SimConfig& config = {});
+
+/// Virtual-time phases of one distributed iterative job
+/// (iterative::run_iterative) on the plan's rank grid.
+struct IterSimResult {
+  perfmodel::GridShape grid;
+  double t_setup = 0;      ///< shard load + normalization all-reduces
+  double t_iteration = 0;  ///< one full iteration (all subset sweeps)
+  double t_total = 0;      ///< startup + setup + iterations + store
+};
+
+/// Replays the iterate-loop recurrence of iterative::run_iterative in
+/// virtual time: per iteration, each of `subsets` sweeps forward-projects
+/// and back-projects the rank's view share and all-reduces the replicated
+/// volume (reduce + bcast over MicroBench::th_reduce; free at one rank);
+/// setup adds the shard load and the per-subset normalization all-reduces,
+/// and rank 0's serial slice store closes the job. The workload is
+/// compute-dominated by the scalar projector kernels, so the recurrence is
+/// a phase sum, not a per-round pipeline.
+IterSimResult simulate_iterative(const DecompositionPlan& plan,
+                                 int iterations, int subsets,
+                                 const SimConfig& config = {});
+
+/// One entry of a mixed FDK + iterative dispatch queue.
+struct QueuedJob {
+  DecompositionPlan plan;  ///< the job's resolved decomposition
+  bool iterative = false;  ///< false = FDK (streams with its neighbours)
+  int iterations = 0;      ///< kIterative only
+  int subsets = 1;         ///< kIterative only (1 for SART/MLEM)
+};
+
+/// Mixed-queue completion prediction: contiguous runs of FDK jobs stream
+/// through simulate_stream (overlapping epochs, exactly like the service's
+/// batched dispatch), while each iterative job runs serially through
+/// simulate_iterative — matching ReconService's one-at-a-time iterative
+/// dispatch. Returned times are virtual seconds from "the queue starts
+/// now", one per job in order. An all-FDK queue predicts exactly what the
+/// plan-span overload predicts.
+std::vector<double> predict_queue_completion(std::span<const QueuedJob> jobs,
+                                             const SimConfig& config = {});
 
 }  // namespace ifdk::cluster

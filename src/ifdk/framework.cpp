@@ -1,9 +1,7 @@
 #include "ifdk/framework.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
-#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,103 +11,20 @@
 #include "backproj/backprojector.h"
 #include "common/circular_buffer.h"
 #include "common/error.h"
+#include "engine/engine.h"
 #include "gpusim/kernel_model.h"
 #include "minimpi/minimpi.h"
-#include "pfs/async_writer.h"
 
 namespace ifdk {
 
 namespace {
 
-std::string object_name(const std::string& prefix, std::size_t index) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%06zu", index);
-  return prefix + buf;
-}
-
-/// Secondary pipeline error: a stage observed its queue closed because the
-/// thread at the other end died first. Typed (rather than matched by
-/// message text) so the rethrow logic can reliably prefer the root cause.
-class QueueClosedError : public Error {
- public:
-  explicit QueueClosedError(const std::string& what) : Error(what) {}
-};
-
-/// Severity class for root-cause selection: real failures beat world-abort
-/// symptoms (another rank owns the root cause — run_world() deprioritizes
-/// these globally), which beat queue-shutdown symptoms (a sibling thread of
-/// this rank owns it). A rank whose errors are all symptoms must rethrow
-/// the *abort* one, so the faulty rank's real error wins at run_world no
-/// matter which rank's body exits first.
-int error_class(const std::exception_ptr& e) {
-  try {
-    std::rethrow_exception(e);
-  } catch (const QueueClosedError&) {
-    return 2;
-  } catch (const mpi::WorldAbortedError&) {
-    return 1;
-  } catch (...) {
-    return 0;
-  }
-}
-
-/// Picks the most root-cause-like error (lowest class, earliest wins ties);
-/// null when none set.
-std::exception_ptr pick_root_cause(std::span<const std::exception_ptr> errors) {
-  std::exception_ptr best;
-  int best_class = 3;
-  for (const std::exception_ptr& e : errors) {
-    if (!e) continue;
-    const int c = error_class(e);
-    if (c < best_class) {
-      best_class = c;
-      best = e;
-    }
-  }
-  return best;
-}
-
-/// Per-rank result handed back to the coordinator after run_world.
-struct RankStats {
-  StageTimer wall;
-  /// Busy/wall per pipeline thread (see IfdkStats::overlap_efficiency).
-  StageTimer efficiency;
-  double v_h2d = 0;
-  double v_kernel = 0;
-  double v_d2h = 0;
-  double total = 0;
-};
+using engine::object_name;
+using engine::QueueClosedError;
 
 mpi::ReduceAlgo to_mpi_algo(ReduceFanIn fan_in) {
   return fan_in == ReduceFanIn::kLinear ? mpi::ReduceAlgo::kLinear
                                         : mpi::ReduceAlgo::kTree;
-}
-
-/// Asserts one epoch's collective-tag consumption against the plan's budget
-/// (the "budget >= actual traffic" invariant). Reservations are sequential,
-/// so at most one deterministic wrap skip (< window) can land inside an
-/// epoch, and only when the budget does not fit before the window top —
-/// the check is exact in both cases.
-void assert_tag_budget(std::uint64_t before, std::uint64_t after,
-                       std::uint64_t budget, const char* what) {
-  const std::uint64_t window = mpi::Comm::kCollectiveTagWindow;
-  const std::uint64_t offset = before % window;
-  const std::uint64_t allowed =
-      offset + budget <= window ? budget : budget + (window - offset);
-  IFDK_ASSERT_MSG(after - before <= allowed, what);
-}
-
-/// Extracts slice `local_k` of a z-major slab pair into a slice-major
-/// destination. Shared by every pipeline path: the bitwise-equivalence
-/// guarantees depend on the permutation being identical.
-void extract_zmajor_slice(const float* zmajor, std::size_t nx, std::size_t ny,
-                          std::size_t pair_depth, std::size_t local_k,
-                          float* dst) {
-  for (std::size_t j = 0; j < ny; ++j) {
-    for (std::size_t i = 0; i < nx; ++i) {
-      dst[j * nx + i] = zmajor[(i * ny + j) * pair_depth + local_k];
-    }
-  }
 }
 
 /// The single overlapped execution core (defined below, after its per-rank
@@ -142,58 +57,51 @@ Volume load_volume(const pfs::ParallelFileSystem& fs,
   return vol;
 }
 
-IfdkStats run_distributed(const geo::CbctGeometry& geometry,
-                          pfs::ParallelFileSystem& fs,
-                          const IfdkOptions& options) {
-  if (options.overlap) {
-    // The documented one-volume wrapper over the streaming execution core:
-    // a JobSpec carrying the options' I/O prefixes rides the exact
-    // plan/epoch machinery of run_streaming, with the dedicated
-    // Filtering-thread (not the fused worker) so the classic stats contract
-    // — filter/main/bp/store thread efficiencies, per-stage wall seconds,
-    // the modeled-V100 ledger — still holds. The core's per-volume store
-    // isolation is converted back to this API's throwing contract: the one
-    // volume's failure IS the run's failure.
-    IfdkOptions stream_options = options;
-    stream_options.fuse_filter_gather = false;
-    const JobSpec job{options.input_prefix, options.output_prefix, {}};
-    const StreamingStats streamed = stream_core(
-        geometry, fs, stream_options, std::span<const JobSpec>(&job, 1));
-    if (!streamed.volume_errors[0].empty()) {
-      throw IoError(streamed.volume_errors[0]);
-    }
-    IfdkStats out;
-    out.grid = streamed.grid;
-    out.overlapped = true;
-    out.wall = streamed.wall;
-    out.device_model = streamed.device_model;
-    out.overlap_efficiency = streamed.overlap_efficiency;
-    out.wall_total = streamed.wall_total;
-    return out;
+namespace {
+
+/// Per-rank device ledger of the blocking reference path (the generic
+/// wall/efficiency/total stats ride the engine's RankContext instead).
+struct BlockingRankDevice {
+  double v_h2d = 0;
+  double v_kernel = 0;
+  double v_d2h = 0;
+};
+
+/// The blocking reference path (overlap = false) as an engine Workload:
+/// self-contained Fig. 4a pipeline with blocking collectives and a serial
+/// slice store — the bitwise reference the overlapped core is tested
+/// against, and the only consumer of the blocking allgather/reduce
+/// primitives. The plan is the single source of truth for the
+/// decomposition: grid, slab extents, projection shards, and the memory
+/// check.
+class BlockingFdkWorkload final : public engine::Workload {
+ public:
+  BlockingFdkWorkload(const geo::CbctGeometry& geometry,
+                      pfs::ParallelFileSystem& fs, const IfdkOptions& options,
+                      const DecompositionPlan& plan)
+      : geometry_(geometry), fs_(fs), options_(options), plan_(plan) {
+    device_.resize(static_cast<std::size_t>(options.ranks));
   }
 
-  // ---- Blocking reference path (overlap = false) ---------------------------
-  // Self-contained Fig. 4a pipeline with blocking collectives and a serial
-  // slice store: the bitwise reference the overlapped core is tested
-  // against, and the only consumer of the blocking allgather/reduce
-  // primitives. The plan is the single source of truth for the
-  // decomposition: grid, slab extents, projection shards, and the memory
-  // check.
-  const DecompositionPlan plan = DecompositionPlan::make(geometry, options);
-  plan.check_device_fit(options.device);
-  const int rows = plan.grid.rows;
-  const int cols = plan.grid.columns;
-  const std::size_t slab_h = plan.slab_h;
-  const std::size_t per_rank = plan.rounds;
-  const std::size_t pixels = plan.pixels;
+  /// Device-model ledger of rank `rank`, merged by the caller.
+  const BlockingRankDevice& device(std::size_t rank) const {
+    return device_[rank];
+  }
 
-  std::vector<RankStats> rank_stats(static_cast<std::size_t>(options.ranks));
+  /// The classic three-thread pipeline of one rank (Fig. 4a + 4b).
+  void run_rank(engine::RankContext& ctx) override {
+    const geo::CbctGeometry& geometry = geometry_;
+    const IfdkOptions& options = options_;
+    const DecompositionPlan& plan = plan_;
+    const int rows = plan.grid.rows;
+    const std::size_t slab_h = plan.slab_h;
+    const std::size_t per_rank = plan.rounds;
+    const std::size_t pixels = plan.pixels;
 
-  mpi::run_world(options.ranks, [&](mpi::Comm& world) {
-    const int rank = world.rank();
+    mpi::Comm& world = ctx.world;
+    const int rank = ctx.rank;
     const int col = plan.col_of(rank);
     const int row = plan.row_of(rank);
-    RankStats& stats = rank_stats[static_cast<std::size_t>(rank)];
     Timer rank_timer;
 
     // Fig. 3b: AllGather across the column, Reduce across the row.
@@ -250,8 +158,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
           const std::size_t s = owned_index(t);
           Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
           filter_timer.time("load", [&] {
-            fs.read_object(object_name(options.input_prefix, s), img.data(),
-                           img.bytes());
+            fs_.read_object(object_name(options.input_prefix, s), img.data(),
+                            img.bytes());
           });
           filter_timer.time("filter", [&] { engine.apply(img); });
           if (!q_filtered.push(Filtered{s, std::move(img)})) {
@@ -368,7 +276,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     // failure ends the main thread's pop early; a remote-rank abort surfaces
     // in the main thread's collective.
     const std::exception_ptr errors[] = {bp_error, main_error, filter_error};
-    if (const std::exception_ptr first = pick_root_cause(errors)) {
+    if (const std::exception_ptr first = engine::pick_root_cause(errors)) {
       std::rethrow_exception(first);
     }
     const double compute_span = rank_timer.seconds();
@@ -382,8 +290,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     const std::size_t slice_px = plan.slice_px;
     auto extract_slice = [&](const float* zmajor, std::size_t local_k,
                              float* dst) {
-      extract_zmajor_slice(zmajor, geometry.nx, geometry.ny, 2 * slab_h,
-                           local_k, dst);
+      engine::extract_zmajor_slice(zmajor, geometry.nx, geometry.ny,
+                                   2 * slab_h, local_k, dst);
     };
     Volume reduced(geometry.nx, geometry.ny, 2 * slab_h,
                    VolumeLayout::kZMajor, /*zero_fill=*/col == 0);
@@ -398,7 +306,7 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
         std::vector<float> slice(slice_px);
         for (std::size_t local_k = 0; local_k < 2 * slab_h; ++local_k) {
           extract_slice(reduced.data(), local_k, slice.data());
-          fs.write_object(
+          fs_.write_object(
               object_name(options.output_prefix, global_slice(local_k)),
               slice.data(), slice.size() * sizeof(float));
         }
@@ -406,56 +314,105 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     }
     world.barrier();
 
-    stats.wall.merge(filter_timer);
-    stats.wall.merge(bp_timer);
-    stats.wall.merge(main_timer);
-    stats.wall.add("compute", compute_span);
-    stats.v_h2d = device.virtual_h2d_seconds();
-    stats.v_kernel = device.virtual_kernel_seconds();
-    stats.v_d2h = device.virtual_d2h_seconds();
-    stats.total = rank_timer.seconds();
+    ctx.wall.merge(filter_timer);
+    ctx.wall.merge(bp_timer);
+    ctx.wall.merge(main_timer);
+    ctx.wall.add("compute", compute_span);
+    BlockingRankDevice& dev = device_[static_cast<std::size_t>(rank)];
+    dev.v_h2d = device.virtual_h2d_seconds();
+    dev.v_kernel = device.virtual_kernel_seconds();
+    dev.v_d2h = device.virtual_d2h_seconds();
+    ctx.total = rank_timer.seconds();
 
     // Busy/wall per pipeline thread: how much of this rank's wall clock each
     // stage thread spent doing useful work. bp_thread near 1 means the
     // pipeline reached the paper's back-projection-bound regime.
-    if (stats.total > 0) {
-      stats.efficiency.add(
+    if (ctx.total > 0) {
+      ctx.efficiency.add(
           "filter_thread",
           (filter_timer.get("load") + filter_timer.get("filter")) /
-              stats.total);
-      stats.efficiency.add(
+              ctx.total);
+      ctx.efficiency.add(
           "main_thread",
           (main_timer.get("allgather") + main_timer.get("d2h") +
            main_timer.get("transpose") + main_timer.get("reduce") +
            main_timer.get("store")) /
-              stats.total);
-      stats.efficiency.add("bp_thread",
-                           bp_timer.get("backprojection") / stats.total);
+              ctx.total);
+      ctx.efficiency.add("bp_thread",
+                         bp_timer.get("backprojection") / ctx.total);
     }
-  });
+  }
+
+ private:
+  const geo::CbctGeometry& geometry_;
+  pfs::ParallelFileSystem& fs_;
+  const IfdkOptions& options_;
+  const DecompositionPlan& plan_;
+  std::vector<BlockingRankDevice> device_;
+};
+
+}  // namespace
+
+IfdkStats run_distributed(const geo::CbctGeometry& geometry,
+                          pfs::ParallelFileSystem& fs,
+                          const IfdkOptions& options) {
+  if (options.overlap) {
+    // The documented one-volume wrapper over the streaming execution core:
+    // a JobSpec carrying the options' I/O prefixes rides the exact
+    // plan/epoch machinery of run_streaming, with the dedicated
+    // Filtering-thread (not the fused worker) so the classic stats contract
+    // — filter/main/bp/store thread efficiencies, per-stage wall seconds,
+    // the modeled-V100 ledger — still holds. The core's per-volume store
+    // isolation is converted back to this API's throwing contract: the one
+    // volume's failure IS the run's failure.
+    IfdkOptions stream_options = options;
+    stream_options.fuse_filter_gather = false;
+    const JobSpec job{options.input_prefix, options.output_prefix, {}};
+    const StreamingStats streamed = stream_core(
+        geometry, fs, stream_options, std::span<const JobSpec>(&job, 1));
+    if (!streamed.volume_errors[0].empty()) {
+      throw IoError(streamed.volume_errors[0]);
+    }
+    IfdkStats out;
+    out.grid = streamed.grid;
+    out.overlapped = true;
+    out.wall = streamed.wall;
+    out.device_model = streamed.device_model;
+    out.overlap_efficiency = streamed.overlap_efficiency;
+    out.wall_total = streamed.wall_total;
+    return out;
+  }
+
+  const DecompositionPlan plan = DecompositionPlan::make(geometry, options);
+  plan.check_device_fit(options.device);
+
+  BlockingFdkWorkload workload(geometry, fs, options, plan);
+  const engine::EngineStats engine_stats =
+      engine::run(options.ranks, workload);
 
   // Merge: report the per-stage maximum across ranks (the critical path).
+  // The engine already merged the generic wall/efficiency/total stats; the
+  // modeled-V100 ledger is workload-owned and merged here.
   IfdkStats out;
-  out.grid = {rows, cols};
+  out.grid = plan.grid;
   out.overlapped = false;
-  for (const RankStats& rs : rank_stats) {
-    out.wall.max_merge(rs.wall);
-    out.overlap_efficiency.max_merge(rs.efficiency);
-    out.device_model.set_max("v_h2d", rs.v_h2d);
-    out.device_model.set_max("v_kernel", rs.v_kernel);
-    out.device_model.set_max("v_d2h", rs.v_d2h);
-    out.wall_total = std::max(out.wall_total, rs.total);
+  out.wall = engine_stats.wall;
+  out.overlap_efficiency = engine_stats.efficiency;
+  out.wall_total = engine_stats.wall_total;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(options.ranks); ++r) {
+    const BlockingRankDevice& dev = workload.device(r);
+    out.device_model.set_max("v_h2d", dev.v_h2d);
+    out.device_model.set_max("v_kernel", dev.v_kernel);
+    out.device_model.set_max("v_d2h", dev.v_d2h);
   }
   return out;
 }
 
 namespace {
 
-/// Per-rank result of a streaming run.
+/// Per-rank workload-owned results of a streaming run (the generic
+/// wall/efficiency/total stats ride the engine's RankContext instead).
 struct StreamRankStats {
-  StageTimer wall;
-  StageTimer efficiency;
-  double total = 0;
   /// Stream start to the Bp-thread's last accumulation: the
   /// load+filter+gather+bp span ("compute"), written by the Bp-thread and
   /// read after its join.
@@ -466,109 +423,67 @@ struct StreamRankStats {
   std::vector<std::string> volume_errors;  ///< row roots only; "" = stored
 };
 
-/// The single overlapped execution core (Fig. 4a/4b with streaming epochs):
-/// run_streaming validates the jobs and forwards here, and run_distributed's
-/// overlapped path wraps it with a one-volume stream. Callers have already
-/// validated `volumes`; this function builds the per-volume plans and runs
-/// the world.
-StreamingStats stream_core(const geo::CbctGeometry& geometry,
-                           pfs::ParallelFileSystem& fs,
-                           const IfdkOptions& options,
-                           std::span<const JobSpec> volumes) {
-  const std::size_t n_volumes = volumes.size();
-  // One DecompositionPlan per volume: the volume's own geometry when set,
-  // the run geometry otherwise. Validation errors name the volume. With
-  // more than one volume the bp/reduce double buffer keeps TWO slab pairs
-  // resident, which the plan's memory-aware row selection accounts for.
-  const std::size_t resident = n_volumes > 1 ? 2 : 1;
-  std::vector<DecompositionPlan> plans;
-  plans.reserve(n_volumes);
-  for (std::size_t v = 0; v < n_volumes; ++v) {
-    plans.push_back(DecompositionPlan::make(
-        volumes[v].geometry.value_or(geometry), options,
-        static_cast<int>(v), resident));
+/// FDK streaming as an engine Workload: the Fig. 4a/4b per-rank pipeline
+/// with streaming epochs — optional Filtering-thread, fused filter/gather
+/// worker, Bp-thread with the depth-1 slab handoff, and the Reduce-thread
+/// running per-volume collective epochs through the engine's communicator
+/// cache and writer plumbing.
+class FdkStreamWorkload final : public engine::Workload {
+ public:
+  FdkStreamWorkload(pfs::ParallelFileSystem& fs, const IfdkOptions& options,
+                    std::span<const JobSpec> volumes,
+                    std::span<const DecompositionPlan> plans,
+                    std::uint64_t max_slab_bytes,
+                    std::uint64_t max_batch_bytes,
+                    std::size_t max_gather_floats)
+      : fs_(fs),
+        options_(options),
+        volumes_(volumes),
+        plans_(plans),
+        max_slab_bytes_(max_slab_bytes),
+        max_batch_bytes_(max_batch_bytes),
+        max_gather_floats_(max_gather_floats),
+        algo_(to_mpi_algo(options.reduce_fan_in)) {
+    rank_stats_.resize(static_cast<std::size_t>(options.ranks));
   }
 
-  StreamingStats out;
-  out.volumes = static_cast<int>(n_volumes);
-  out.fused_filter_gather = options.fuse_filter_gather;
-  out.volume_errors.assign(n_volumes, "");
-  out.plans = plans;
-  // The ONLY place StreamingStats::grid is assigned: always the first
-  // executed plan's grid, so the summary field can never drift from `plans`
-  // (a zero-volume stream still validates the run configuration and reports
-  // the grid it would have used).
-  out.grid = out.plans.empty()
-                 ? DecompositionPlan::make(geometry, options).grid
-                 : out.plans.front().grid;
-  if (n_volumes == 0) {
-    return out;
+  /// Workload-owned per-rank results (device ledger, compute span,
+  /// per-volume store errors), merged by the caller.
+  const StreamRankStats& rank_stats(std::size_t rank) const {
+    return rank_stats_[rank];
   }
 
-  // Stream-level memory constraint: the resident slab pairs span *adjacent*
-  // volumes of possibly different geometries, so the worst case is the
-  // largest slab in the stream, twice, plus the largest batch.
-  std::uint64_t max_slab_bytes = 0;
-  std::uint64_t max_batch_bytes = 0;
-  std::size_t max_gather_floats = 0;  // largest rows * pixels in the stream
-  for (const DecompositionPlan& plan : plans) {
-    max_slab_bytes = std::max(max_slab_bytes, plan.slab_bytes());
-    max_batch_bytes = std::max(
-        max_batch_bytes, static_cast<std::uint64_t>(plan.bp_batch) *
-                             plan.pixels * sizeof(float));
-    max_gather_floats =
-        std::max(max_gather_floats,
-                 static_cast<std::size_t>(plan.grid.rows) * plan.pixels);
-  }
-  if (resident * max_slab_bytes + max_batch_bytes >
-      options.device.memory_bytes) {
-    throw DeviceOutOfMemory(
-        "streaming needs " +
-        std::to_string(resident * max_slab_bytes + max_batch_bytes) +
-        " B of device memory (" + std::to_string(resident) +
-        " resident slab pair(s) of up to " + std::to_string(max_slab_bytes) +
-        " B + a batch of " + std::to_string(max_batch_bytes) +
-        " B) but the device has " +
-        std::to_string(options.device.memory_bytes) + " B");
-  }
+  /// The streaming per-rank pipeline (four threads, per-volume epochs).
+  void run_rank(engine::RankContext& ctx) override {
+    pfs::ParallelFileSystem& fs = fs_;
+    const IfdkOptions& options = options_;
+    std::span<const JobSpec> volumes = volumes_;
+    std::span<const DecompositionPlan> plans = plans_;
+    const std::size_t n_volumes = volumes.size();
+    const std::uint64_t max_slab_bytes = max_slab_bytes_;
+    const std::uint64_t max_batch_bytes = max_batch_bytes_;
+    const std::size_t max_gather_floats = max_gather_floats_;
+    const mpi::ReduceAlgo algo = algo_;
 
-  const mpi::ReduceAlgo algo = to_mpi_algo(options.reduce_fan_in);
-  std::vector<StreamRankStats> rank_stats(
-      static_cast<std::size_t>(options.ranks));
-
-  mpi::run_world(options.ranks, [&](mpi::Comm& world) {
-    const int rank = world.rank();
-    StreamRankStats& stats = rank_stats[static_cast<std::size_t>(rank)];
+    mpi::Comm& world = ctx.world;
+    const int rank = ctx.rank;
+    StreamRankStats& stats = rank_stats_[static_cast<std::size_t>(rank)];
     stats.volume_errors.assign(n_volumes, "");
     Timer rank_timer;
 
     // ---- Per-epoch communicators (the grid re-split) ----------------------
-    // A split is a collective on the parent communicator, so every rank must
-    // perform the same sequence — build the per-volume comms up front, one
-    // col/row pair per distinct row count (with `ranks` fixed, R determines
-    // the grid). Consecutive volumes with the same grid share a pair, which
-    // is what lets their collective epochs stay in flight together; a
-    // geometry whose plan resolves a different R gets its own pair, and the
-    // stream "re-splits" by switching pairs at the volume boundary.
-    struct EpochComms {
-      mpi::Comm col;
-      mpi::Comm row;
-    };
-    std::map<int, EpochComms> comms_by_rows;
-    std::vector<EpochComms*> epoch_comms(n_volumes, nullptr);
-    for (std::size_t v = 0; v < n_volumes; ++v) {
-      const int rows_v = plans[v].grid.rows;
-      auto it = comms_by_rows.find(rows_v);
-      if (it == comms_by_rows.end()) {
-        mpi::Comm col_comm = world.split(rank / rows_v, rank % rows_v);
-        mpi::Comm row_comm = world.split(rank % rows_v, rank / rows_v);
-        it = comms_by_rows
-                 .emplace(rows_v,
-                          EpochComms{std::move(col_comm), std::move(row_comm)})
-                 .first;
-      }
-      epoch_comms[v] = &it->second;
+    // The engine's communicator cache: one col/row pair per distinct row
+    // count, built up front in volume order (a split is a collective, so
+    // every rank must perform the same sequence). Consecutive volumes with
+    // the same grid share a pair, which is what lets their collective
+    // epochs stay in flight together; the stream "re-splits" by switching
+    // pairs at the volume boundary.
+    std::vector<int> rows_per_volume;
+    rows_per_volume.reserve(n_volumes);
+    for (const DecompositionPlan& plan : plans) {
+      rows_per_volume.push_back(plan.grid.rows);
     }
+    engine::EpochComms epoch_comms(world, rows_per_volume);
 
     // Streaming keeps TWO slab pairs resident per device: the one the
     // Bp-thread is accumulating (volume v+1) and the one draining through
@@ -736,22 +651,14 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
     double store_busy = 0;
     std::thread reduce_thread([&] {
       try {
-        // One multiplexed writer per rank that roots ANY volume's row; which
-        // rank that is can change per volume when the grid re-splits.
-        bool any_root = false;
+        // The engine's writer plumbing: one multiplexed writer per rank
+        // that roots ANY volume's row; which rank that is can change per
+        // volume when the grid re-splits.
+        std::vector<bool> roots(n_volumes, false);
         for (std::size_t v = 0; v < n_volumes; ++v) {
-          if (plans[v].col_of(rank) == 0) any_root = true;
+          roots[v] = plans[v].col_of(rank) == 0;
         }
-        std::optional<pfs::AsyncWriter> writer;
-        std::vector<pfs::AsyncWriter::StreamId> streams(n_volumes);
-        if (any_root) {
-          writer.emplace(fs, options.queue_capacity);
-          for (std::size_t v = 0; v < n_volumes; ++v) {
-            if (plans[v].col_of(rank) == 0) {
-              streams[v] = writer->open_stream();
-            }
-          }
-        }
+        engine::VolumeWriterSet writers(fs, options.queue_capacity, roots);
         std::vector<float> partial;
         std::vector<float> reduced;
         for (std::size_t v = 0; v < n_volumes; ++v) {
@@ -760,7 +667,7 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
           const int col = plan.col_of(rank);
           const std::size_t slice_px = plan.slice_px;
           const std::size_t pair_depth = 2 * plan.slab_h;
-          mpi::Comm& row_comm = epoch_comms[v]->row;
+          mpi::Comm& row_comm = epoch_comms.of(v).row;
           auto slab = q_slabs.pop();
           if (!slab.has_value()) {
             throw QueueClosedError(
@@ -772,9 +679,10 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
           reduced.resize(col == 0 ? plan.slab_floats() : 0);
           reduce_timer.time("transpose", [&] {
             for (std::size_t k = 0; k < pair_depth; ++k) {
-              extract_zmajor_slice(slab->slab.data(), plan.geometry.nx,
-                                   plan.geometry.ny, pair_depth, k,
-                                   partial.data() + k * slice_px);
+              engine::extract_zmajor_slice(slab->slab.data(),
+                                           plan.geometry.nx, plan.geometry.ny,
+                                           pair_depth, k,
+                                           partial.data() + k * slice_px);
             }
           });
           std::size_t next_slice = 0;
@@ -788,10 +696,10 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
                 const float* src = reduced.data() + next_slice * slice_px;
                 if (stream_open) {
                   // A poisoned stream (write error on THIS volume) refuses
-                  // further slices; volume v fails at finish_stream below
+                  // further slices; volume v fails at finish_volume below
                   // while every other volume keeps flowing.
-                  stream_open = writer->enqueue(
-                      streams[v],
+                  stream_open = writers.enqueue(
+                      v,
                       object_name(volumes[v].output_prefix,
                                   plan.global_slice(row, next_slice)),
                       std::vector<float>(src, src + slice_px));
@@ -807,22 +715,18 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
               partial.size(), mpi::ReduceOp::kSum, /*root=*/0,
               options.reduce_segment_floats, std::move(on_segment), algo);
           reduce_timer.time("reduce", [&] { req.wait(); });
-          assert_tag_budget(tags_before, row_comm.collective_tags_reserved(),
-                            plan.reduce_tag_budget(),
-                            "row-reduce epoch exceeded the plan's tag budget");
+          engine::assert_tag_budget(
+              tags_before, row_comm.collective_tags_reserved(),
+              plan.reduce_tag_budget(),
+              "row-reduce epoch exceeded the plan's tag budget");
           if (col == 0) {
-            try {
-              reduce_timer.time("store",
-                                [&] { writer->finish_stream(streams[v]); });
-            } catch (const std::exception& e) {
-              stats.volume_errors[v] = e.what();
-            }
+            reduce_timer.time("store", [&] {
+              stats.volume_errors[v] = writers.finish_volume(v);
+            });
           }
         }
-        if (writer) {
-          writer->finish();  // all stream errors were claimed above
-          store_busy = writer->busy_seconds();
-        }
+        writers.finish();  // all stream errors were claimed above
+        store_busy = writers.busy_seconds();
       } catch (...) {
         reduce_error = std::current_exception();
         // Unblock a Bp-thread stalled on the slab handoff; the closed queue
@@ -884,7 +788,7 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
           }
           const int row = plan.row_of(rank);
           const int col = plan.col_of(rank);
-          mpi::Comm& col_comm = epoch_comms[v]->col;
+          mpi::Comm& col_comm = epoch_comms.of(v).col;
           const std::uint64_t tags_before =
               col_comm.collective_tags_reserved();
           for (std::size_t t = 0; t < plan.rounds; ++t, ++g) {
@@ -928,9 +832,10 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
           }
           // The fused exchange runs over user tags: its collective budget
           // is zero, and the plan says so.
-          assert_tag_budget(tags_before, col_comm.collective_tags_reserved(),
-                            plan.gather_tag_budget(/*fused=*/true),
-                            "fused gather epoch reserved collective tags");
+          engine::assert_tag_budget(
+              tags_before, col_comm.collective_tags_reserved(),
+              plan.gather_tag_budget(/*fused=*/true),
+              "fused gather epoch reserved collective tags");
         }
         if (have_pending) {
           main_timer.time("allgather",
@@ -952,7 +857,7 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
           const DecompositionPlan& plan = plans[v];
           const int row = plan.row_of(rank);
           const int col = plan.col_of(rank);
-          mpi::Comm& col_comm = epoch_comms[v]->col;
+          mpi::Comm& col_comm = epoch_comms.of(v).col;
           const std::uint64_t tags_before =
               col_comm.collective_tags_reserved();
           for (std::size_t t = 0; t < plan.rounds; ++t, ++g) {
@@ -981,10 +886,10 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
           }
           // All of volume v's rings are initiated (and their tags reserved)
           // by now, even though the last one may still be in flight.
-          assert_tag_budget(tags_before, col_comm.collective_tags_reserved(),
-                            plan.gather_tag_budget(/*fused=*/false),
-                            "column gather epoch exceeded the plan's tag "
-                            "budget");
+          engine::assert_tag_budget(
+              tags_before, col_comm.collective_tags_reserved(),
+              plan.gather_tag_budget(/*fused=*/false),
+              "column gather epoch exceeded the plan's tag budget");
         }
         if (pending.valid()) {
           main_timer.time("allgather", [&] { pending.wait(); });
@@ -1011,50 +916,133 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
     // queue-shutdown symptoms (same policy as run_distributed).
     const std::exception_ptr errors[] = {bp_error, reduce_error, main_error,
                                          filter_error};
-    if (const std::exception_ptr first = pick_root_cause(errors)) {
+    if (const std::exception_ptr first = engine::pick_root_cause(errors)) {
       std::rethrow_exception(first);
     }
     world.barrier();
 
-    stats.wall.merge(filter_timer);
-    stats.wall.merge(bp_timer);
-    stats.wall.merge(main_timer);
-    stats.wall.merge(reduce_timer);
-    stats.wall.set_max("store", store_busy);
-    stats.wall.add("compute", stats.compute);
+    ctx.wall.merge(filter_timer);
+    ctx.wall.merge(bp_timer);
+    ctx.wall.merge(main_timer);
+    ctx.wall.merge(reduce_timer);
+    ctx.wall.set_max("store", store_busy);
+    ctx.wall.add("compute", stats.compute);
     stats.v_h2d = device.virtual_h2d_seconds();
     stats.v_kernel = device.virtual_kernel_seconds();
     stats.v_d2h = device.virtual_d2h_seconds();
-    stats.total = rank_timer.seconds();
-    if (stats.total > 0) {
-      stats.efficiency.add(
+    ctx.total = rank_timer.seconds();
+    if (ctx.total > 0) {
+      ctx.efficiency.add(
           "filter_thread",
           (filter_timer.get("load") + filter_timer.get("filter")) /
-              stats.total);
-      stats.efficiency.add(
+              ctx.total);
+      ctx.efficiency.add(
           "main_thread",
           (main_timer.get("load") + main_timer.get("filter") +
            main_timer.get("allgather")) /
-              stats.total);
-      stats.efficiency.add("bp_thread",
-                           bp_timer.get("backprojection") / stats.total);
-      stats.efficiency.add(
+              ctx.total);
+      ctx.efficiency.add("bp_thread",
+                         bp_timer.get("backprojection") / ctx.total);
+      ctx.efficiency.add(
           "reduce_thread",
           (reduce_timer.get("transpose") + reduce_timer.get("reduce") +
            reduce_timer.get("store")) /
-              stats.total);
-      stats.efficiency.add("store_thread", store_busy / stats.total);
+              ctx.total);
+      ctx.efficiency.add("store_thread", store_busy / ctx.total);
     }
-  });
+  }
 
-  double wall_total = 0;
-  for (const StreamRankStats& rs : rank_stats) {
-    out.wall.max_merge(rs.wall);
-    out.overlap_efficiency.max_merge(rs.efficiency);
+ private:
+  pfs::ParallelFileSystem& fs_;
+  const IfdkOptions& options_;
+  std::span<const JobSpec> volumes_;
+  std::span<const DecompositionPlan> plans_;
+  std::uint64_t max_slab_bytes_;
+  std::uint64_t max_batch_bytes_;
+  std::size_t max_gather_floats_;
+  mpi::ReduceAlgo algo_;
+  std::vector<StreamRankStats> rank_stats_;
+};
+
+/// The single overlapped execution core (Fig. 4a/4b with streaming epochs):
+/// run_streaming validates the jobs and forwards here, and run_distributed's
+/// overlapped path wraps it with a one-volume stream. Callers have already
+/// validated `volumes`; this function builds the per-volume plans and runs
+/// the FDK workload on the engine.
+StreamingStats stream_core(const geo::CbctGeometry& geometry,
+                           pfs::ParallelFileSystem& fs,
+                           const IfdkOptions& options,
+                           std::span<const JobSpec> volumes) {
+  const std::size_t n_volumes = volumes.size();
+  // One DecompositionPlan per volume: the volume's own geometry when set,
+  // the run geometry otherwise. Validation errors name the volume. With
+  // more than one volume the bp/reduce double buffer keeps TWO slab pairs
+  // resident, which the plan's memory-aware row selection accounts for.
+  const std::size_t resident = n_volumes > 1 ? 2 : 1;
+  std::vector<DecompositionPlan> plans;
+  plans.reserve(n_volumes);
+  for (std::size_t v = 0; v < n_volumes; ++v) {
+    plans.push_back(DecompositionPlan::make(
+        volumes[v].geometry.value_or(geometry), options,
+        static_cast<int>(v), resident));
+  }
+
+  StreamingStats out;
+  out.volumes = static_cast<int>(n_volumes);
+  out.fused_filter_gather = options.fuse_filter_gather;
+  out.volume_errors.assign(n_volumes, "");
+  out.plans = plans;
+  // The ONLY place StreamingStats::grid is assigned: always the first
+  // executed plan's grid, so the summary field can never drift from `plans`
+  // (a zero-volume stream still validates the run configuration and reports
+  // the grid it would have used).
+  out.grid = out.plans.empty()
+                 ? DecompositionPlan::make(geometry, options).grid
+                 : out.plans.front().grid;
+  if (n_volumes == 0) {
+    return out;
+  }
+
+  // Stream-level memory constraint: the resident slab pairs span *adjacent*
+  // volumes of possibly different geometries, so the worst case is the
+  // largest slab in the stream, twice, plus the largest batch.
+  std::uint64_t max_slab_bytes = 0;
+  std::uint64_t max_batch_bytes = 0;
+  std::size_t max_gather_floats = 0;  // largest rows * pixels in the stream
+  for (const DecompositionPlan& plan : plans) {
+    max_slab_bytes = std::max(max_slab_bytes, plan.slab_bytes());
+    max_batch_bytes = std::max(
+        max_batch_bytes, static_cast<std::uint64_t>(plan.bp_batch) *
+                             plan.pixels * sizeof(float));
+    max_gather_floats =
+        std::max(max_gather_floats,
+                 static_cast<std::size_t>(plan.grid.rows) * plan.pixels);
+  }
+  if (resident * max_slab_bytes + max_batch_bytes >
+      options.device.memory_bytes) {
+    throw DeviceOutOfMemory(
+        "streaming needs " +
+        std::to_string(resident * max_slab_bytes + max_batch_bytes) +
+        " B of device memory (" + std::to_string(resident) +
+        " resident slab pair(s) of up to " + std::to_string(max_slab_bytes) +
+        " B + a batch of " + std::to_string(max_batch_bytes) +
+        " B) but the device has " +
+        std::to_string(options.device.memory_bytes) + " B");
+  }
+
+  FdkStreamWorkload workload(fs, options, volumes, plans, max_slab_bytes,
+                             max_batch_bytes, max_gather_floats);
+  const engine::EngineStats engine_stats =
+      engine::run(options.ranks, workload);
+
+  out.wall = engine_stats.wall;
+  out.overlap_efficiency = engine_stats.efficiency;
+  const double wall_total = engine_stats.wall_total;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(options.ranks); ++r) {
+    const StreamRankStats& rs = workload.rank_stats(r);
     out.device_model.set_max("v_h2d", rs.v_h2d);
     out.device_model.set_max("v_kernel", rs.v_kernel);
     out.device_model.set_max("v_d2h", rs.v_d2h);
-    wall_total = std::max(wall_total, rs.total);
     for (std::size_t v = 0; v < n_volumes; ++v) {
       if (out.volume_errors[v].empty() && !rs.volume_errors[v].empty()) {
         out.volume_errors[v] = rs.volume_errors[v];
@@ -1080,6 +1068,12 @@ StreamingStats run_streaming(const geo::CbctGeometry& geometry,
   options.validate();
   for (std::size_t v = 0; v < volumes.size(); ++v) {
     volumes[v].validate(static_cast<int>(v));
+    if (volumes[v].workload != WorkloadKind::kFdk) {
+      throw ConfigError("volume " + std::to_string(v) +
+                        ": run_streaming executes FDK jobs only; iterative "
+                        "jobs dispatch through iterative::run_iterative (or "
+                        "the service front door)");
+    }
   }
   return stream_core(geometry, fs, options, volumes);
 }

@@ -57,10 +57,9 @@
 #include "perfmodel/model.h"
 #include "pfs/pfs.h"
 
-// Re-exported request vocabulary: ifdk::JobSpec (and its deprecated alias
-// ifdk::StreamVolume) live in ifdk/job.h so the service layer can name them
-// without pulling in the runtime; framework.h remains the one-stop include
-// for runtime callers.
+// Re-exported request vocabulary: ifdk::JobSpec lives in ifdk/job.h so the
+// service layer can name it without pulling in the runtime; framework.h
+// remains the one-stop include for runtime callers.
 
 namespace ifdk {
 

@@ -21,6 +21,9 @@ void JobSpec::validate(int volume_index) const {
   if (geometry.has_value()) {
     geometry->validate();
   }
+  if (workload == WorkloadKind::kIterative) {
+    iterative.validate(volume_index);
+  }
 }
 
 }  // namespace ifdk

@@ -128,6 +128,32 @@ std::uint64_t DecompositionPlan::reduce_segments() const {
   return (slab_floats() + reduce_segment_floats - 1) / reduce_segment_floats;
 }
 
+std::uint64_t DecompositionPlan::iter_reduce_segments() const {
+  return (volume_floats() + reduce_segment_floats - 1) /
+         reduce_segment_floats;
+}
+
+std::uint64_t DecompositionPlan::iter_iteration_tag_budget(
+    int subsets) const {
+  return static_cast<std::uint64_t>(subsets) * iter_sweep_tag_budget() + 2;
+}
+
+std::uint64_t DecompositionPlan::iter_setup_tag_budget(int subsets) const {
+  return static_cast<std::uint64_t>(subsets) * iter_sweep_tag_budget();
+}
+
+std::uint64_t DecompositionPlan::iter_allreduce_bytes_per_sweep() const {
+  return static_cast<std::uint64_t>(volume_floats()) * sizeof(float);
+}
+
+std::uint64_t DecompositionPlan::iter_device_bytes(int subsets) const {
+  // x + one accumulator + per-subset column norms, all full volumes, plus
+  // this rank's projection shard and its forward-projection scratch.
+  return (2 + static_cast<std::uint64_t>(subsets)) * volume_floats() *
+             sizeof(float) +
+         2 * static_cast<std::uint64_t>(rounds) * pixels * sizeof(float);
+}
+
 std::uint64_t DecompositionPlan::allgather_bytes_per_round() const {
   return static_cast<std::uint64_t>(grid.rows - 1) * pixels * sizeof(float);
 }

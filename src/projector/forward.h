@@ -30,6 +30,8 @@ struct ForwardOptions {
 
 class ForwardProjector {
  public:
+  /// Captures the geometry and sampling options; cheap (no precomputation),
+  /// so a projector can be constructed per view or held for a whole solve.
   ForwardProjector(const geo::CbctGeometry& geometry,
                    ForwardOptions options = {});
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ifdk/framework.h"
+#include "iterative/distributed.h"
 #include "minimpi/minimpi.h"
 
 namespace ifdk::service {
@@ -86,17 +87,34 @@ bool dispatches_before(const std::shared_ptr<JobRecord>& a,
   return a->id < b->id;
 }
 
+/// Effective subset count of an iterative job (MLEM iterates whole sweeps).
+int effective_subsets(const JobSpec& spec) {
+  return spec.iterative.algorithm == iterative::Algorithm::kMlem
+             ? 1
+             : spec.iterative.subsets;
+}
+
 /// Re-sorts the queue into dispatch order and republishes every queued
-/// job's predicted completion from the simulate_stream recurrence over the
-/// queue's plan sequence. Caller holds ServiceState::mu.
+/// job's predicted completion from the mixed-queue recurrence (FDK runs
+/// stream together through simulate_stream; iterative jobs run serially
+/// through simulate_iterative). Caller holds ServiceState::mu.
 void reorder_and_predict_locked(ServiceState& st,
                                 const cluster::SimConfig& sim) {
   std::stable_sort(st.queue.begin(), st.queue.end(), dispatches_before);
-  std::vector<DecompositionPlan> plans;
-  plans.reserve(st.queue.size());
-  for (const auto& job : st.queue) plans.push_back(job->plan);
+  std::vector<cluster::QueuedJob> jobs;
+  jobs.reserve(st.queue.size());
+  for (const auto& job : st.queue) {
+    cluster::QueuedJob q;
+    q.plan = job->plan;
+    if (job->spec.workload == WorkloadKind::kIterative) {
+      q.iterative = true;
+      q.iterations = job->spec.iterative.iterations;
+      q.subsets = effective_subsets(job->spec);
+    }
+    jobs.push_back(std::move(q));
+  }
   const std::vector<double> done =
-      cluster::predict_queue_completion(plans, sim);
+      cluster::predict_queue_completion(jobs, sim);
   for (std::size_t i = 0; i < st.queue.size(); ++i) {
     st.queue[i]->predicted_completion_s = done[i];
   }
@@ -208,43 +226,69 @@ JobHandle ReconService::submit(JobSpec spec) {
   const geo::CbctGeometry& job_geometry =
       spec.geometry.has_value() ? *spec.geometry : geometry_;
 
-  // Admission, phase 1: resolve the decomposition the dispatched stream
+  const bool is_iterative = spec.workload == WorkloadKind::kIterative;
+
+  // Admission, phase 1: resolve the decomposition the dispatched workload
   // would execute. Shape inconsistencies (ranks/Np/Nz) are ConfigErrors —
-  // the caller wrote a bad request, not one that merely does not fit.
+  // the caller wrote a bad request, not one that merely does not fit. An
+  // iterative job replicates the volume (no streaming slab double buffer),
+  // so its plan keeps one resident slab pair.
   const DecompositionPlan plan = DecompositionPlan::make(
-      job_geometry, options_.ifdk, /*volume_index=*/-1, kResidentSlabs);
+      job_geometry, options_.ifdk, /*volume_index=*/-1,
+      is_iterative ? 1 : kResidentSlabs);
 
   // Admission, phase 2: can this plan ever run here? Device fit (§4.1.5,
-  // against the streaming double buffer) and the per-epoch collective tag
-  // budgets against the communicator window. Rejections are typed
+  // against the workload's actual working set) and the per-epoch collective
+  // tag budgets against the communicator window. Rejections are typed
   // AdmissionErrors naming the numbers and are counted, never queued.
   auto reject = [&](const std::string& why) -> AdmissionError {
     std::lock_guard lock(state_->mu);
     ++state_->rejected;
     return AdmissionError("job rejected at admission: " + why);
   };
-  try {
-    plan.check_device_fit(options_.ifdk.device);
-  } catch (const DeviceOutOfMemory& e) {
-    throw reject(e.what());
-  }
   const std::uint64_t window = mpi::Comm::kCollectiveTagWindow;
-  if (plan.reduce_tag_budget() > window) {
-    throw reject(
-        "one row-reduce epoch reserves " +
-        std::to_string(plan.reduce_tag_budget()) +
-        " collective tags but the communicator tag window holds " +
-        std::to_string(window) + "; raise reduce_segment_floats (" +
-        std::to_string(plan.reduce_segment_floats) + ") or rows R (" +
-        std::to_string(plan.grid.rows) + ")");
-  }
-  const std::uint64_t gather_budget =
-      plan.gather_tag_budget(options_.ifdk.fuse_filter_gather);
-  if (gather_budget > window) {
-    throw reject("one column-gather epoch reserves " +
-                 std::to_string(gather_budget) +
-                 " collective tags but the communicator tag window holds " +
-                 std::to_string(window));
+  if (is_iterative) {
+    const int subsets = effective_subsets(spec);
+    if (plan.iter_device_bytes(subsets) > options_.ifdk.device.memory_bytes) {
+      throw reject("iterative job needs " +
+                   std::to_string(plan.iter_device_bytes(subsets)) +
+                   " B of device memory (replicated volume + " +
+                   std::to_string(subsets) +
+                   " column-norm volume(s) + the view shard) but the device "
+                   "has " +
+                   std::to_string(options_.ifdk.device.memory_bytes) + " B");
+    }
+    if (plan.iter_iteration_tag_budget(subsets) > window) {
+      throw reject(
+          "one iterative iteration reserves " +
+          std::to_string(plan.iter_iteration_tag_budget(subsets)) +
+          " collective tags but the communicator tag window holds " +
+          std::to_string(window) + "; raise reduce_segment_floats (" +
+          std::to_string(plan.reduce_segment_floats) + ")");
+    }
+  } else {
+    try {
+      plan.check_device_fit(options_.ifdk.device);
+    } catch (const DeviceOutOfMemory& e) {
+      throw reject(e.what());
+    }
+    if (plan.reduce_tag_budget() > window) {
+      throw reject(
+          "one row-reduce epoch reserves " +
+          std::to_string(plan.reduce_tag_budget()) +
+          " collective tags but the communicator tag window holds " +
+          std::to_string(window) + "; raise reduce_segment_floats (" +
+          std::to_string(plan.reduce_segment_floats) + ") or rows R (" +
+          std::to_string(plan.grid.rows) + ")");
+    }
+    const std::uint64_t gather_budget =
+        plan.gather_tag_budget(options_.ifdk.fuse_filter_gather);
+    if (gather_budget > window) {
+      throw reject("one column-gather epoch reserves " +
+                   std::to_string(gather_budget) +
+                   " collective tags but the communicator tag window holds " +
+                   std::to_string(window));
+    }
   }
 
   auto job = std::make_shared<detail::JobRecord>();
@@ -326,16 +370,20 @@ void ReconService::dispatch_loop() {
       continue;
     }
 
-    // Select the batch: the longest contiguous same-grid prefix of the
-    // dispatch order, capped at max_batch. Contiguity in the *sorted* queue
-    // is what keeps the priority promise — the scheduler never skips a
-    // higher-priority job to pack a warmer batch behind it.
+    // Select the batch: the longest contiguous same-grid, same-workload
+    // prefix of the dispatch order, capped at max_batch. Contiguity in the
+    // *sorted* queue is what keeps the priority promise — the scheduler
+    // never skips a higher-priority job to pack a warmer batch behind it.
+    // FDK batches stream as one run_streaming call; iterative batches
+    // dispatch job by job (each run_iterative is its own world).
     reorder_and_predict_locked(st, options_.sim);
     std::vector<std::shared_ptr<JobRecord>> batch;
     batch.push_back(st.queue.front());
     while (batch.size() < options_.max_batch &&
            batch.size() < st.queue.size() &&
-           st.queue[batch.size()]->plan.same_grid(batch.front()->plan)) {
+           st.queue[batch.size()]->plan.same_grid(batch.front()->plan) &&
+           st.queue[batch.size()]->spec.workload ==
+               batch.front()->spec.workload) {
       batch.push_back(st.queue[batch.size()]);
     }
     st.queue.erase(st.queue.begin(),
@@ -364,24 +412,57 @@ void ReconService::dispatch_loop() {
     st.dispatching = true;
 
     // Execute outside the lock: submit/stats/handles stay responsive while
-    // the stream runs. The batch jobs are out of the queue, so only this
+    // the workload runs. The batch jobs are out of the queue, so only this
     // thread touches them until the re-lock below.
+    const bool iterative_batch =
+        batch.front()->spec.workload == WorkloadKind::kIterative;
     lock.unlock();
     StreamingStats streamed;
     std::string batch_error;
-    try {
-      streamed = run_streaming(geometry_, fs_, options_.ifdk, specs);
-    } catch (const std::exception& e) {
-      // A non-store failure (bad read, aborted world) takes down the whole
-      // dispatch; the failure is isolated to THIS batch — the service keeps
-      // running and later jobs still dispatch.
-      batch_error = e.what();
+    // Per-job outcome of an iterative batch (error "" = stored). Each job
+    // runs its own rank world behind its own try — one diverging solve or
+    // failed store never touches its batch-mates, the service's failure-
+    // isolation promise in iterative form.
+    std::vector<std::string> iter_errors(batch.size());
+    std::vector<perfmodel::GridShape> iter_grids(batch.size());
+    std::vector<StageTimer> iter_walls(batch.size());
+    if (iterative_batch) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        try {
+          const iterative::IterStats run =
+              iterative::run_iterative(geometry_, fs_, options_.ifdk,
+                                       specs[i]);
+          iter_grids[i] = run.grid;
+          iter_walls[i] = run.wall;
+        } catch (const std::exception& e) {
+          iter_errors[i] = e.what();
+          iter_grids[i] = batch[i]->plan.grid;
+        }
+      }
+    } else {
+      try {
+        streamed = run_streaming(geometry_, fs_, options_.ifdk, specs);
+      } catch (const std::exception& e) {
+        // A non-store failure (bad read, aborted world) takes down the whole
+        // dispatch; the failure is isolated to THIS batch — the service
+        // keeps running and later jobs still dispatch.
+        batch_error = e.what();
+      }
     }
     lock.lock();
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       JobRecord& job = *batch[i];
-      if (!batch_error.empty()) {
+      if (iterative_batch) {
+        if (!iter_errors[i].empty()) {
+          job.state = JobState::kFailed;
+          job.error = iter_errors[i];
+        } else {
+          job.state = JobState::kStored;
+        }
+        job.grid = iter_grids[i];
+        job.wall = iter_walls[i];
+      } else if (!batch_error.empty()) {
         job.state = JobState::kFailed;
         job.error = batch_error;
       } else if (!streamed.volume_errors[i].empty()) {
@@ -392,7 +473,7 @@ void ReconService::dispatch_loop() {
       } else {
         job.state = JobState::kStored;
       }
-      if (batch_error.empty()) {
+      if (!iterative_batch && batch_error.empty()) {
         job.grid = streamed.plans[i].grid;
         job.wall = streamed.wall;
       }

@@ -1,6 +1,10 @@
 // Reconstruction-as-a-service: the multi-tenant job scheduler front door
-// over the plan layer (src/ifdk/plan.h) and the streaming runtime
-// (ifdk::run_streaming).
+// over the plan layer (src/ifdk/plan.h) and both engine workloads — the
+// streaming FDK runtime (ifdk::run_streaming) and the distributed iterative
+// solvers (iterative::run_iterative). JobSpec::workload selects which one
+// runs a job; both kinds ride one queue, one dispatch order, and one
+// prediction model (cluster::predict_queue_completion over the mixed
+// queue).
 //
 // A ReconService owns ONE rank world worth of configuration and a background
 // dispatch loop. Callers submit(JobSpec) — the job-centric request type the
@@ -21,9 +25,10 @@
 //   * Batching: queued jobs are ordered by priority (higher first), then
 //     earliest deadline within a priority band (EDF; a deadline can never
 //     promote a job past a higher band), then submit order. The dispatcher
-//     hands the longest contiguous same-grid prefix of that order to
-//     run_streaming as one stream, so compatible jobs ride warm same-grid
-//     communicators instead of re-splitting per job.
+//     hands the longest contiguous same-grid, same-workload prefix of that
+//     order to one dispatch: FDK batches stream through run_streaming on
+//     warm same-grid communicators; iterative batches execute job by job
+//     through run_iterative, each behind its own failure barrier.
 //   * Prediction: whenever the queue changes, the live queue's plan sequence
 //     is fed through cluster::predict_queue_completion (the simulate_stream
 //     recurrence) and every queued job's predicted completion is published

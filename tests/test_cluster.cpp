@@ -325,6 +325,77 @@ TEST(SimulatorStream, RejectsMixedRankCounts) {
   EXPECT_THROW(simulate_stream(plans), ifdk::ConfigError);
 }
 
+// ---- Iterate-loop recurrence ------------------------------------------------
+
+TEST(SimulatorIterative, PhasesComposeAndScaleWithIterationsSubsetsRanks) {
+  const DecompositionPlan plan = make_plan(problem_2k(), 128);
+  const IterSimResult five = simulate_iterative(plan, 5, 1);
+  EXPECT_GT(five.t_setup, 0.0);
+  EXPECT_GT(five.t_iteration, 0.0);
+  EXPECT_GT(five.t_total, five.t_setup + 5 * five.t_iteration);
+
+  // The recurrence is linear in the iteration count: five more iterations
+  // cost exactly five more t_iteration.
+  const IterSimResult ten = simulate_iterative(plan, 10, 1);
+  EXPECT_DOUBLE_EQ(ten.t_iteration, five.t_iteration);
+  EXPECT_DOUBLE_EQ(ten.t_total - five.t_total, 5 * five.t_iteration);
+
+  // More subsets = same compute per iteration but one volume all-reduce per
+  // sweep instead of one total: strictly more collective time.
+  const IterSimResult os = simulate_iterative(plan, 5, 4);
+  EXPECT_GT(os.t_iteration, five.t_iteration);
+
+  // More ranks shrink the per-rank view share, so the compute-dominated
+  // iteration shortens.
+  const IterSimResult wide = simulate_iterative(make_plan(problem_2k(), 512),
+                                                5, 1);
+  EXPECT_LT(wide.t_iteration, five.t_iteration);
+
+  // One rank: the all-reduce degenerates to a local copy (free), so the
+  // single-subset iteration is pure compute.
+  IfdkOptions solo;
+  solo.ranks = 1;
+  solo.rows = 1;
+  const DecompositionPlan p1 = DecompositionPlan::make(
+      geo::make_standard_geometry({{64, 64, 8}, {32, 32, 32}}), solo);
+  const IterSimResult single = simulate_iterative(p1, 3, 1);
+  EXPECT_GT(single.t_iteration, 0.0);
+}
+
+TEST(SimulatorQueue, MixedQueueComposesStreamsAndSerialIterativeJobs) {
+  const DecompositionPlan plan = make_plan(problem_2k(), 128);
+
+  // An all-FDK queue predicts exactly what the plan-span overload predicts.
+  const std::vector<QueuedJob> all_fdk = {{plan}, {plan}, {plan}};
+  const std::vector<DecompositionPlan> plans = {plan, plan, plan};
+  const std::vector<double> mixed_entry =
+      predict_queue_completion(std::span<const QueuedJob>(all_fdk));
+  const std::vector<double> plan_entry =
+      predict_queue_completion(std::span<const DecompositionPlan>(plans));
+  ASSERT_EQ(mixed_entry.size(), plan_entry.size());
+  for (std::size_t i = 0; i < plan_entry.size(); ++i) {
+    EXPECT_DOUBLE_EQ(mixed_entry[i], plan_entry[i]) << "job " << i;
+  }
+
+  // FDK, ITER, FDK: the iterative job runs serially between the two FDK
+  // streams, so each completion is the running clock plus that job's own
+  // recurrence — and the order is strictly increasing.
+  const std::vector<QueuedJob> mixed = {
+      {plan}, {plan, /*iterative=*/true, /*iterations=*/4, /*subsets=*/2},
+      {plan}};
+  const std::vector<double> done =
+      predict_queue_completion(std::span<const QueuedJob>(mixed));
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_GT(done[0], 0.0);
+  EXPECT_LT(done[0], done[1]);
+  EXPECT_LT(done[1], done[2]);
+  const StreamSimResult solo_fdk = simulate_stream({&plan, 1});
+  const IterSimResult iter = simulate_iterative(plan, 4, 2);
+  EXPECT_DOUBLE_EQ(done[1], solo_fdk.t_total + iter.t_total);
+  EXPECT_DOUBLE_EQ(done[2],
+                   solo_fdk.t_total + iter.t_total + solo_fdk.t_total);
+}
+
 TEST(Platforms, Dgx2ReasonableForFourKAndFastForTwoK) {
   // Section 6.2.2 claims 4K "within a minute" on a DGX-2; our model, which
   // charges the two sequential slab passes a 16-GPU box needs for R=32,

@@ -1,12 +1,16 @@
-// Forward projector tests: trilinear sampling, agreement with the analytic
-// ellipsoid projector, and the adjoint-consistency property the iterative
-// solvers depend on.
+// Forward projector tests: trilinear sampling (including the interp2-style
+// border cases), agreement with the analytic ellipsoid projector, and the
+// projector/back-projector consistency property the iterative solvers'
+// normalizations depend on: A*1 and B*1 finite and positive over randomized
+// geometries.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "common/math_util.h"
 #include "geometry/cbct.h"
+#include "iterative/iterative.h"
 #include "phantom/phantom.h"
 #include "projector/forward.h"
 
@@ -114,6 +118,96 @@ TEST(ForwardProjector, FinerStepsConverge) {
     peak = std::max(peak, std::abs(static_cast<double>(pf.data()[n])));
   }
   EXPECT_LT(err / peak, 0.03);
+}
+
+TEST(TrilinearSample, BorderCasesClampAndCutOff) {
+  // interp2-style border semantics: the sampler is defined ON the closed
+  // index box [0, n-1] (the +1 neighbor clamps, so its weight never reads
+  // past the edge) and exactly zero strictly outside it.
+  Volume v(3, 3, 3, VolumeLayout::kXMajor, false);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        v.at(i, j, k) = static_cast<float>(1 + i + 10 * j + 100 * k);
+      }
+    }
+  }
+  // Exactly on the far corner: the clamped +1 neighbors carry zero weight,
+  // so the corner voxel comes back exactly.
+  EXPECT_FLOAT_EQ(ForwardProjector::sample(v, 2, 2, 2), v.at(2, 2, 2));
+  EXPECT_FLOAT_EQ(ForwardProjector::sample(v, 2, 0, 0), v.at(2, 0, 0));
+  // Just inside the far edge: interpolates the last voxel pair, no
+  // out-of-bounds read, finite value between the neighbors.
+  const float near_edge = ForwardProjector::sample(v, 1.75, 2, 2);
+  EXPECT_TRUE(std::isfinite(near_edge));
+  EXPECT_GT(near_edge, v.at(1, 2, 2));
+  EXPECT_LT(near_edge, v.at(2, 2, 2));
+  // Strictly outside — even by a hair — is exactly zero on every axis.
+  EXPECT_EQ(ForwardProjector::sample(v, 2.001, 1, 1), 0.0f);
+  EXPECT_EQ(ForwardProjector::sample(v, 1, 2.001, 1), 0.0f);
+  EXPECT_EQ(ForwardProjector::sample(v, 1, 1, 2.001), 0.0f);
+  EXPECT_EQ(ForwardProjector::sample(v, -0.001, 1, 1), 0.0f);
+  EXPECT_EQ(ForwardProjector::sample(v, 1, -0.001, 1), 0.0f);
+  EXPECT_EQ(ForwardProjector::sample(v, 1, 1, -0.001), 0.0f);
+}
+
+TEST(OperatorConsistency, ForwardAndBackProjectionOfOnesArePositiveFinite) {
+  // The property the SART/MLEM normalizations stand on: the row norms A*1
+  // (forward projection of an all-ones volume) and the column norms B*1
+  // (unweighted back-projection of an all-ones view) must be finite and
+  // non-negative everywhere, and strictly positive where a ray/voxel can
+  // see the object — over RANDOMIZED geometries, not one blessed shape.
+  // Detector corners are exempt from strict positivity: a corner ray can
+  // legitimately miss the volume's bounding box entirely (A*1 = 0 there),
+  // which is why the solvers guard the division with an epsilon.
+  std::mt19937 rng(20260808);
+  const auto pick = [&rng](std::size_t lo, std::size_t hi) {
+    return std::uniform_int_distribution<std::size_t>(lo, hi)(rng);
+  };
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t nu = 2 * pick(12, 20);  // even detector sizes
+    const std::size_t nv = 2 * pick(12, 20);
+    const std::size_t np = 2 * pick(2, 6);
+    const geo::CbctGeometry g = geo::make_standard_geometry(
+        {{nu, nv, np}, {pick(10, 20), pick(10, 20), pick(10, 20)}});
+    const std::size_t s = pick(0, np - 1);
+    const double beta = g.beta(s);
+    const std::string context = "trial " + std::to_string(trial) + ", " +
+                                std::to_string(nu) + "x" +
+                                std::to_string(nv) + " det, beta index " +
+                                std::to_string(s);
+
+    // A*1: ray integrals through an all-ones volume.
+    Volume ones(g.nx, g.ny, g.nz, VolumeLayout::kXMajor, false);
+    ones.fill(1.0f);
+    const Image2D row_norm = ForwardProjector(g).project(ones, beta);
+    for (std::size_t n = 0; n < row_norm.pixels(); ++n) {
+      ASSERT_TRUE(std::isfinite(row_norm.data()[n]))
+          << context << ", pixel " << n;
+      ASSERT_GE(row_norm.data()[n], 0.0f) << context << ", pixel " << n;
+    }
+    // The central detector quarter looks straight through the volume: every
+    // ray there intersects it, so its norm is strictly positive.
+    for (std::size_t v = 3 * nv / 8; v < 5 * nv / 8; ++v) {
+      for (std::size_t u = 3 * nu / 8; u < 5 * nu / 8; ++u) {
+        ASSERT_GT(row_norm.at(u, v), 0.0f)
+            << context << ", central pixel (" << u << ", " << v << ")";
+      }
+    }
+
+    // B*1: unweighted back-projection of an all-ones view. The standard
+    // geometry's detector covers the magnified volume footprint, so EVERY
+    // voxel projects inside it and its column norm is strictly positive.
+    Image2D ones_view(nu, nv, false);
+    ones_view.fill(1.0f);
+    Volume col_norm(g.nx, g.ny, g.nz);
+    iterative::backproject_unweighted(g, ones_view, beta, col_norm);
+    for (std::size_t n = 0; n < col_norm.voxels(); ++n) {
+      ASSERT_TRUE(std::isfinite(col_norm.data()[n]))
+          << context << ", voxel " << n;
+      ASSERT_GT(col_norm.data()[n], 0.0f) << context << ", voxel " << n;
+    }
+  }
 }
 
 TEST(ForwardProjector, RejectsWrongLayoutOrDims) {

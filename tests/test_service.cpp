@@ -18,6 +18,7 @@
 #include "common/error.h"
 #include "common/math_util.h"
 #include "ifdk/framework.h"
+#include "iterative/distributed.h"
 #include "phantom/phantom.h"
 #include "service/recon_service.h"
 
@@ -348,6 +349,96 @@ TEST(ServiceAcceptance, MixedPriorityJobsMatchSequentialBitwise) {
   // Per-job IfdkStats-like timings: the stream that carried the job.
   EXPECT_GT(handles[0].wall().get("backprojection"), 0.0);
   EXPECT_GE(handles[0].queue_latency_s(), 0.0);
+}
+
+TEST(ServiceAcceptance, MixedFdkAndIterativeQueueWithFailureIsolation) {
+  // The mixed-workload acceptance run: FDK and iterative jobs ride ONE
+  // queue. The dispatcher may only batch a same-workload prefix — submit
+  // order FDK, ITER, FDK, ITER, ITER must dispatch as four batches
+  // {0}, {1}, {2}, {3, 4} — every job gets a predicted completion from the
+  // mixed-queue recurrence before anything runs, an injected PFS write
+  // failure on one iterative job fails only that job (its iterative
+  // batch-mate still stores), and every healthy job's volume is
+  // bitwise-identical to a direct run_distributed / run_iterative call.
+  const auto g = small_geometry();
+  IfdkOptions run_opts;
+  run_opts.ranks = 4;
+  run_opts.rows = 2;
+
+  std::vector<ServiceJob> jobs;
+  for (std::size_t i = 0; i < 5; ++i) jobs.push_back(make_job(i, g));
+  for (const std::size_t iter_job : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{4}}) {
+    jobs[iter_job].spec.workload = WorkloadKind::kIterative;
+    jobs[iter_job].spec.iterative.iterations = 2;
+  }
+  jobs[4].spec.iterative.algorithm = iterative::Algorithm::kMlem;
+
+  // The references: sequential FDK runs plus direct run_iterative calls
+  // with the identical options (both are deterministic, so "same entry
+  // point, no scheduler" is the bitwise yardstick).
+  pfs::ParallelFileSystem fs_ref;
+  stage_jobs(fs_ref, jobs);
+  for (const std::size_t fdk_job : {std::size_t{0}, std::size_t{2}}) {
+    IfdkOptions o = run_opts;
+    o.input_prefix = jobs[fdk_job].spec.input_prefix;
+    o.output_prefix = jobs[fdk_job].spec.output_prefix;
+    run_distributed(g, fs_ref, o);
+  }
+  for (const std::size_t iter_job : {std::size_t{1}, std::size_t{4}}) {
+    iterative::run_iterative(g, fs_ref, run_opts, jobs[iter_job].spec);
+  }
+
+  VolumeWriteFailFs fs(jobs[3].spec.output_prefix);
+  stage_jobs(fs, jobs);
+  ServiceOptions opts;
+  opts.ifdk = run_opts;
+  opts.start_paused = true;  // collect the whole mixed queue first
+  ReconService svc(g, fs, opts);
+  std::vector<JobHandle> handles;
+  for (const ServiceJob& job : jobs) handles.push_back(svc.submit(job.spec));
+
+  // Per-job predicted completions over the MIXED queue, before anything
+  // runs: positive and nondecreasing along the dispatch order.
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_GT(handles[i].predicted_completion_s(), 0.0) << "job " << i;
+    if (i > 0) {
+      EXPECT_GE(handles[i].predicted_completion_s(),
+                handles[i - 1].predicted_completion_s())
+          << "job " << i;
+    }
+  }
+  svc.drain();
+
+  // Same priority everywhere: dispatch order is submit order, but the
+  // workload boundary splits it into four batches (the FDK singletons, the
+  // iterative singleton, and the iterative pair).
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_EQ(handles[i].dispatch_seq(), static_cast<int>(i));
+  }
+  EXPECT_EQ(svc.stats().batches, 4u);
+
+  for (const std::size_t healthy : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{2}, std::size_t{4}}) {
+    EXPECT_EQ(handles[healthy].state(), JobState::kStored)
+        << "job " << healthy << ": " << handles[healthy].error();
+    expect_bitwise_equal_job(fs_ref, fs, jobs[healthy],
+                             "mixed-queue job " + std::to_string(healthy));
+  }
+  // The poisoned iterative job failed alone — its batch-mate (job 4, same
+  // iterative batch) and every FDK job stored bit-exactly above.
+  EXPECT_EQ(handles[3].state(), JobState::kFailed);
+  EXPECT_NE(handles[3].error().find("injected PFS write failure"),
+            std::string::npos)
+      << handles[3].error();
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.stored, 4u);
+  EXPECT_EQ(stats.failed, 1u);
+  // Iterative handles publish the grid their plan resolved, like FDK ones.
+  EXPECT_EQ(handles[1].grid().rows, 2);
+  EXPECT_EQ(handles[1].grid().columns, 2);
 }
 
 // ---- Validation consolidation ----------------------------------------------

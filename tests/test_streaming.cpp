@@ -41,7 +41,7 @@ phantom::Phantom frame_phantom(double phase) {
 struct StreamScene {
   geo::CbctGeometry g;
   std::vector<std::vector<Image2D>> frames;  ///< per-volume projections
-  std::vector<StreamVolume> volumes;         ///< per-volume I/O prefixes
+  std::vector<JobSpec> volumes;         ///< per-volume I/O prefixes
 };
 
 StreamScene make_stream_scene(std::size_t n_volumes) {
@@ -52,7 +52,7 @@ StreamScene make_stream_scene(std::size_t n_volumes) {
     const double phase =
         static_cast<double>(v) / static_cast<double>(n_volumes);
     s.frames.push_back(phantom::project_all(frame_phantom(phase), s.g));
-    s.volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
+    s.volumes.push_back(JobSpec{"in" + std::to_string(v) + "/",
                                      "out" + std::to_string(v) + "/slice_",
                                      {}});
   }
@@ -68,7 +68,7 @@ void stage_all(pfs::ParallelFileSystem& fs, const StreamScene& s) {
 /// The sequential reference: one run_distributed per volume, same options.
 void run_sequential(const StreamScene& s, pfs::ParallelFileSystem& fs,
                     IfdkOptions options) {
-  for (const StreamVolume& vol : s.volumes) {
+  for (const JobSpec& vol : s.volumes) {
     options.input_prefix = vol.input_prefix;
     options.output_prefix = vol.output_prefix;
     run_distributed(s.g, fs, options);
@@ -231,7 +231,7 @@ TEST(Streaming, ZeroVolumesIsANoOp) {
   opts.ranks = 2;
   opts.rows = 1;
   const StreamingStats stats =
-      run_streaming(s.g, fs, opts, std::span<const StreamVolume>{});
+      run_streaming(s.g, fs, opts, std::span<const JobSpec>{});
   EXPECT_EQ(stats.volumes, 0);
   EXPECT_EQ(stats.wall_total, 0.0);
 }
@@ -249,11 +249,11 @@ TEST(Streaming, RejectsInvalidDecompositions) {
 // ---- Mixed-geometry streaming ---------------------------------------------
 
 /// A heterogeneous 4D-CT stream: volume v carries its own geometry (set on
-/// StreamVolume::geometry) and its own moving-phantom projections.
+/// JobSpec::geometry) and its own moving-phantom projections.
 struct MixedScene {
   std::vector<geo::CbctGeometry> geoms;
   std::vector<std::vector<Image2D>> frames;
-  std::vector<StreamVolume> volumes;
+  std::vector<JobSpec> volumes;
 };
 
 MixedScene make_mixed_scene(std::span<const Problem> problems) {
@@ -264,7 +264,7 @@ MixedScene make_mixed_scene(std::span<const Problem> problems) {
     s.geoms.push_back(geo::make_standard_geometry(problems[v]));
     s.frames.push_back(phantom::project_all(frame_phantom(phase),
                                             s.geoms.back()));
-    s.volumes.push_back(StreamVolume{"in" + std::to_string(v) + "/",
+    s.volumes.push_back(JobSpec{"in" + std::to_string(v) + "/",
                                      "out" + std::to_string(v) + "/slice_",
                                      s.geoms.back()});
   }
@@ -397,7 +397,7 @@ TEST(MixedGeometryStreaming, ConfigErrorsNameTheOffendingVolume) {
   // alone: the volume index and the offending values are all named.
   const StreamScene good = make_stream_scene(1);
   const auto expect_stream_error =
-      [&](const std::vector<StreamVolume>& volumes, const IfdkOptions& opts,
+      [&](const std::vector<JobSpec>& volumes, const IfdkOptions& opts,
           std::initializer_list<const char*> fragments) {
         pfs::ParallelFileSystem fs;
         try {
@@ -417,24 +417,24 @@ TEST(MixedGeometryStreaming, ConfigErrorsNameTheOffendingVolume) {
   opts.rows = 2;
 
   // Volume 1's Nz is not divisible by 2*rows.
-  std::vector<StreamVolume> bad_nz = {
-      StreamVolume{"in0/", "out0/slice_", {}},
-      StreamVolume{"in1/", "out1/slice_",
+  std::vector<JobSpec> bad_nz = {
+      JobSpec{"in0/", "out0/slice_", {}},
+      JobSpec{"in1/", "out1/slice_",
                    geo::make_standard_geometry({{32, 32, 16}, {12, 12, 18}})}};
   expect_stream_error(bad_nz, opts, {"volume 1", "Nz (18)", "2*rows (4)"});
 
   // Volume 2's Np does not divide across the ranks.
-  std::vector<StreamVolume> bad_np = {
-      StreamVolume{"in0/", "out0/slice_", {}},
-      StreamVolume{"in1/", "out1/slice_", {}},
-      StreamVolume{"in2/", "out2/slice_",
+  std::vector<JobSpec> bad_np = {
+      JobSpec{"in0/", "out0/slice_", {}},
+      JobSpec{"in1/", "out1/slice_", {}},
+      JobSpec{"in2/", "out2/slice_",
                    geo::make_standard_geometry({{32, 32, 10}, {12, 12, 12}})}};
   expect_stream_error(bad_np, opts, {"volume 2", "Np (10)", "ranks=4"});
 
   // A ranks/rows mismatch fails on the first volume, by name.
   IfdkOptions bad_ranks = opts;
   bad_ranks.ranks = 3;
-  expect_stream_error({StreamVolume{"in0/", "out0/slice_", {}}}, bad_ranks,
+  expect_stream_error({JobSpec{"in0/", "out0/slice_", {}}}, bad_ranks,
                       {"volume 0", "ranks (3)", "row count R (2)"});
 }
 

@@ -8,8 +8,10 @@
 #    skipped; #fragments are stripped before the existence check).
 # 2. Header contracts: every public function declaration in the refactored
 #    layers' headers (src/minimpi, src/ifdk — including the plan layer
-#    src/ifdk/plan.h — src/pfs, src/cluster, which consumes the plan, and
-#    src/service, the scheduler front door over it) must carry a doc
+#    src/ifdk/plan.h — src/pfs, src/cluster, which consumes the plan,
+#    src/service, the scheduler front door over it, src/engine, the
+#    execution engine beneath both workloads, src/iterative, the second
+#    workload, and src/projector, its forward operator) must carry a doc
 #    comment on the line above (grep/awk heuristic:
 #    two-space-indented class members and column-0 free functions;
 #    move/copy boilerplate, destructors and `= default/delete` lines are
@@ -76,7 +78,8 @@ check_header() {
 }
 
 for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h \
-              src/service/*.h; do
+              src/service/*.h src/engine/*.h src/iterative/*.h \
+              src/projector/*.h; do
   if ! check_header "$header"; then
     fail=1
   fi
