@@ -5,6 +5,8 @@
 // against.
 //
 // Usage: bench_smoke [output.json]   (default: BENCH_smoke.json in $PWD)
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -18,6 +20,7 @@
 #include "ifdk/framework.h"
 #include "iterative/distributed.h"
 #include "pfs/pfs.h"
+#include "postproc/compression.h"
 #include "service/recon_service.h"
 
 namespace {
@@ -75,6 +78,92 @@ StreamingResult time_streaming(const bench::Scene& scene, int runs) {
   r.volumes_per_second =
       r.seconds > 0.0 ? static_cast<double>(r.volumes) / r.seconds : 0.0;
   r.efficiency = last.overlap_efficiency;
+  return r;
+}
+
+/// Compression smoke point: the streaming run with the framed wire codec
+/// and the quantized store codec both on — achieved wire/store ratios and
+/// the worst per-volume store PSNR — plus raw encode/decode throughput of
+/// the lossless frame codec on projection data (the numbers the Section 8
+/// "compression" trajectory is plotted against).
+struct CompressionResult {
+  int ranks = 4;
+  int rows = 2;
+  int volumes = 2;
+  int store_bits = 12;
+  double seconds = 0.0;
+  std::size_t wire_raw_bytes = 0;
+  std::size_t wire_encoded_bytes = 0;
+  std::size_t store_raw_bytes = 0;
+  std::size_t store_stored_bytes = 0;
+  double wire_ratio = 1.0;
+  double store_ratio = 1.0;
+  double min_store_psnr_db = 0.0;
+  double encode_mb_per_s = 0.0;
+  double decode_mb_per_s = 0.0;
+};
+
+CompressionResult time_compression(const bench::Scene& scene, int runs) {
+  CompressionResult r;
+  IfdkOptions opts;
+  opts.ranks = r.ranks;
+  opts.rows = r.rows;
+  opts.compress_wire = true;
+  std::vector<JobSpec> volumes;
+  for (int v = 0; v < r.volumes; ++v) {
+    JobSpec spec{"in" + std::to_string(v) + "/",
+                 "cmp_out" + std::to_string(v) + "/slice_",
+                 {}};
+    spec.compress_store = true;
+    spec.store_bits = r.store_bits;
+    volumes.push_back(std::move(spec));
+  }
+  StreamingStats last;
+  r.seconds = bench::median_seconds(runs, [&] {
+    pfs::ParallelFileSystem fs;
+    for (const JobSpec& vol : volumes) {
+      stage_projections(fs, vol.input_prefix, scene.projections);
+    }
+    last = run_streaming(scene.g, fs, opts, volumes);
+  });
+  r.wire_raw_bytes = last.wire_raw_bytes;
+  r.wire_encoded_bytes = last.wire_encoded_bytes;
+  r.store_raw_bytes = last.store_raw_bytes;
+  r.store_stored_bytes = last.store_stored_bytes;
+  r.wire_ratio = last.wire_ratio();
+  r.store_ratio = last.store_ratio();
+  r.min_store_psnr_db = 0.0;
+  for (std::size_t v = 0; v < last.volume_store_psnr_db.size(); ++v) {
+    const double psnr = last.volume_store_psnr_db[v];
+    if (std::isfinite(psnr) &&
+        (r.min_store_psnr_db == 0.0 || psnr < r.min_store_psnr_db)) {
+      r.min_store_psnr_db = psnr;
+    }
+  }
+
+  // Raw lossless-codec throughput on real projection data (one frame per
+  // projection, the wire-path granularity).
+  const double enc_s = bench::median_seconds(runs, [&] {
+    for (const Image2D& p : scene.projections) {
+      postproc::encode_frame(p.data(), p.pixels());
+    }
+  });
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const Image2D& p : scene.projections) {
+    frames.push_back(postproc::encode_frame(p.data(), p.pixels()));
+  }
+  std::vector<float> decoded(scene.projections[0].pixels());
+  const double dec_s = bench::median_seconds(runs, [&] {
+    for (std::size_t n = 0; n < frames.size(); ++n) {
+      postproc::decode_frame(frames[n].data(), frames[n].size(),
+                             decoded.data(), decoded.size());
+    }
+  });
+  const double mb = static_cast<double>(scene.projections.size()) *
+                    static_cast<double>(decoded.size()) * sizeof(float) /
+                    1048576.0;
+  r.encode_mb_per_s = enc_s > 0.0 ? mb / enc_s : 0.0;
+  r.decode_mb_per_s = dec_s > 0.0 ? mb / dec_s : 0.0;
   return r;
 }
 
@@ -257,6 +346,10 @@ int main(int argc, char** argv) {
   // Iterative-workload smoke point: 2 SART iterations on the same 2x2 world.
   const IterativeResult iter = time_iterative(scene, 3);
 
+  // Compression smoke point: the same streaming world with the framed wire
+  // codec and the 12-bit quantized store both on.
+  const CompressionResult comp = time_compression(scene, 3);
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_smoke: cannot open %s for writing\n",
@@ -346,6 +439,26 @@ int main(int argc, char** argv) {
                iter.stats.wall.get("backproject"),
                iter.stats.wall.get("allreduce"), iter.stats.wall.get("update"),
                iter.stats.wall.get("store"));
+  std::fprintf(out,
+               "  \"compression\": {\n"
+               "    \"ranks\": %d, \"rows\": %d, \"volumes\": %d,\n"
+               "    \"store_bits\": %d,\n"
+               "    \"seconds\": %.6f,\n"
+               "    \"wire_raw_bytes\": %zu,\n"
+               "    \"wire_encoded_bytes\": %zu,\n"
+               "    \"wire_ratio\": %.4f,\n"
+               "    \"store_raw_bytes\": %zu,\n"
+               "    \"store_stored_bytes\": %zu,\n"
+               "    \"store_ratio\": %.4f,\n"
+               "    \"min_store_psnr_db\": %.2f,\n"
+               "    \"encode_mb_per_s\": %.2f,\n"
+               "    \"decode_mb_per_s\": %.2f\n"
+               "  },\n",
+               comp.ranks, comp.rows, comp.volumes, comp.store_bits,
+               comp.seconds, comp.wire_raw_bytes, comp.wire_encoded_bytes,
+               comp.wire_ratio, comp.store_raw_bytes, comp.store_stored_bytes,
+               comp.store_ratio, comp.min_store_psnr_db, comp.encode_mb_per_s,
+               comp.decode_mb_per_s);
 
   // The resolved decomposition of the pipeline/streaming points above: the
   // same DecompositionPlan object the runtime consumed, recorded so the
@@ -437,6 +550,13 @@ int main(int argc, char** argv) {
               svc.jobs, svc.rows, svc.ranks / svc.rows, svc.seconds,
               svc.jobs_per_second, svc.mean_queue_latency_s, svc.rejected,
               svc.resplits);
+  std::printf("  compression %d volumes through %dx%d: wire ratio %.3f, "
+              "store ratio %.3f @ %d bits (min PSNR %.1f dB); "
+              "codec %.1f MB/s encode, %.1f MB/s decode\n",
+              comp.volumes, comp.rows, comp.ranks / comp.rows,
+              comp.wire_ratio, comp.store_ratio, comp.store_bits,
+              comp.min_store_psnr_db, comp.encode_mb_per_s,
+              comp.decode_mb_per_s);
   std::printf("  iterative %s x%d through %dx%d: %.3f s (%.2f iter/s); "
               "residual %.4f -> %.4f\n",
               iter.stats.algorithm.c_str(), iter.stats.iterations_run,

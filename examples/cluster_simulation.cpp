@@ -77,11 +77,11 @@ int main(int argc, char** argv) {
   // simulator never re-derives the decomposition.
   const int stream_frames = cli.get_int("stream-frames");
   const int stream_ranks = 2048;
+  std::vector<DecompositionPlan> plans;  // reused by the compression forecast
   if (stream_frames > 0) {
     IfdkOptions plan_opts;
     plan_opts.ranks = stream_ranks;
     plan_opts.rows = 0;  // per-frame Eq. (7) + streaming double buffer
-    std::vector<DecompositionPlan> plans;
     for (int f = 0; f < stream_frames; ++f) {
       const Problem frame{{2048, 2048, np}, {n, n, f % 2 == 0 ? n : n / 2}};
       plans.push_back(DecompositionPlan::make(
@@ -147,6 +147,13 @@ int main(int argc, char** argv) {
     // Full frames resolve R=2, scouts R=1: real re-splits, tiny scale.
     sopts.microbench.sub_volume_bytes =
         volumes[0].geometry->problem().out.bytes() / 2 + 1;
+    // Compression on for the small run: its measured ratios feed the
+    // at-scale forecast below.
+    sopts.compress_wire = true;
+    for (JobSpec& vol : volumes) {
+      vol.compress_store = true;
+      vol.store_bits = 12;
+    }
     const StreamingStats measured = run_streaming(g, sfs, sopts, volumes);
     const cluster::StreamSimResult predicted =
         cluster::simulate_stream(measured.plans);
@@ -158,6 +165,32 @@ int main(int argc, char** argv) {
         measured.plans[0].grid.columns, measured.plans[1].grid.rows,
         measured.plans[1].grid.columns, measured.volumes_per_second,
         predicted.volumes_per_second);
+
+    // ---- compression forecast at ABCI scale -------------------------------
+    // Feed the MEASURED wire/store ratios of the small run into the
+    // simulator's byte discounts and replay the 2,048-rank plan sequence
+    // from the forecast above: the reduce phase moves bytes/wire_ratio and
+    // the store phase writes bytes/store_ratio, so the delta is the
+    // predicted bytes-on-the-wire win of Section 8's compression plan.
+    if (!plans.empty()) {
+      cluster::SimConfig discounted;
+      discounted.wire_compression_ratio = measured.wire_ratio();
+      discounted.store_compression_ratio = measured.store_ratio();
+      const cluster::StreamSimResult raw = cluster::simulate_stream(plans);
+      const cluster::StreamSimResult cmp =
+          cluster::simulate_stream(plans, discounted);
+      std::printf(
+          "\ncompression forecast at %d ranks (measured wire ratio %.3f, "
+          "store ratio %.3f @ 12 bits, PSNR %.1f dB):\n"
+          "  raw store+wire:  %.3f volumes/s (%.1f s for the series)\n"
+          "  compressed:      %.3f volumes/s (%.1f s, %.1f%% faster)\n",
+          stream_ranks, measured.wire_ratio(), measured.store_ratio(),
+          measured.volume_store_psnr_db.empty()
+              ? 0.0
+              : measured.volume_store_psnr_db[0],
+          raw.volumes_per_second, raw.t_total, cmp.volumes_per_second,
+          cmp.t_total, 100.0 * (raw.t_total - cmp.t_total) / raw.t_total);
+    }
   }
   return 0;
 }

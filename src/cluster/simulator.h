@@ -88,6 +88,21 @@ struct SimConfig {
   /// false = flat mb.bp_gups.
   bool use_kernel_model = true;
 
+  /// Bytes-on-the-wire discount of the framed row reduce
+  /// (IfdkOptions::compress_wire): the reduce phase moves out_bytes /
+  /// wire_compression_ratio instead of out_bytes. Feed it the MEASURED
+  /// StreamingStats::wire_ratio() of a small run to forecast the win at
+  /// scale; 1.0 (the default) models the uncompressed wire.
+  double wire_compression_ratio = 1.0;
+
+  /// Store-bytes discount of the compressed store path
+  /// (JobSpec::compress_store): the store phase writes out_bytes /
+  /// store_compression_ratio. Feed it a measured
+  /// StreamingStats::store_ratio(); 1.0 models the raw store. The
+  /// slice-size store efficiency is applied to the DISCOUNTED bytes — the
+  /// serialized objects are what hits the PFS stripes.
+  double store_compression_ratio = 1.0;
+
   /// Iterative workload rates (iterative::run_iterative): the forward
   /// projector's ray samples per second and the unweighted back-projector's
   /// voxel updates per second, per rank. These are the SCALAR ray-driven /

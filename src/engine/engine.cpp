@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "postproc/compression.h"
+
 namespace ifdk::engine {
 
 int error_class(const std::exception_ptr& e) {
@@ -47,6 +49,23 @@ void assert_tag_budget(std::uint64_t before, std::uint64_t after,
   IFDK_ASSERT_MSG(after - before <= allowed, what);
 }
 
+mpi::WireCodec make_wire_codec(WireStats* stats) {
+  mpi::WireCodec codec;
+  codec.encode = [stats](const float* data, std::size_t count) {
+    std::vector<std::uint8_t> frame = postproc::encode_frame(data, count);
+    if (stats != nullptr) {
+      stats->raw_bytes += count * sizeof(float);
+      stats->encoded_bytes += frame.size();
+    }
+    return frame;
+  };
+  codec.decode = [](const std::uint8_t* data, std::size_t bytes, float* out,
+                    std::size_t count) {
+    return postproc::decode_frame(data, bytes, out, count);
+  };
+  return codec;
+}
+
 void extract_zmajor_slice(const float* zmajor, std::size_t nx, std::size_t ny,
                           std::size_t pair_depth, std::size_t local_k,
                           float* dst) {
@@ -77,15 +96,29 @@ EpochComms::EpochComms(mpi::Comm& world,
 
 VolumeWriterSet::VolumeWriterSet(pfs::ParallelFileSystem& fs,
                                  std::size_t queue_capacity,
-                                 const std::vector<bool>& roots)
+                                 const std::vector<bool>& roots,
+                                 const std::vector<int>& store_bits)
     : streams_(roots.size()), roots_(roots) {
+  IFDK_ASSERT_MSG(store_bits.empty() || store_bits.size() == roots.size(),
+                  "VolumeWriterSet: store_bits must be empty or per-volume");
   const bool any_root =
       std::find(roots.begin(), roots.end(), true) != roots.end();
   if (!any_root) return;
   writer_.emplace(fs, queue_capacity);
   for (std::size_t v = 0; v < roots.size(); ++v) {
-    if (roots[v]) streams_[v] = writer_->open_stream();
+    if (!roots[v]) continue;
+    std::optional<pfs::StreamCompression> compression;
+    if (!store_bits.empty() && store_bits[v] != 0) {
+      compression = pfs::StreamCompression{store_bits[v]};
+    }
+    streams_[v] = writer_->open_stream(compression);
   }
+}
+
+pfs::StreamStats VolumeWriterSet::volume_store_stats(
+    std::size_t volume) const {
+  IFDK_ASSERT(roots_[volume] && writer_.has_value());
+  return writer_->stream_stats(streams_[volume]);
 }
 
 bool VolumeWriterSet::enqueue(std::size_t volume, std::string name,

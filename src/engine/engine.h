@@ -90,6 +90,27 @@ void extract_zmajor_slice(const float* zmajor, std::size_t nx, std::size_t ny,
                           std::size_t pair_depth, std::size_t local_k,
                           float* dst);
 
+/// Byte counters of one rank's framed reduce traffic: what its encoder was
+/// fed (raw) versus what actually hit the wire (encoded, headers included).
+/// raw/encoded is the rank's wire compression ratio; the lossless frame
+/// codec guarantees encoded <= raw + per-frame header overhead. Accumulated
+/// on the single thread that drives the codec (the reduce thread), so the
+/// counters need no atomics.
+struct WireStats {
+  /// Bytes handed to the encoder (4 * floats sent).
+  std::size_t raw_bytes = 0;
+  /// Frame bytes actually posted (compressed payloads + headers).
+  std::size_t encoded_bytes = 0;
+};
+
+/// Builds the mpi::WireCodec used for framed row-reduce traffic, backed by
+/// the lossless postproc frame codec (byte-plane shuffle + RLE with raw
+/// fallback), so reduced results stay bitwise identical to unframed runs.
+/// `stats` (may be null) accumulates this codec's encoder traffic; it must
+/// outlive every ireduce initiated with the returned codec and is bumped
+/// from the calling thread only.
+mpi::WireCodec make_wire_codec(WireStats* stats);
+
 /// Per-volume col/row communicator cache — the grid re-split machinery.
 ///
 /// A split is a collective on the parent communicator, so every rank must
@@ -131,8 +152,17 @@ class VolumeWriterSet {
  public:
   /// Opens one stream per volume with `roots[v]` set; no writer thread is
   /// started when this rank roots nothing. `fs` must outlive this object.
+  /// `store_bits` (empty = every volume raw) gives volume v's store codec:
+  /// 0 stores raw floats, 8..16 opens volume v's stream in the compressed
+  /// mode (quantized CompressedVolume objects at that depth).
   VolumeWriterSet(pfs::ParallelFileSystem& fs, std::size_t queue_capacity,
-                  const std::vector<bool>& roots);
+                  const std::vector<bool>& roots,
+                  const std::vector<int>& store_bits = {});
+
+  /// Byte/error accounting of volume `v`'s stream (rooted volumes only);
+  /// complete once finish_volume(v) returned. Reports the store ratio and
+  /// the quantization PSNR for compressed volumes.
+  pfs::StreamStats volume_store_stats(std::size_t volume) const;
 
   /// Queues one object write on volume `v`'s stream. Returns false once the
   /// stream is poisoned (the caller should stop feeding that volume; the

@@ -47,12 +47,23 @@ void stage_projections(pfs::ParallelFileSystem& fs,
 }
 
 Volume load_volume(const pfs::ParallelFileSystem& fs,
-                   const std::string& output_prefix, const VolDims& dims) {
+                   const std::string& output_prefix, const VolDims& dims,
+                   bool compressed_store) {
   Volume vol(dims.nx, dims.ny, dims.nz, VolumeLayout::kXMajor,
              /*zero_fill=*/false);
+  const std::size_t slice_px = dims.nx * dims.ny;
   for (std::size_t k = 0; k < dims.nz; ++k) {
-    fs.read_object(object_name(output_prefix, k), vol.slice(k),
-                   dims.nx * dims.ny * sizeof(float));
+    const std::string name = object_name(output_prefix, k);
+    if (compressed_store) {
+      const std::vector<float> slice = pfs::read_compressed_object(fs, name);
+      IFDK_REQUIRE(slice.size() == slice_px,
+                   "load_volume: compressed slice " + name + " holds " +
+                       std::to_string(slice.size()) + " values, expected " +
+                       std::to_string(slice_px));
+      std::copy(slice.begin(), slice.end(), vol.slice(k));
+    } else {
+      fs.read_object(name, vol.slice(k), slice_px * sizeof(float));
+    }
   }
   return vol;
 }
@@ -380,6 +391,8 @@ IfdkStats run_distributed(const geo::CbctGeometry& geometry,
     out.device_model = streamed.device_model;
     out.overlap_efficiency = streamed.overlap_efficiency;
     out.wall_total = streamed.wall_total;
+    out.wire_raw_bytes = streamed.wire_raw_bytes;
+    out.wire_encoded_bytes = streamed.wire_encoded_bytes;
     return out;
   }
 
@@ -421,6 +434,12 @@ struct StreamRankStats {
   double v_kernel = 0; ///< modeled V100 kernel seconds
   double v_d2h = 0;    ///< modeled PCIe D2H seconds
   std::vector<std::string> volume_errors;  ///< row roots only; "" = stored
+  /// This rank's framed reduce-encoder traffic (zero unless compress_wire).
+  engine::WireStats wire;
+  /// Per-volume store accounting of the volumes this rank roots (all other
+  /// entries stay default); every column-0 rank of a grid is a row root, so
+  /// the cross-rank merge must SUM sse/values/bytes and MAX the peak.
+  std::vector<pfs::StreamStats> store;
 };
 
 /// FDK streaming as an engine Workload: the Fig. 4a/4b per-rank pipeline
@@ -469,6 +488,7 @@ class FdkStreamWorkload final : public engine::Workload {
     const int rank = ctx.rank;
     StreamRankStats& stats = rank_stats_[static_cast<std::size_t>(rank)];
     stats.volume_errors.assign(n_volumes, "");
+    stats.store.assign(n_volumes, pfs::StreamStats{});
     Timer rank_timer;
 
     // ---- Per-epoch communicators (the grid re-split) ----------------------
@@ -655,10 +675,17 @@ class FdkStreamWorkload final : public engine::Workload {
         // that roots ANY volume's row; which rank that is can change per
         // volume when the grid re-splits.
         std::vector<bool> roots(n_volumes, false);
+        std::vector<int> store_bits(n_volumes, 0);
         for (std::size_t v = 0; v < n_volumes; ++v) {
           roots[v] = plans[v].col_of(rank) == 0;
+          store_bits[v] =
+              volumes[v].compress_store ? volumes[v].store_bits : 0;
         }
-        engine::VolumeWriterSet writers(fs, options.queue_capacity, roots);
+        engine::VolumeWriterSet writers(fs, options.queue_capacity, roots,
+                                        store_bits);
+        // One codec for the whole stream: the counters live in this rank's
+        // stat sink and are only ever bumped from this thread.
+        const mpi::WireCodec wire_codec = engine::make_wire_codec(&stats.wire);
         std::vector<float> partial;
         std::vector<float> reduced;
         for (std::size_t v = 0; v < n_volumes; ++v) {
@@ -713,7 +740,8 @@ class FdkStreamWorkload final : public engine::Workload {
           mpi::Comm::CollectiveRequest req = row_comm.ireduce(
               partial.data(), col == 0 ? reduced.data() : nullptr,
               partial.size(), mpi::ReduceOp::kSum, /*root=*/0,
-              options.reduce_segment_floats, std::move(on_segment), algo);
+              options.reduce_segment_floats, std::move(on_segment), algo,
+              options.compress_wire ? &wire_codec : nullptr);
           reduce_timer.time("reduce", [&] { req.wait(); });
           engine::assert_tag_budget(
               tags_before, row_comm.collective_tags_reserved(),
@@ -723,6 +751,7 @@ class FdkStreamWorkload final : public engine::Workload {
             reduce_timer.time("store", [&] {
               stats.volume_errors[v] = writers.finish_volume(v);
             });
+            stats.store[v] = writers.volume_store_stats(v);
           }
         }
         writers.finish();  // all stream errors were claimed above
@@ -1038,16 +1067,33 @@ StreamingStats stream_core(const geo::CbctGeometry& geometry,
   out.wall = engine_stats.wall;
   out.overlap_efficiency = engine_stats.efficiency;
   const double wall_total = engine_stats.wall_total;
+  // Every column-0 rank is a row root, so per-volume store accounting is
+  // scattered across R ranks: merge by summing the byte/error sums and
+  // maxing the PSNR peak (the merged stats ARE the whole volume's store).
+  std::vector<pfs::StreamStats> store(n_volumes);
   for (std::size_t r = 0; r < static_cast<std::size_t>(options.ranks); ++r) {
     const StreamRankStats& rs = workload.rank_stats(r);
     out.device_model.set_max("v_h2d", rs.v_h2d);
     out.device_model.set_max("v_kernel", rs.v_kernel);
     out.device_model.set_max("v_d2h", rs.v_d2h);
+    out.wire_raw_bytes += rs.wire.raw_bytes;
+    out.wire_encoded_bytes += rs.wire.encoded_bytes;
     for (std::size_t v = 0; v < n_volumes; ++v) {
       if (out.volume_errors[v].empty() && !rs.volume_errors[v].empty()) {
         out.volume_errors[v] = rs.volume_errors[v];
       }
+      store[v].raw_bytes += rs.store[v].raw_bytes;
+      store[v].stored_bytes += rs.store[v].stored_bytes;
+      store[v].sum_squared_error += rs.store[v].sum_squared_error;
+      store[v].peak = std::max(store[v].peak, rs.store[v].peak);
+      store[v].values += rs.store[v].values;
     }
+  }
+  out.volume_store_psnr_db.reserve(n_volumes);
+  for (std::size_t v = 0; v < n_volumes; ++v) {
+    out.store_raw_bytes += store[v].raw_bytes;
+    out.store_stored_bytes += store[v].stored_bytes;
+    out.volume_store_psnr_db.push_back(store[v].psnr_db());
   }
   out.wall_total = wall_total;
   out.volumes_per_second =

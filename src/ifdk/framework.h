@@ -86,6 +86,19 @@ struct IfdkStats {
   /// Whether the overlapped pipeline ran (IfdkOptions::overlap).
   bool overlapped = false;
   double wall_total = 0;
+  /// Bytes the framed row-reduce encoder was fed, summed over ranks
+  /// (0 unless IfdkOptions::compress_wire on the overlapped path).
+  std::size_t wire_raw_bytes = 0;
+  /// Frame bytes that actually went on the wire (headers included).
+  std::size_t wire_encoded_bytes = 0;
+  /// Achieved wire compression ratio raw/encoded (1 when no framed traffic
+  /// was sent).
+  double wire_ratio() const {
+    return wire_encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(wire_raw_bytes) /
+                     static_cast<double>(wire_encoded_bytes);
+  }
 };
 
 /// Aggregate result of a run_streaming call.
@@ -127,6 +140,37 @@ struct StreamingStats {
   /// Modeled V100 seconds summed over the device ledger of the slowest
   /// rank, whole stream: "v_h2d", "v_kernel", "v_d2h".
   StageTimer device_model;
+
+  // -- compression accounting -----------------------------------------------
+
+  /// Bytes the framed row-reduce encoder was fed, summed over ranks
+  /// (0 unless IfdkOptions::compress_wire).
+  std::size_t wire_raw_bytes = 0;
+  /// Frame bytes that actually went on the wire (headers included).
+  std::size_t wire_encoded_bytes = 0;
+  /// Bytes row roots handed the store path (4 * voxels stored).
+  std::size_t store_raw_bytes = 0;
+  /// Bytes that actually hit the PFS (serialized compressed objects for
+  /// compress_store volumes; equals the raw count otherwise).
+  std::size_t store_stored_bytes = 0;
+  /// Per-volume quantization PSNR of the stored slices in dB, merged over
+  /// row roots; +inf for volumes stored raw (bit-exact store).
+  std::vector<double> volume_store_psnr_db;
+  /// Achieved wire compression ratio raw/encoded (1 when no framed traffic
+  /// was sent).
+  double wire_ratio() const {
+    return wire_encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(wire_raw_bytes) /
+                     static_cast<double>(wire_encoded_bytes);
+  }
+  /// Achieved store compression ratio raw/stored (1 when nothing stored).
+  double store_ratio() const {
+    return store_stored_bytes == 0
+               ? 1.0
+               : static_cast<double>(store_raw_bytes) /
+                     static_cast<double>(store_stored_bytes);
+  }
 };
 
 /// Streams `volumes.size()` independent jobs (e.g. a 4D-CT time series)
@@ -176,8 +220,12 @@ void stage_projections(pfs::ParallelFileSystem& fs,
                        const std::string& input_prefix,
                        std::span<const Image2D> projections);
 
-/// Helper: reads the reconstructed volume back from slice objects.
+/// Helper: reads the reconstructed volume back from slice objects. With
+/// `compressed_store` the slices are parsed as the serialized
+/// CompressedVolume objects a JobSpec::compress_store job writes (corrupt
+/// objects throw CompressionError) instead of raw floats.
 Volume load_volume(const pfs::ParallelFileSystem& fs,
-                   const std::string& output_prefix, const VolDims& dims);
+                   const std::string& output_prefix, const VolDims& dims,
+                   bool compressed_store = false);
 
 }  // namespace ifdk

@@ -21,6 +21,10 @@ void JobSpec::validate(int volume_index) const {
   if (geometry.has_value()) {
     geometry->validate();
   }
+  if (compress_store && (store_bits < 8 || store_bits > 16)) {
+    throw ConfigError(prefix + "store_bits (" + std::to_string(store_bits) +
+                      ") must be 8..16 when compress_store is set");
+  }
   if (workload == WorkloadKind::kIterative) {
     iterative.validate(volume_index);
   }

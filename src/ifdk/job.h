@@ -47,6 +47,18 @@ struct JobSpec {
   /// part of JobSpec::validate.
   iterative::IterParams iterative = {};
 
+  // -- store options --------------------------------------------------------
+
+  /// Store this job's slices as quantized+RLE CompressedVolume objects
+  /// (the lossy postproc codec) instead of raw floats. Opt-in per job: the
+  /// store shrinks by the achieved ratio at a bounded quantization error,
+  /// and the per-volume PSNR and ratio are recorded in StreamingStats.
+  /// Read the slices back with load_volume(..., compressed_store=true).
+  bool compress_store = false;
+  /// Quantization depth of the compressed store, 8..16 bits per voxel
+  /// (only meaningful with compress_store=true).
+  int store_bits = 12;
+
   // -- scheduling metadata (service layer; ignored by run_streaming) --------
 
   /// Who submitted the job; ServiceStats aggregates throughput per tenant.
@@ -62,7 +74,8 @@ struct JobSpec {
 
   /// Validates the request shape: both prefixes must be non-empty, a
   /// per-job geometry, when set, must be self-consistent
-  /// (geo::CbctGeometry::validate), and an iterative job's solver
+  /// (geo::CbctGeometry::validate), a compressed store's quantization depth
+  /// must be 8..16 bits, and an iterative job's solver
   /// parameters must pass IterParams::validate. Throws ConfigError naming
   /// the offending field; when `volume_index >= 0` the message is prefixed
   /// with the offending volume ("volume 2: ..."), matching the plan

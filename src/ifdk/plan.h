@@ -82,6 +82,13 @@ struct IfdkOptions {
   /// Filtering-thread exactly like run_distributed. Both settings produce
   /// bitwise-identical volumes.
   bool fuse_filter_gather = true;
+  /// Frame the row-ireduce wire traffic with the lossless postproc codec
+  /// (byte-plane shuffle + RLE, raw fallback): senders compress segments,
+  /// tree relays concatenate the self-describing frames verbatim, the root
+  /// decompresses before the fold. Lossless by construction, so volumes are
+  /// bitwise identical to compress_wire=false (pinned by test); the achieved
+  /// ratio is reported in StreamingStats/IfdkStats.
+  bool compress_wire = false;
   /// Simulated per-rank GPU (memory budget + modeled PCIe/kernel rates).
   gpusim::DeviceSpec device;
   /// Projection objects are read from `<input_prefix><s>`, s in [0, Np).

@@ -12,13 +12,23 @@
 // are dropped, its finish_stream() rethrows, and every other stream keeps
 // writing (volume v+1 must not be corrupted by volume v's failure). Write
 // order is FIFO across streams.
+//
+// A stream may opt into the COMPRESSED store mode (paper §8 future work):
+// its payloads are quantized + RLE-compressed (the lossy postproc codec) on
+// the writer thread and stored as self-contained serialized
+// CompressedVolume objects, with the raw/stored byte counts and the
+// quantization error accumulated per stream so the caller can report the
+// store ratio and PSNR per volume. Compression rides the writer thread, so
+// it overlaps the producer exactly like the writes themselves do.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +37,37 @@
 #include "pfs/pfs.h"
 
 namespace ifdk::pfs {
+
+/// Opt-in compressed store mode of one AsyncWriter stream.
+struct StreamCompression {
+  /// Quantization depth of the lossy store codec, 8..16 bits per value.
+  int bits = 12;
+};
+
+/// Byte and error accounting of one stream, accumulated write by write.
+struct StreamStats {
+  /// Bytes the producer enqueued (4 * floats).
+  std::size_t raw_bytes = 0;
+  /// Bytes that hit the store (serialized compressed objects, headers
+  /// included; equals raw_bytes for uncompressed streams).
+  std::size_t stored_bytes = 0;
+  /// Sum of squared quantization errors across every stored value.
+  double sum_squared_error = 0;
+  /// Largest |value| seen (the PSNR peak).
+  double peak = 0;
+  /// Number of values stored (the PSNR denominator).
+  std::size_t values = 0;
+
+  /// raw_bytes / stored_bytes (1 when nothing was stored yet).
+  double ratio() const {
+    return stored_bytes == 0 ? 1.0
+                             : static_cast<double>(raw_bytes) /
+                                   static_cast<double>(stored_bytes);
+  }
+  /// Peak signal-to-noise ratio of the stored stream in dB; +inf for a
+  /// lossless (uncompressed) or empty stream, NaN when the peak is zero.
+  double psnr_db() const;
+};
 
 /// Background writer over a ParallelFileSystem. Single producer / single
 /// writer thread; enqueue() applies back-pressure when `queue_capacity`
@@ -50,8 +91,17 @@ class AsyncWriter {
   ~AsyncWriter();
 
   /// Registers a new independent stream and returns its id. Must not be
-  /// called after finish().
-  StreamId open_stream();
+  /// called after finish(). With `compression` set the stream stores
+  /// serialized CompressedVolume objects instead of raw floats (the payload
+  /// is compressed on the writer thread); read them back with
+  /// read_compressed_object(). Stream 0 (the single-stream API) is always
+  /// uncompressed.
+  StreamId open_stream(std::optional<StreamCompression> compression = {});
+
+  /// This stream's byte/error accounting so far. Call after finish_stream()
+  /// (or finish()) for totals that include every write; values observed
+  /// mid-stream are a consistent snapshot.
+  StreamStats stream_stats(StreamId stream) const;
 
   /// Queues one object write on `stream` (payload is taken by value so the
   /// caller's buffer is free immediately). Blocks while the queue is full —
@@ -97,6 +147,8 @@ class AsyncWriter {
     std::size_t pending = 0;       ///< enqueued, not yet written/dropped
     std::exception_ptr error;      ///< first write failure on this stream
     bool error_claimed = false;    ///< a finish rethrew it already
+    std::optional<StreamCompression> compression;  ///< store codec, if any
+    StreamStats stats;             ///< byte/error accounting
   };
 
   void run();
@@ -111,5 +163,11 @@ class AsyncWriter {
   std::atomic<double> busy_seconds_{0.0};
   std::atomic<std::size_t> writes_{0};
 };
+
+/// Reads one serialized CompressedVolume object (as written by a compressed
+/// AsyncWriter stream) and returns its decompressed values. Corrupt objects
+/// throw CompressionError.
+std::vector<float> read_compressed_object(const ParallelFileSystem& fs,
+                                          const std::string& name);
 
 }  // namespace ifdk::pfs

@@ -31,6 +31,7 @@ struct TriPlanar {
   Image2D coronal;
   Image2D sagittal;
 };
+/// Renders the three central slices of a kXMajor volume.
 TriPlanar tri_planar(const Volume& volume);
 
 }  // namespace ifdk::postproc

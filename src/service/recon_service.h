@@ -106,6 +106,9 @@ struct TenantStats {
   std::size_t submitted = 0;  ///< jobs accepted past admission
   std::size_t stored = 0;     ///< jobs fully stored
   std::size_t failed = 0;     ///< jobs that ended kFailed
+  /// Raw output bytes (4 * voxels) this tenant has pushed past admission —
+  /// the tenant's claim on the store, accounted when the job is accepted.
+  std::size_t admitted_output_bytes = 0;
   /// Stored volumes per wall-clock second since the service started.
   double volumes_per_second = 0;
 };
@@ -127,6 +130,24 @@ struct ServiceStats {
   double jobs_per_second = 0;
   /// Mean submit-to-dispatch latency over all dispatched jobs.
   double mean_queue_latency_s = 0;
+
+  // -- byte accounting -------------------------------------------------------
+  // Admission counts what a job WILL move (its raw output volume); the
+  // measured counters below report what dispatched streams actually moved,
+  // so ratio-of-sums = the service's achieved compression.
+
+  /// Raw output bytes (4 * voxels) accepted past admission, all tenants.
+  std::size_t admitted_output_bytes = 0;
+  /// Bytes fed to the framed row-reduce wire encoder across all dispatched
+  /// FDK streams (0 unless IfdkOptions::compress_wire).
+  std::size_t wire_raw_bytes = 0;
+  /// Frame bytes that actually crossed the wire (headers included).
+  std::size_t wire_encoded_bytes = 0;
+  /// Bytes row roots handed the store path across all dispatched streams.
+  std::size_t store_raw_bytes = 0;
+  /// Bytes that actually hit the PFS (serialized compressed objects for
+  /// JobSpec::compress_store jobs; raw bytes otherwise).
+  std::size_t store_stored_bytes = 0;
   /// Per-tenant throughput breakdown, keyed by JobSpec::tenant.
   std::map<std::string, TenantStats> tenants;
 };

@@ -409,5 +409,51 @@ TEST(Platforms, Dgx2ReasonableForFourKAndFastForTwoK) {
   EXPECT_LT(two_k.t_runtime, four_k.t_runtime);
 }
 
+TEST(SimulatorCompression, ByteDiscountsShrinkReduceAndStorePhases) {
+  // The bytes-on-the-wire discount: feeding measured compression ratios
+  // into SimConfig must shrink exactly the phases that move the discounted
+  // bytes — t_reduce for the wire ratio, t_store for the store ratio — and
+  // leave the compute pipeline untouched.
+  const DecompositionPlan plan = make_plan(problem_4k(), 2048, 2);
+  const SimResult base = simulate_plan(plan);
+
+  SimConfig wire;
+  wire.wire_compression_ratio = 2.0;
+  const SimResult wired = simulate_plan(plan, wire);
+  EXPECT_LT(wired.t_reduce, base.t_reduce);
+  EXPECT_DOUBLE_EQ(wired.t_store, base.t_store);
+  EXPECT_DOUBLE_EQ(wired.t_compute, base.t_compute);
+  EXPECT_LT(wired.t_runtime, base.t_runtime);
+
+  SimConfig store;
+  store.store_compression_ratio = 3.0;
+  const SimResult stored = simulate_plan(plan, store);
+  EXPECT_LT(stored.t_store, base.t_store);
+  EXPECT_DOUBLE_EQ(stored.t_reduce, base.t_reduce);
+  EXPECT_DOUBLE_EQ(stored.t_compute, base.t_compute);
+  // The stripe-efficiency term is applied to the DISCOUNTED slices, so the
+  // store phase shrinks by LESS than the raw ratio (smaller objects waste
+  // more of each PFS stripe) — the discount must not be double-counted as
+  // a free 3x.
+  EXPECT_GT(stored.t_store, base.t_store / 3.0);
+
+  // A ratio below 1 (header-overhead regime measured on small runs) must
+  // model a cost, not a win.
+  SimConfig bloat;
+  bloat.wire_compression_ratio = 0.99;
+  EXPECT_GT(simulate_plan(plan, bloat).t_reduce, base.t_reduce);
+
+  // The streaming forecast inherits the discounts: a 2,048-rank stream
+  // with both ratios applied finishes measurably earlier.
+  const std::vector<DecompositionPlan> plans(4, plan);
+  SimConfig both;
+  both.wire_compression_ratio = 2.0;
+  both.store_compression_ratio = 3.0;
+  const StreamSimResult fast = simulate_stream(plans, both);
+  const StreamSimResult slow = simulate_stream(plans);
+  EXPECT_LT(fast.t_total, slow.t_total);
+  EXPECT_GT(fast.volumes_per_second, slow.volumes_per_second);
+}
+
 }  // namespace
 }  // namespace ifdk::cluster

@@ -85,11 +85,11 @@ TEST(Compression, RejectsCorruptStreams) {
   const Volume vol = test_volume();
   CompressedVolume c = compress(vol);
   c.payload.pop_back();  // truncate
-  EXPECT_THROW(decompress(c), ConfigError);
+  EXPECT_THROW(decompress(c), CompressionError);
 
   CompressedVolume short_stream = compress(vol);
   short_stream.payload.resize(short_stream.payload.size() / 2 / 4 * 4);
-  EXPECT_THROW(decompress(short_stream), ConfigError);
+  EXPECT_THROW(decompress(short_stream), CompressionError);
 }
 
 TEST(Compression, LongRunsSplitCorrectly) {

@@ -166,6 +166,56 @@ TEST(ServiceAdmission, TagBudgetOverflowRejectsAtSubmitNamingTheNumbers) {
   EXPECT_EQ(svc.stats().rejected, 1u);
 }
 
+TEST(ServiceAdmission, ByteAccountingTracksAdmissionAndCompression) {
+  // Admission charges each tenant the job's raw output bytes (4 * voxels of
+  // its plan) the moment it is accepted; after dispatch the service-wide
+  // wire/store counters report what the streams actually moved, so
+  // ratio-of-sums is the service's achieved compression.
+  const auto g = small_geometry();  // 12^3 output = 6912 raw bytes
+  std::vector<ServiceJob> jobs;
+  for (std::size_t i = 0; i < 3; ++i) jobs.push_back(make_job(i, g));
+  jobs[0].spec.tenant = "alice";
+  jobs[1].spec.tenant = "bob";
+  jobs[2].spec.tenant = "alice";
+  jobs[2].spec.compress_store = true;
+  jobs[2].spec.store_bits = 12;
+
+  pfs::ParallelFileSystem fs;
+  stage_jobs(fs, jobs);
+  ServiceOptions opts;
+  opts.ifdk.ranks = 4;
+  opts.ifdk.rows = 2;
+  opts.ifdk.compress_wire = true;
+  opts.start_paused = true;
+  ReconService svc(g, fs, opts);
+  std::vector<JobHandle> handles;
+  for (const ServiceJob& job : jobs) handles.push_back(svc.submit(job.spec));
+
+  const std::size_t job_bytes = 12 * 12 * 12 * sizeof(float);
+  const ServiceStats queued = svc.stats();
+  EXPECT_EQ(queued.admitted_output_bytes, 3 * job_bytes);
+  EXPECT_EQ(queued.tenants.at("alice").admitted_output_bytes, 2 * job_bytes);
+  EXPECT_EQ(queued.tenants.at("bob").admitted_output_bytes, job_bytes);
+  // Nothing dispatched yet: the measured counters are still zero.
+  EXPECT_EQ(queued.wire_raw_bytes, 0u);
+  EXPECT_EQ(queued.store_raw_bytes, 0u);
+
+  svc.drain();
+  for (const JobHandle& h : handles) {
+    ASSERT_EQ(h.state(), JobState::kStored) << h.error();
+  }
+
+  const ServiceStats done = svc.stats();
+  EXPECT_EQ(done.admitted_output_bytes, 3 * job_bytes);
+  EXPECT_GT(done.wire_raw_bytes, 0u);        // compress_wire was on
+  EXPECT_GT(done.wire_encoded_bytes, 0u);
+  EXPECT_EQ(done.store_raw_bytes, 3 * job_bytes);
+  // One of three volumes stored compressed: fewer bytes hit the PFS than
+  // were handed to the store path.
+  EXPECT_LT(done.store_stored_bytes, done.store_raw_bytes);
+  EXPECT_GT(done.store_stored_bytes, 2 * job_bytes);
+}
+
 // ---- Scheduling order -------------------------------------------------------
 
 TEST(ServiceScheduling, PriorityDominatesDeadlineAcrossBands) {

@@ -559,5 +559,135 @@ TEST(StreamingFailure, ReadFailureSurfacesRootCause) {
   }
 }
 
+TEST(StreamingCompression, WireOnOffBitwiseIdenticalAcrossGridSets) {
+  // The wire-compression pin: streaming with IfdkOptions::compress_wire on
+  // versus off must produce identical volumes (bitwise) and identical
+  // StreamingStats::volume_errors across the same heterogeneous grid sets
+  // the MixedGeometryStreaming equivalence tests sweep — the lossless frame
+  // codec may change only the bytes on the wire, never the fold.
+  struct GridSet {
+    const char* name;
+    std::vector<Problem> problems;
+    int rows;
+    std::size_t sub_volume_bytes;  ///< 0 = keep the microbench default
+  };
+  const GridSet sets[] = {
+      {"alternating Nz",
+       {{{32, 32, 16}, {12, 12, 12}}, {{32, 32, 16}, {12, 12, 8}},
+        {{32, 32, 16}, {12, 12, 12}}, {{32, 32, 16}, {12, 12, 8}}},
+       2, 0},
+      {"varying Np",
+       {{{32, 32, 16}, {12, 12, 12}}, {{32, 32, 8}, {12, 12, 12}},
+        {{32, 32, 16}, {12, 12, 12}}},
+       2, 0},
+      {"grid re-split",
+       {{{32, 32, 16}, {12, 12, 12}}, {{32, 32, 16}, {12, 12, 16}},
+        {{32, 32, 16}, {12, 12, 12}}, {{32, 32, 16}, {12, 12, 16}}},
+       0, 8192},
+  };
+  for (const GridSet& set : sets) {
+    const MixedScene s = make_mixed_scene(set.problems);
+    for (const ReduceFanIn fan_in :
+         {ReduceFanIn::kTree, ReduceFanIn::kLinear}) {
+      IfdkOptions opts;
+      opts.ranks = 4;
+      opts.rows = set.rows;
+      if (set.sub_volume_bytes > 0) {
+        opts.microbench.sub_volume_bytes = set.sub_volume_bytes;
+      }
+      opts.reduce_fan_in = fan_in;
+
+      pfs::ParallelFileSystem fs_off;
+      stage_mixed(fs_off, s);
+      opts.compress_wire = false;
+      const StreamingStats off = run_streaming(s.geoms[0], fs_off, opts,
+                                               s.volumes);
+
+      pfs::ParallelFileSystem fs_on;
+      stage_mixed(fs_on, s);
+      opts.compress_wire = true;
+      const StreamingStats on = run_streaming(s.geoms[0], fs_on, opts,
+                                              s.volumes);
+
+      const std::string context =
+          std::string(set.name) +
+          (fan_in == ReduceFanIn::kTree ? ", tree" : ", linear") +
+          ", wire on vs off";
+      ASSERT_EQ(off.volume_errors, on.volume_errors) << context;
+      expect_mixed_bitwise_equal(fs_off, fs_on, s, context);
+
+      // The accounting must reflect what actually happened: no framed
+      // traffic when off, a measured ratio when on. Full-precision partial
+      // sums are mantissa noise, so these tiny volumes ride the raw-frame
+      // fallback and the ratio sits just under 1 (per-frame header
+      // overhead) — the lossless guarantee is the bound, not a win.
+      EXPECT_EQ(off.wire_encoded_bytes, 0u) << context;
+      EXPECT_GT(on.wire_raw_bytes, 0u) << context;
+      EXPECT_GT(on.wire_ratio(), 0.9) << context;
+      EXPECT_LE(on.wire_encoded_bytes,
+                on.wire_raw_bytes + (on.wire_raw_bytes / 10))
+          << context;
+    }
+  }
+}
+
+TEST(StreamingCompression, CompressedStoreBoundedErrorAndStats) {
+  // JobSpec::compress_store stores serialized CompressedVolume slices: the
+  // readback must match the raw-store run within half a quantization step,
+  // and StreamingStats must record the per-volume PSNR plus a store ratio
+  // above 1 (the phantom is RLE-friendly).
+  const StreamScene s = make_stream_scene(2);
+  IfdkOptions opts;
+  opts.ranks = 4;
+  opts.rows = 2;
+
+  pfs::ParallelFileSystem fs_raw;
+  stage_all(fs_raw, s);
+  const StreamingStats raw = run_streaming(s.g, fs_raw, opts, s.volumes);
+  for (const std::string& err : raw.volume_errors) {
+    EXPECT_TRUE(err.empty()) << err;
+  }
+  EXPECT_EQ(raw.store_raw_bytes, raw.store_stored_bytes);
+  ASSERT_EQ(raw.volume_store_psnr_db.size(), 2u);
+  EXPECT_TRUE(std::isinf(raw.volume_store_psnr_db[0]));  // bit-exact store
+
+  std::vector<JobSpec> volumes = s.volumes;
+  volumes[1].compress_store = true;
+  volumes[1].store_bits = 12;
+  pfs::ParallelFileSystem fs_cmp;
+  stage_all(fs_cmp, s);
+  const StreamingStats cmp = run_streaming(s.g, fs_cmp, opts, volumes);
+  for (const std::string& err : cmp.volume_errors) {
+    EXPECT_TRUE(err.empty()) << err;
+  }
+
+  // Volume 0 stayed raw: still bitwise-identical to the raw run.
+  expect_bitwise_equal_volume(fs_raw, fs_cmp, s, 0, "compressed store");
+
+  // Volume 1: quantized, bounded by half a step of each slice's range —
+  // the whole-volume range bounds every per-slice range.
+  const VolDims dims = s.g.vol_dims();
+  const Volume ref = load_volume(fs_raw, s.volumes[1].output_prefix, dims);
+  const Volume back = load_volume(fs_cmp, s.volumes[1].output_prefix, dims,
+                                  /*compressed_store=*/true);
+  float lo = ref.data()[0], hi = ref.data()[0];
+  for (std::size_t n = 0; n < ref.voxels(); ++n) {
+    lo = std::min(lo, ref.data()[n]);
+    hi = std::max(hi, ref.data()[n]);
+  }
+  const float step = (hi - lo) / static_cast<float>((1u << 12) - 1);
+  for (std::size_t n = 0; n < ref.voxels(); ++n) {
+    ASSERT_NEAR(ref.data()[n], back.data()[n], 0.5f * step + 1e-7f)
+        << "voxel " << n;
+  }
+
+  ASSERT_EQ(cmp.volume_store_psnr_db.size(), 2u);
+  EXPECT_TRUE(std::isinf(cmp.volume_store_psnr_db[0]));
+  EXPECT_TRUE(std::isfinite(cmp.volume_store_psnr_db[1]));
+  EXPECT_GT(cmp.volume_store_psnr_db[1], 40.0);  // 12-bit quantization
+  EXPECT_LT(cmp.store_stored_bytes, cmp.store_raw_bytes);
+  EXPECT_GT(cmp.store_ratio(), 1.0);
+}
+
 }  // namespace
 }  // namespace ifdk

@@ -79,7 +79,7 @@ check_header() {
 
 for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h \
               src/service/*.h src/engine/*.h src/iterative/*.h \
-              src/projector/*.h; do
+              src/projector/*.h src/postproc/*.h; do
   if ! check_header "$header"; then
     fail=1
   fi
