@@ -8,6 +8,7 @@
 #include "backproj/backprojector.h"
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "fft/fft.h"
 #include "filter/filter_engine.h"
 
 namespace {
@@ -113,16 +114,47 @@ BENCHMARK(BM_BackprojectProposedPooled)
 void BM_FilterProjection(benchmark::State& state) {
   const bench::Scene& scene = shared_scene();
   filter::FilterEngine engine(scene.g);
+  fft::Workspace ws;
   Image2D img(scene.g.nu, scene.g.nv, false);
   for (auto _ : state) {
     for (std::size_t n = 0; n < img.pixels(); ++n) {
       img.data()[n] = scene.projections[0].data()[n];
     }
-    engine.apply(img);
+    engine.apply(img, ws);
     benchmark::DoNotOptimize(img.data());
   }
 }
 BENCHMARK(BM_FilterProjection)->Unit(benchmark::kMicrosecond);
+
+void BM_FilterProjectionBackend(benchmark::State& state) {
+  // The filtering stage pinned to one FFT batch backend (0 = scalar
+  // reference, 1 = AVX2): the per-backend rows the filter speedup in
+  // EXPERIMENTS.md is read from.
+  const fft::Backend backend =
+      state.range(0) == 0 ? fft::Backend::kScalar : fft::Backend::kAvx2;
+  if (backend == fft::Backend::kAvx2 && !fft::simd::avx2_supported()) {
+    state.SkipWithError("AVX2 backend unavailable on this CPU/build");
+    return;
+  }
+  const bench::Scene& scene = shared_scene();
+  filter::FilterOptions options;
+  options.fft_backend = backend;
+  filter::FilterEngine engine(scene.g, options);
+  state.SetLabel(engine.fft_backend_name());
+  fft::Workspace ws;
+  Image2D img(scene.g.nu, scene.g.nv, false);
+  for (auto _ : state) {
+    for (std::size_t n = 0; n < img.pixels(); ++n) {
+      img.data()[n] = scene.projections[0].data()[n];
+    }
+    engine.apply(img, ws);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_FilterProjectionBackend)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(0)   // scalar
+    ->Arg(1);  // avx2
 
 void BM_ProjectionTranspose(benchmark::State& state) {
   // Alg. 4 line 3 — the paper argues its cost is a small fraction of the

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,7 +16,9 @@
 #include "backproj/backprojector.h"
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "fft/fft.h"
 #include "filter/filter_engine.h"
+#include "filter/ramp.h"
 #include "geometry/cbct.h"
 #include "ifdk/framework.h"
 #include "iterative/distributed.h"
@@ -265,6 +268,67 @@ PipelineResult time_pipeline(const bench::Scene& scene, int runs) {
   return p;
 }
 
+/// One ramp-filter timing row: the row convolver pinned to one FFT batch
+/// backend, driven either through the lane-width batch entry point or row by
+/// row. Every row does identical arithmetic (the backends are bitwise-
+/// identical by construction), so the deltas are pure vectorization effects.
+struct FilterRow {
+  std::string name;
+  double seconds = 0.0;
+  double rows_per_second = 0.0;
+};
+
+/// Filter-stage smoke point: per-backend rows for the FFT batch backend
+/// layer, plus the backend kAuto resolves to on this machine (what the
+/// production filtering threads run).
+struct FilterResult {
+  const char* backend = "scalar";
+  std::size_t lanes = fft::kBatchLanes;
+  std::vector<FilterRow> rows;
+};
+
+FilterResult time_filter(const bench::Scene& scene, int runs) {
+  FilterResult f;
+  f.backend = filter::FilterEngine(scene.g).fft_backend_name();
+  // The exact full-row ramp kernel FilterEngine builds by default.
+  const std::vector<double> kernel = filter::make_ramp_kernel(
+      scene.g.nu - 1, 1.0, filter::RampWindow::kRamLak, 1.0);
+  const std::size_t nu = scene.g.nu;
+  const std::size_t nv = scene.g.nv;
+  std::vector<float> rows(nu * nv);
+  const auto refresh = [&] {
+    std::memcpy(rows.data(), scene.projections[0].data(),
+                rows.size() * sizeof(float));
+  };
+  const auto add_row = [&](const std::string& name, double seconds) {
+    FilterRow r{name, seconds, 0.0};
+    r.rows_per_second =
+        seconds > 0.0 ? static_cast<double>(nv) / seconds : 0.0;
+    f.rows.push_back(std::move(r));
+  };
+  const auto time_backend = [&](fft::Backend backend, const char* prefix) {
+    const fft::RowConvolver conv(nu, kernel, backend);
+    fft::Workspace ws;
+    add_row(std::string(prefix) + "_batched",
+            bench::median_seconds(runs, [&] {
+              refresh();
+              conv.convolve_rows(rows.data(), nv, ws);
+            }));
+    add_row(std::string(prefix) + "_single_row",
+            bench::median_seconds(runs, [&] {
+              refresh();
+              for (std::size_t v = 0; v < nv; ++v) {
+                conv.convolve_row(rows.data() + v * nu, ws);
+              }
+            }));
+  };
+  time_backend(fft::Backend::kScalar, "filter_scalar");
+  if (fft::simd::avx2_supported()) {
+    time_backend(fft::Backend::kAvx2, "filter_avx2");
+  }
+  return f;
+}
+
 Result time_backprojection(const char* name, const bench::Scene& scene,
                            bp::BpConfig cfg, int runs) {
   const auto matrices = geo::make_all_projection_matrices(scene.g);
@@ -349,6 +413,9 @@ int main(int argc, char** argv) {
   // Compression smoke point: the same streaming world with the framed wire
   // codec and the 12-bit quantized store both on.
   const CompressionResult comp = time_compression(scene, 3);
+
+  // Filter-stage smoke point: the FFT batch backends head to head.
+  const FilterResult filt = time_filter(scene, kRuns);
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -459,6 +526,21 @@ int main(int argc, char** argv) {
                comp.wire_ratio, comp.store_raw_bytes, comp.store_stored_bytes,
                comp.store_ratio, comp.min_store_psnr_db, comp.encode_mb_per_s,
                comp.decode_mb_per_s);
+  std::fprintf(out,
+               "  \"filter\": {\n"
+               "    \"fft_backend\": \"%s\",\n"
+               "    \"lanes\": %zu,\n"
+               "    \"rows\": [\n",
+               filt.backend, filt.lanes);
+  for (std::size_t n = 0; n < filt.rows.size(); ++n) {
+    std::fprintf(out,
+                 "      {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"rows_per_second\": %.1f}%s\n",
+                 filt.rows[n].name.c_str(), filt.rows[n].seconds,
+                 filt.rows[n].rows_per_second,
+                 n + 1 < filt.rows.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n  },\n");
 
   // The resolved decomposition of the pipeline/streaming points above: the
   // same DecompositionPlan object the runtime consumed, recorded so the
@@ -550,6 +632,25 @@ int main(int argc, char** argv) {
               svc.jobs, svc.rows, svc.ranks / svc.rows, svc.seconds,
               svc.jobs_per_second, svc.mean_queue_latency_s, svc.rejected,
               svc.resplits);
+  {
+    auto row_seconds = [&](const char* name) {
+      for (const auto& r : filt.rows) {
+        if (r.name == name) return r.seconds;
+      }
+      return 0.0;
+    };
+    const double sb = row_seconds("filter_scalar_batched");
+    const double ss = row_seconds("filter_scalar_single_row");
+    const double ab = row_seconds("filter_avx2_batched");
+    std::printf("  filter fft backend %s (%zu lanes): scalar %.3f ms batched"
+                " / %.3f ms single-row",
+                filt.backend, filt.lanes, sb * 1e3, ss * 1e3);
+    if (ab > 0.0) {
+      std::printf("; avx2 %.3f ms batched (%.2fx over scalar)", ab * 1e3,
+                  ab > 0.0 ? sb / ab : 0.0);
+    }
+    std::printf("\n");
+  }
   std::printf("  compression %d volumes through %dx%d: wire ratio %.3f, "
               "store ratio %.3f @ %d bits (min PSNR %.1f dB); "
               "codec %.1f MB/s encode, %.1f MB/s decode\n",

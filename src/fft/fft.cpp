@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -117,32 +118,140 @@ std::vector<double> circular_convolve(const std::vector<double>& a,
   return inverse_real(std::move(sa));
 }
 
+void Workspace::ensure(std::size_t padded) {
+  if (padded <= capacity_) return;
+  re_.allocate(padded * kBatchLanes);
+  im_.allocate(padded * kBatchLanes);
+  capacity_ = padded;
+  ++allocations_;
+}
+
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
 RowConvolver::RowConvolver(std::size_t row_length,
-                           const std::vector<double>& kernel)
-    : row_length_(row_length) {
+                           const std::vector<double>& kernel, Backend backend)
+    : row_length_(row_length), kernel_(&simd::select(backend)) {
   IFDK_ASSERT(row_length > 0);
   IFDK_ASSERT(!kernel.empty());
   // The ramp kernel is symmetric around its center; linear convolution output
   // sample i of the original row lives at padded index i + kernel_center.
   kernel_center_ = kernel.size() / 2;
   padded_ = next_pow2(row_length + kernel.size() - 1);
+  IFDK_ASSERT(padded_ <= std::numeric_limits<std::uint32_t>::max());
+  inv_n_ = 1.0 / static_cast<double>(padded_);
+
   std::vector<Complex> k(padded_, Complex(0, 0));
   for (std::size_t i = 0; i < kernel.size(); ++i) k[i] = Complex(kernel[i], 0);
   forward(k);
-  kernel_spectrum_ = std::move(k);
+  kernel_re_.resize(padded_);
+  kernel_im_.resize(padded_);
+  for (std::size_t i = 0; i < padded_; ++i) {
+    kernel_re_[i] = k[i].real();
+    kernel_im_[i] = k[i].imag();
+  }
+
+  // Bit-reversal permutation as explicit swap pairs: the same (i, j) swaps
+  // radix2() performs, recorded once so the batch kernels replay them
+  // without recomputing the reversed index per call.
+  for (std::size_t i = 1, j = 0; i < padded_; ++i) {
+    std::size_t bit = padded_ >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      swap_from_.push_back(static_cast<std::uint32_t>(i));
+      swap_to_.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  // Stage-packed twiddle tables: stage len occupies [len/2 - 1, len - 1)
+  // and holds exactly the w values of radix2()'s w *= wn recurrence, so a
+  // plan-driven transform rounds identically to the seed's per-call one.
+  const auto build = [this](int sign, std::vector<double>& tre,
+                            std::vector<double>& tim) {
+    tre.reserve(padded_ - 1);
+    tim.reserve(padded_ - 1);
+    for (std::size_t len = 2; len <= padded_; len <<= 1) {
+      const double angle = sign * 2.0 * kPi / static_cast<double>(len);
+      const Complex wn(std::cos(angle), std::sin(angle));
+      Complex w(1.0, 0.0);
+      for (std::size_t k2 = 0; k2 < len / 2; ++k2) {
+        tre.push_back(w.real());
+        tim.push_back(w.imag());
+        w *= wn;
+      }
+    }
+  };
+  build(-1, fwd_re_, fwd_im_);
+  build(+1, inv_re_, inv_im_);
+}
+
+simd::PlanView RowConvolver::plan_view() const {
+  simd::PlanView p;
+  p.n = padded_;
+  p.swap_from = swap_from_.data();
+  p.swap_to = swap_to_.data();
+  p.swaps = swap_from_.size();
+  p.fwd_re = fwd_re_.data();
+  p.fwd_im = fwd_im_.data();
+  p.inv_re = inv_re_.data();
+  p.inv_im = inv_im_.data();
+  p.kernel_re = kernel_re_.data();
+  p.kernel_im = kernel_im_.data();
+  p.inv_n = inv_n_;
+  return p;
+}
+
+void RowConvolver::convolve_batch(float* rows, std::size_t lanes,
+                                  Workspace& ws) const {
+  IFDK_ASSERT(lanes >= 1 && lanes <= kBatchLanes);
+  ws.ensure(padded_);
+  double* re = ws.re();
+  double* im = ws.im();
+  // Zero everything: the pad region must be zero for linear convolution,
+  // and inactive lanes must be zero so the AVX2 backend (which always
+  // transforms all kBatchLanes lanes) works on clean data.
+  const std::size_t total = padded_ * kBatchLanes;
+  std::fill(re, re + total, 0.0);
+  std::fill(im, im + total, 0.0);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const float* row = rows + l * row_length_;
+    for (std::size_t i = 0; i < row_length_; ++i) {
+      re[i * kBatchLanes + l] = static_cast<double>(row[i]);
+    }
+  }
+  kernel_->convolve(plan_view(), re, im, lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    float* row = rows + l * row_length_;
+    for (std::size_t i = 0; i < row_length_; ++i) {
+      row[i] = static_cast<float>(re[(i + kernel_center_) * kBatchLanes + l]);
+    }
+  }
+}
+
+void RowConvolver::convolve_row(float* row, Workspace& ws) const {
+  convolve_batch(row, 1, ws);
 }
 
 void RowConvolver::convolve_row(float* row) const {
-  std::vector<Complex> buf(padded_, Complex(0, 0));
-  for (std::size_t i = 0; i < row_length_; ++i) {
-    buf[i] = Complex(static_cast<double>(row[i]), 0);
+  convolve_batch(row, 1, thread_workspace());
+}
+
+void RowConvolver::convolve_rows(float* rows, std::size_t count,
+                                 Workspace& ws) const {
+  std::size_t r = 0;
+  for (; r + kBatchLanes <= count; r += kBatchLanes) {
+    convolve_batch(rows + r * row_length_, kBatchLanes, ws);
   }
-  forward(buf);
-  for (std::size_t i = 0; i < padded_; ++i) buf[i] *= kernel_spectrum_[i];
-  inverse(buf);
-  for (std::size_t i = 0; i < row_length_; ++i) {
-    row[i] = static_cast<float>(buf[i + kernel_center_].real());
+  if (r < count) {
+    convolve_batch(rows + r * row_length_, count - r, ws);
   }
+}
+
+void RowConvolver::convolve_rows(float* rows, std::size_t count) const {
+  convolve_rows(rows, count, thread_workspace());
 }
 
 std::vector<Complex> naive_dft(const std::vector<Complex>& data) {

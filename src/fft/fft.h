@@ -9,15 +9,34 @@
 //
 // All transforms are unnormalized in the forward direction; inverse applies
 // the 1/N factor (matching FFTW/IPP conventions).
+//
+// The hot path — RowConvolver — runs on the batch backends of fft/simd/:
+// rows are packed kBatchLanes at a time into an SoA workspace (one detector
+// row per vector lane) and transformed by a runtime-dispatched kernel
+// (scalar reference or AVX2). Every backend executes the same per-lane
+// operation sequence, so all backends — and batched vs single-row calls —
+// produce bitwise-identical filtered rows.
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
+
+#include "common/aligned.h"
+#include "fft/simd/batch_kernel.h"
 
 namespace ifdk::fft {
 
 using Complex = std::complex<double>;
+
+/// Backend selector for the batched row-convolution kernels, re-exported
+/// from fft::simd so callers configure `fft::Backend::kScalar` etc. without
+/// reaching into the backend namespace.
+using Backend = simd::Backend;
+
+/// Rows per SoA batch (one row per vector lane).
+inline constexpr std::size_t kBatchLanes = simd::kLanes;
 
 /// In-place forward FFT. `data.size()` may be any positive length; radix-2 is
 /// used when the length is a power of two, Bluestein otherwise.
@@ -38,30 +57,109 @@ std::vector<double> inverse_real(std::vector<Complex> spectrum);
 std::vector<double> circular_convolve(const std::vector<double>& a,
                                       const std::vector<double>& b);
 
+/// Caller-owned scratch for RowConvolver: two 64-byte-aligned SoA planes
+/// (real/imaginary) holding kBatchLanes zero-padded rows. A Workspace is
+/// NOT thread-safe — each thread uses its own (or the per-thread one from
+/// thread_workspace()) — which is what lets RowConvolver stay const and be
+/// shared freely across pooled threads. Reused across calls so steady-state
+/// filtering performs no heap allocation (the seed allocated a padded
+/// complex vector per row; see allocations()).
+class Workspace {
+ public:
+  /// Grows the planes to hold `padded` complex samples per lane; no-op when
+  /// already large enough. Called by RowConvolver before each batch.
+  void ensure(std::size_t padded);
+
+  /// Number of heap (re)allocations performed so far. Tests pin this to
+  /// prove that filtering any number of rows through one workspace
+  /// allocates at most once.
+  std::size_t allocations() const { return allocations_; }
+
+  /// Capacity in padded complex samples per lane.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Real plane: capacity() * kBatchLanes doubles, element i of lane l at
+  /// index i * kBatchLanes + l.
+  double* re() { return re_.data(); }
+
+  /// Imaginary plane, same layout as re().
+  double* im() { return im_.data(); }
+
+ private:
+  AlignedBuffer<double> re_;
+  AlignedBuffer<double> im_;
+  std::size_t capacity_ = 0;
+  std::size_t allocations_ = 0;
+};
+
+/// The calling thread's lazily-created Workspace. Backing store for the
+/// convenience overloads below and for pool workers that have no natural
+/// place to own scratch across tasks.
+Workspace& thread_workspace();
+
 /// Plan for repeated convolution of many rows with one fixed real kernel:
-/// the kernel spectrum is computed once, each row is transformed, multiplied
-/// and inverse-transformed. This is exactly the per-row work of Algorithm 1
-/// line 4. Rows are zero-padded to `padded_size()` internally.
+/// the kernel spectrum, bit-reversal swaps and per-stage twiddle factors are
+/// computed once; each row batch is transformed, multiplied and
+/// inverse-transformed by the selected simd backend. This is exactly the
+/// per-row work of Algorithm 1 line 4. Rows are zero-padded to
+/// `padded_size()` inside the workspace.
 class RowConvolver {
  public:
   /// `row_length` is Nu; `kernel` is the spatial-domain filter whose length
   /// determines the zero-padding (linear convolution requires
-  /// padded >= row_length + kernel.size() - 1; we round up to a power of two).
-  RowConvolver(std::size_t row_length, const std::vector<double>& kernel);
+  /// padded >= row_length + kernel.size() - 1; we round up to a power of
+  /// two, so the radix-2 kernels always apply). `backend` picks the batch
+  /// kernel; kAuto resolves here, once, to the fastest supported one.
+  RowConvolver(std::size_t row_length, const std::vector<double>& kernel,
+               Backend backend = Backend::kAuto);
 
+  /// Row length Nu this convolver was planned for.
   std::size_t row_length() const { return row_length_; }
+
+  /// Power-of-two padded FFT length.
   std::size_t padded_size() const { return padded_; }
 
+  /// Name of the batch kernel actually selected ("scalar" or "avx2").
+  const char* backend_name() const { return kernel_->name; }
+
   /// Convolves one row in place: row[0..Nu) <- (row * kernel)[Nu window].
-  /// The output window is centered so that a symmetric kernel leaves features
-  /// in place (standard FBP filtering alignment).
+  /// The output window is centered so that a symmetric kernel leaves
+  /// features in place (standard FBP filtering alignment). `ws` provides
+  /// the scratch planes and must not be shared across threads.
+  void convolve_row(float* row, Workspace& ws) const;
+
+  /// Convenience overload of convolve_row using thread_workspace().
   void convolve_row(float* row) const;
 
+  /// Convolves `count` contiguous rows (row r at rows + r * row_length())
+  /// in place, kBatchLanes rows per backend call plus one partial batch.
+  /// Bitwise-identical to `count` convolve_row calls.
+  void convolve_rows(float* rows, std::size_t count, Workspace& ws) const;
+
+  /// Convenience overload of convolve_rows using thread_workspace().
+  void convolve_rows(float* rows, std::size_t count) const;
+
  private:
+  /// One backend call: packs `lanes` <= kBatchLanes rows into the SoA
+  /// planes, convolves, unpacks the centered output window.
+  void convolve_batch(float* rows, std::size_t lanes, Workspace& ws) const;
+
+  /// Assembles the read-only view the batch kernels consume.
+  simd::PlanView plan_view() const;
+
   std::size_t row_length_;
   std::size_t padded_;
   std::size_t kernel_center_;
-  std::vector<Complex> kernel_spectrum_;
+  const simd::BatchKernel* kernel_;
+  double inv_n_;
+  std::vector<std::uint32_t> swap_from_;
+  std::vector<std::uint32_t> swap_to_;
+  std::vector<double> fwd_re_;
+  std::vector<double> fwd_im_;
+  std::vector<double> inv_re_;
+  std::vector<double> inv_im_;
+  std::vector<double> kernel_re_;
+  std::vector<double> kernel_im_;
 };
 
 /// Naive O(N^2) DFT used only by tests as an oracle.

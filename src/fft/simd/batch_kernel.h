@@ -1,0 +1,92 @@
+// SIMD backend layer for the ramp-filter FFT (paper Section 2.2.3).
+//
+// The filtering stage convolves every detector row with one fixed kernel via
+// forward FFT -> spectrum multiply -> inverse FFT. Rows are independent and
+// all share one plan (same padded length, same twiddles, same kernel
+// spectrum), so the natural vector unit of work is a BATCH of rows in SoA
+// layout: the workspace holds kLanes interleaved rows — element i of lane l
+// lives at index i * kLanes + l of the re/im planes — and every butterfly,
+// spectrum multiply, and scale is the *same* scalar operation applied to
+// kLanes rows at once. Because lanes never mix, a vector backend that
+// mirrors the scalar operation order per lane is bitwise-identical to the
+// scalar path (and a batch of N rows is bitwise-identical to N single-row
+// calls) by construction.
+//
+// Backends:
+//   * scalar — straight-line reference; reproduces the historical
+//     RowConvolver::convolve_row arithmetic operation for operation (same
+//     twiddle recurrence, same complex-multiply association, same 1/N
+//     scaling), one lane at a time.
+//   * avx2 — one __m256d per index covers all four double lanes. Built only
+//     when the toolchain targets x86 and IFDK_DISABLE_AVX2 is off; selected
+//     at runtime only when CPUID reports AVX2+FMA. Compiled with
+//     -ffp-contract=off so no mul/add pair of the scalar sequence is fused
+//     into a differently-rounded FMA.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ifdk::fft::simd {
+
+/// Rows per SoA batch: one detector row per vector lane (__m256d holds four
+/// doubles, so four rows saturate the AVX2 backend).
+inline constexpr std::size_t kLanes = 4;
+
+/// Which FFT batch backend a RowConvolver uses. kAuto resolves at runtime to
+/// the fastest backend the executing CPU supports.
+enum class Backend { kAuto, kScalar, kAvx2 };
+
+/// Human-readable backend name ("auto" / "scalar" / "avx2").
+const char* to_string(Backend backend);
+
+/// Read-only view of one RowConvolver plan: everything the batch kernel
+/// needs that does not depend on the row data. All pointers stay owned by
+/// the RowConvolver and outlive the call.
+struct PlanView {
+  std::size_t n = 0;  ///< padded FFT length (a power of two)
+  /// Bit-reversal permutation as precomputed swap pairs (from < to).
+  const std::uint32_t* swap_from = nullptr;
+  const std::uint32_t* swap_to = nullptr;
+  std::size_t swaps = 0;
+  /// Stage-packed butterfly twiddles (n - 1 values each): stage len starts
+  /// at offset len/2 - 1 and holds len/2 entries, exactly the w of the
+  /// radix-2 recurrence w *= wn.
+  const double* fwd_re = nullptr;
+  const double* fwd_im = nullptr;
+  const double* inv_re = nullptr;
+  const double* inv_im = nullptr;
+  /// Forward spectrum of the (zero-padded) kernel, n values per component.
+  const double* kernel_re = nullptr;
+  const double* kernel_im = nullptr;
+  double inv_n = 0.0;  ///< inverse-FFT normalization, 1/n
+};
+
+/// One batch of work: forward-transform, spectrum-multiply, inverse-transform
+/// and normalize `lanes` rows held in the SoA planes re/im (stride kLanes,
+/// inactive lanes zero-filled by the caller). On return the filtered row
+/// values sit in the real plane; the caller windows out
+/// [kernel_center, kernel_center + row_length).
+using ConvolveFn = void (*)(const PlanView& plan, double* re, double* im,
+                            std::size_t lanes);
+
+struct BatchKernel {
+  const char* name;
+  ConvolveFn convolve;
+};
+
+/// The scalar reference backend (always available).
+const BatchKernel& scalar_kernel();
+
+/// True when the AVX2 translation unit was built into this binary.
+bool avx2_compiled();
+
+/// True when the AVX2 backend is built in *and* the executing CPU reports
+/// AVX2+FMA — i.e. select(Backend::kAvx2) will succeed.
+bool avx2_supported();
+
+/// Resolves a backend choice to a kernel. kAuto prefers AVX2 when supported;
+/// an explicit kAvx2 request throws ConfigError when unsupported.
+const BatchKernel& select(Backend backend);
+
+}  // namespace ifdk::fft::simd

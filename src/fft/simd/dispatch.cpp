@@ -1,0 +1,59 @@
+// Runtime backend selection for the batched filter FFT: what was compiled in
+// (CMake decides whether the AVX2 TU exists) crossed with what the executing
+// CPU supports (CPUID via common/cpu_features). Mirrors the back-projection
+// dispatcher so one binary picks the fastest kernel on any host.
+#include "common/cpu_features.h"
+#include "common/error.h"
+#include "fft/simd/batch_kernel.h"
+
+namespace ifdk::fft::simd {
+
+#if defined(IFDK_HAVE_AVX2)
+const BatchKernel& avx2_kernel_impl();  // defined in batch_avx2.cpp
+#endif
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:   return "auto";
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2:   return "avx2";
+  }
+  return "?";
+}
+
+bool avx2_compiled() {
+#if defined(IFDK_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() {
+  const CpuFeatures& cpu = cpu_features();
+  return avx2_compiled() && cpu.avx2 && cpu.fma;
+}
+
+const BatchKernel& select(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return scalar_kernel();
+    case Backend::kAvx2:
+      IFDK_REQUIRE(avx2_supported(),
+                   "the AVX2 FFT backend is not available "
+                   "(not compiled in, or the CPU lacks AVX2/FMA)");
+#if defined(IFDK_HAVE_AVX2)
+      return avx2_kernel_impl();
+#else
+      break;  // unreachable: the REQUIRE above threw
+#endif
+    case Backend::kAuto:
+#if defined(IFDK_HAVE_AVX2)
+      if (avx2_supported()) return avx2_kernel_impl();
+#endif
+      return scalar_kernel();
+  }
+  return scalar_kernel();
+}
+
+}  // namespace ifdk::fft::simd

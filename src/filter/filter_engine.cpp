@@ -1,6 +1,8 @@
 #include "filter/filter_engine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
 #include "common/math_util.h"
@@ -11,6 +13,14 @@ FilterEngine::FilterEngine(const geo::CbctGeometry& geometry,
                            FilterOptions options)
     : geometry_(geometry), options_(options) {
   geometry_.validate();
+  // An oversized half-width would silently inflate padded_size() (and with
+  // it every transform) past the exact-convolution default; reject it here,
+  // where both numbers are known, instead of deep in the FFT plan.
+  IFDK_REQUIRE(options_.kernel_half_width < geometry_.nu,
+               "FilterOptions::kernel_half_width (" +
+                   std::to_string(options_.kernel_half_width) +
+                   ") must be < Nu (" + std::to_string(geometry_.nu) +
+                   "); 0 selects the exact full-row default Nu - 1");
 
   // Cosine weighting table: Fcos(u, v) = D / sqrt(D^2 + u~^2 + v~^2) with
   // (u~, v~) the physical offset of pixel (u, v) from the detector center.
@@ -37,46 +47,63 @@ FilterEngine::FilterEngine(const geo::CbctGeometry& geometry,
                                      ? options_.kernel_half_width
                                      : geometry_.nu - 1;
   kernel_ = make_ramp_kernel(half_width, tau, options_.window, scale);
-  convolver_ = std::make_unique<fft::RowConvolver>(geometry_.nu, kernel_);
+  convolver_ = std::make_unique<fft::RowConvolver>(geometry_.nu, kernel_,
+                                                   options_.fft_backend);
 }
 
-void FilterEngine::apply(Image2D& projection) const {
+void FilterEngine::filter_group(Image2D& projection, std::size_t group,
+                                fft::Workspace& ws) const {
+  const std::size_t v0 = group * fft::kBatchLanes;
+  const std::size_t rows = std::min(fft::kBatchLanes, geometry_.nv - v0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = projection.row(v0 + r);
+    const float* weight = cosine_.row(v0 + r);
+    for (std::size_t u = 0; u < geometry_.nu; ++u) row[u] *= weight[u];
+  }
+  // Image2D rows are contiguous, so the group is one batch entry point call.
+  convolver_->convolve_rows(projection.row(v0), rows, ws);
+}
+
+void FilterEngine::apply(Image2D& projection, fft::Workspace& ws) const {
   IFDK_REQUIRE(projection.width() == geometry_.nu &&
                    projection.height() == geometry_.nv,
                "projection size does not match the geometry");
-  auto filter_row = [this, &projection](std::size_t v) {
-    float* row = projection.row(v);
-    const float* weight = cosine_.row(v);
-    for (std::size_t u = 0; u < geometry_.nu; ++u) row[u] *= weight[u];
-    convolver_->convolve_row(row);
-  };
+  const std::size_t groups = div_ceil(geometry_.nv, fft::kBatchLanes);
   if (options_.pool != nullptr) {
-    options_.pool->parallel_for(0, geometry_.nv, filter_row);
-  } else {
-    for (std::size_t v = 0; v < geometry_.nv; ++v) filter_row(v);
+    // Pool workers can't share one workspace; each grabs its thread's own.
+    options_.pool->parallel_for(0, groups, [&](std::size_t g) {
+      filter_group(projection, g, fft::thread_workspace());
+    });
+    return;
   }
+  for (std::size_t g = 0; g < groups; ++g) filter_group(projection, g, ws);
+}
+
+void FilterEngine::apply(Image2D& projection) const {
+  apply(projection, fft::thread_workspace());
 }
 
 void FilterEngine::apply_batch(std::vector<Image2D>& projections) const {
   // Parallelism across whole projections (one OpenMP-style task per image,
   // matching the paper's "load and filter within the same thread" policy).
   if (options_.pool != nullptr) {
-    // Rows of a single image are filtered serially inside each task; tasks
-    // run concurrently across images.
+    // Row groups of a single image are filtered serially inside each task
+    // (on the task thread's workspace); tasks run concurrently across
+    // images.
     options_.pool->parallel_for(0, projections.size(), [&](std::size_t i) {
       IFDK_REQUIRE(projections[i].width() == geometry_.nu &&
                        projections[i].height() == geometry_.nv,
                    "projection size does not match the geometry");
-      for (std::size_t v = 0; v < geometry_.nv; ++v) {
-        float* row = projections[i].row(v);
-        const float* weight = cosine_.row(v);
-        for (std::size_t u = 0; u < geometry_.nu; ++u) row[u] *= weight[u];
-        convolver_->convolve_row(row);
+      fft::Workspace& ws = fft::thread_workspace();
+      const std::size_t groups = div_ceil(geometry_.nv, fft::kBatchLanes);
+      for (std::size_t g = 0; g < groups; ++g) {
+        filter_group(projections[i], g, ws);
       }
     });
     return;
   }
-  for (auto& p : projections) apply(p);
+  fft::Workspace ws;
+  for (auto& p : projections) apply(p, ws);
 }
 
 }  // namespace ifdk::filter

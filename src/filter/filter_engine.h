@@ -13,6 +13,10 @@
 //
 // The engine is what the paper runs on the CPUs: rows are independent, so a
 // ThreadPool parallelizes across them (the paper uses OpenMP + Intel IPP).
+// Rows feed the fft/simd batch backends fft::kBatchLanes at a time (SoA, one
+// row per vector lane); FilterOptions::fft_backend picks the kernel the same
+// way BpConfig::simd_backend does for back-projection, and every backend —
+// batched or row-at-a-time — produces bitwise-identical projections.
 #pragma once
 
 #include <cstddef>
@@ -30,18 +34,34 @@ namespace ifdk::filter {
 struct FilterOptions {
   RampWindow window = RampWindow::kRamLak;
   /// Ramp kernel half-width in samples; 0 means "cover the row" (Nu - 1),
-  /// which makes the FFT convolution exact for the full row support.
+  /// which makes the FFT convolution exact for the full row support. Any
+  /// other value must stay below Nu — FilterEngine rejects oversized widths
+  /// that would silently inflate the padded FFT size.
   std::size_t kernel_half_width = 0;
   /// Optional pool; filtering runs serially when null.
   ThreadPool* pool = nullptr;
+  /// Which FFT batch backend convolves the rows (kAuto = fastest supported
+  /// at runtime; kScalar / kAvx2 force one, mirroring BpConfig::simd_backend).
+  fft::Backend fft_backend = fft::Backend::kAuto;
 };
 
 class FilterEngine {
  public:
+  /// Validates the options against the geometry (throws ConfigError when
+  /// kernel_half_width >= Nu), builds the cosine table, the normalized ramp
+  /// kernel and the backend-dispatched row convolver.
   FilterEngine(const geo::CbctGeometry& geometry, FilterOptions options = {});
 
-  /// Filters one projection in place (cosine weighting + row convolution).
+  /// Filters one projection in place (cosine weighting + batched row
+  /// convolution) using the calling thread's workspace; pooled row batches
+  /// use their own per-thread workspaces.
   void apply(Image2D& projection) const;
+
+  /// Same, with caller-owned scratch: long-lived filtering threads own one
+  /// Workspace across projections so steady-state filtering never touches
+  /// the heap. `ws` serves the serial path; pool workers (when
+  /// FilterOptions::pool is set) use their per-thread workspaces instead.
+  void apply(Image2D& projection, fft::Workspace& ws) const;
 
   /// Filters a batch in place, parallelizing across projections and rows.
   void apply_batch(std::vector<Image2D>& projections) const;
@@ -52,7 +72,16 @@ class FilterEngine {
   /// The spatial ramp kernel after all normalization, exposed for tests.
   const std::vector<double>& kernel() const { return kernel_; }
 
+  /// Name of the FFT batch backend the convolver selected ("scalar" or
+  /// "avx2"), after kAuto resolution.
+  const char* fft_backend_name() const { return convolver_->backend_name(); }
+
  private:
+  /// Weights and convolves one kBatchLanes-row group (group g covers rows
+  /// [g * kBatchLanes, ...)); the unit of work both apply paths schedule.
+  void filter_group(Image2D& projection, std::size_t group,
+                    fft::Workspace& ws) const;
+
   geo::CbctGeometry geometry_;
   FilterOptions options_;
   Image2D cosine_;

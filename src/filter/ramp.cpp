@@ -1,5 +1,6 @@
 #include "filter/ramp.h"
 
+#include <cctype>
 #include <cmath>
 
 #include "common/error.h"
@@ -7,6 +8,20 @@
 #include "fft/fft.h"
 
 namespace ifdk::filter {
+
+namespace {
+
+// Lower-cases ASCII so window names parse case-insensitively ("Hann",
+// "HANN" and "hann" all select kHann).
+std::string to_lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* to_string(RampWindow w) {
   switch (w) {
@@ -20,12 +35,15 @@ const char* to_string(RampWindow w) {
 }
 
 RampWindow ramp_window_from_string(const std::string& name) {
-  if (name == "ram-lak") return RampWindow::kRamLak;
-  if (name == "shepp-logan") return RampWindow::kSheppLogan;
-  if (name == "cosine") return RampWindow::kCosine;
-  if (name == "hamming") return RampWindow::kHamming;
-  if (name == "hann") return RampWindow::kHann;
-  throw ConfigError("unknown ramp window: " + name);
+  const std::string lower = to_lower(name);
+  if (lower == "ram-lak") return RampWindow::kRamLak;
+  if (lower == "shepp-logan") return RampWindow::kSheppLogan;
+  if (lower == "cosine") return RampWindow::kCosine;
+  if (lower == "hamming") return RampWindow::kHamming;
+  if (lower == "hann") return RampWindow::kHann;
+  throw ConfigError("unknown ramp window \"" + name +
+                    "\"; valid windows are ram-lak, shepp-logan, cosine, "
+                    "hamming, hann (case-insensitive)");
 }
 
 namespace {
@@ -51,7 +69,12 @@ double window_gain(RampWindow window, double w) {
 
 std::vector<double> make_ramp_kernel(std::size_t half_width, double tau,
                                      RampWindow window, double scale) {
-  IFDK_ASSERT(half_width > 0);
+  // A configuration error, not a programming error: half_width reaches here
+  // straight from FilterOptions, so reject it with a ConfigError the caller
+  // can catch rather than aborting.
+  IFDK_REQUIRE(half_width > 0,
+               "ramp kernel half_width must be >= 1 (a one-tap kernel cannot "
+               "represent the band-limited ramp)");
   IFDK_ASSERT(tau > 0);
   const std::size_t len = 2 * half_width + 1;
 

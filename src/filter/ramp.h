@@ -26,13 +26,19 @@ enum class RampWindow {
   kHann,        ///< ramp * (0.5 + 0.5 cos)
 };
 
+/// Canonical lower-case name of a window ("ram-lak", "shepp-logan", ...).
 const char* to_string(RampWindow w);
+
+/// Parses a window name, case-insensitively, accepting exactly the
+/// to_string() spellings. Throws ConfigError naming the valid options for
+/// anything else.
 RampWindow ramp_window_from_string(const std::string& name);
 
 /// Builds the spatial-domain filter kernel of length 2*half_width+1 centered
 /// at index half_width. `tau` is the sample pitch the ramp is defined on and
 /// `scale` is an overall multiplier (the FDK normalization the caller bakes
-/// in: delta_beta * d^2 * tau / 2; see FilterEngine).
+/// in: delta_beta * d^2 * tau / 2; see FilterEngine). Throws ConfigError for
+/// half_width == 0 (a one-tap "ramp" cannot represent the filter).
 std::vector<double> make_ramp_kernel(std::size_t half_width, double tau,
                                      RampWindow window, double scale);
 

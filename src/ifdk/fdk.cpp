@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "fft/fft.h"
 
 namespace ifdk {
 
@@ -18,13 +19,16 @@ FdkResult reconstruct_fdk(const geo::CbctGeometry& geometry,
   std::vector<Image2D> filtered;
   result.timings.time("filter", [&] {
     filter::FilterEngine engine(geometry, options.filter);
+    // One FFT workspace for the whole stage: the scratch planes allocate
+    // once and every projection reuses them.
+    fft::Workspace fft_ws;
     filtered.reserve(projections.size());
     for (const auto& p : projections) {
       Image2D copy(p.width(), p.height(), /*zero_fill=*/false);
       for (std::size_t n = 0; n < p.pixels(); ++n) {
         copy.data()[n] = p.data()[n];
       }
-      engine.apply(copy);
+      engine.apply(copy, fft_ws);
       filtered.push_back(std::move(copy));
     }
   });

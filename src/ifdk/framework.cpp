@@ -12,6 +12,7 @@
 #include "common/circular_buffer.h"
 #include "common/error.h"
 #include "engine/engine.h"
+#include "fft/fft.h"
 #include "gpusim/kernel_model.h"
 #include "minimpi/minimpi.h"
 
@@ -165,6 +166,9 @@ class BlockingFdkWorkload final : public engine::Workload {
     StageTimer filter_timer;
     std::thread filtering_thread([&] {
       try {
+        // Thread-owned FFT scratch: one allocation for the whole run instead
+        // of one per filtered row.
+        fft::Workspace fft_ws;
         for (std::size_t t = 0; t < per_rank; ++t) {
           const std::size_t s = owned_index(t);
           Image2D img(geometry.nu, geometry.nv, /*zero_fill=*/false);
@@ -172,7 +176,7 @@ class BlockingFdkWorkload final : public engine::Workload {
             fs_.read_object(object_name(options.input_prefix, s), img.data(),
                             img.bytes());
           });
-          filter_timer.time("filter", [&] { engine.apply(img); });
+          filter_timer.time("filter", [&] { engine.apply(img, fft_ws); });
           if (!q_filtered.push(Filtered{s, std::move(img)})) {
             throw QueueClosedError(
                 "iFDK pipeline: filtered-projection queue closed before all "
@@ -547,6 +551,9 @@ class FdkStreamWorkload final : public engine::Workload {
         try {
           std::optional<filter::FilterEngine> engine;
           const geo::CbctGeometry* engine_geom = nullptr;
+          // Thread-owned FFT scratch, reused across volumes (Workspace only
+          // grows, so a geometry change at most reallocates once).
+          fft::Workspace fft_ws;
           for (std::size_t v = 0; v < n_volumes; ++v) {
             const DecompositionPlan& plan = plans[v];
             if (engine_geom == nullptr || !(*engine_geom == plan.geometry)) {
@@ -563,7 +570,7 @@ class FdkStreamWorkload final : public engine::Workload {
                 fs.read_object(object_name(volumes[v].input_prefix, s),
                                img.data(), img.bytes());
               });
-              filter_timer.time("filter", [&] { engine->apply(img); });
+              filter_timer.time("filter", [&] { engine->apply(img, fft_ws); });
               if (!q_filtered.push(Filtered{v, s, std::move(img)})) {
                 throw QueueClosedError(
                     "iFDK streaming: filtered-projection queue closed before "
@@ -803,6 +810,8 @@ class FdkStreamWorkload final : public engine::Workload {
         // grid's in-flight round).
         std::optional<filter::FilterEngine> engine;
         const geo::CbctGeometry* engine_geom = nullptr;
+        // Worker-owned FFT scratch for the fused filter stage.
+        fft::Workspace fft_ws;
         std::vector<mpi::Comm::Request> reqs[2];
         bool have_pending = false;
         std::size_t pending_v = 0;
@@ -828,7 +837,7 @@ class FdkStreamWorkload final : public engine::Workload {
               fs.read_object(object_name(volumes[v].input_prefix, s),
                              img.data(), img.bytes());
             });
-            main_timer.time("filter", [&] { engine->apply(img); });
+            main_timer.time("filter", [&] { engine->apply(img, fft_ws); });
             main_timer.time("allgather", [&] {
               const int tag = static_cast<int>(g % (std::size_t{1} << 20));
               std::vector<float>& buf = gather_recv[g % 2];

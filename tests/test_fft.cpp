@@ -10,6 +10,7 @@
 #include "common/math_util.h"
 #include "common/rng.h"
 #include "fft/fft.h"
+#include "filter/ramp.h"
 
 namespace ifdk::fft {
 namespace {
@@ -168,6 +169,119 @@ TEST(RowConvolver, PaddedSizeIsPowerOfTwoAndSufficient) {
   RowConvolver conv(100, kernel);
   EXPECT_TRUE(is_pow2(conv.padded_size()));
   EXPECT_GE(conv.padded_size(), 100 + 33 - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property suite: the FFT convolver against direct O(n^2) linear convolution
+// ---------------------------------------------------------------------------
+
+// Direct linear convolution reference, windowed exactly like convolve_row:
+// out[i] = sum_t kernel[t] * in[i + center - t].
+std::vector<float> direct_convolve(const std::vector<float>& in,
+                                   const std::vector<double>& kernel) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(in.size());
+  const std::ptrdiff_t center = static_cast<std::ptrdiff_t>(kernel.size() / 2);
+  std::vector<float> out(in.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double acc = 0;
+    for (std::ptrdiff_t t = 0;
+         t < static_cast<std::ptrdiff_t>(kernel.size()); ++t) {
+      const std::ptrdiff_t src = i + center - t;
+      if (src >= 0 && src < n) {
+        acc += kernel[static_cast<std::size_t>(t)] *
+               static_cast<double>(in[static_cast<std::size_t>(src)]);
+      }
+    }
+    out[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+// Odd and even row lengths, including ones whose padded power of two sits
+// just above/below the naive guess; ramp half-widths both full (Nu - 1) and
+// truncated.
+TEST(RowConvolverProperty, MatchesDirectAcrossRowLengthsAndWindows) {
+  const std::size_t row_lengths[] = {7, 8, 31, 32, 33, 64, 100, 101};
+  std::uint64_t seed = 1;
+  for (const std::size_t nu : row_lengths) {
+    for (const auto w :
+         {filter::RampWindow::kRamLak, filter::RampWindow::kSheppLogan,
+          filter::RampWindow::kCosine, filter::RampWindow::kHamming,
+          filter::RampWindow::kHann}) {
+      for (const std::size_t half_width : {nu - 1, nu / 2, std::size_t{1}}) {
+        const auto kernel =
+            filter::make_ramp_kernel(half_width, 0.8, w, 1.7);
+        Rng rng(seed++);
+        std::vector<float> row(nu);
+        for (auto& v : row) v = static_cast<float>(rng.next_double() * 2 - 1);
+        const auto expected = direct_convolve(row, kernel);
+        RowConvolver conv(nu, kernel);
+        conv.convolve_row(row.data());
+        for (std::size_t i = 0; i < nu; ++i) {
+          EXPECT_NEAR(row[i], expected[i], 2e-4)
+              << "nu=" << nu << " window=" << filter::to_string(w)
+              << " half_width=" << half_width << " sample " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RowConvolverProperty, BatchedMatchesDirectOnPartialBatches) {
+  // Row counts straddling the kBatchLanes boundary: partial batches, one
+  // exact batch, and a batch-plus-remainder all reduce to the same direct
+  // convolution.
+  const std::size_t nu = 45;
+  const auto kernel = filter::make_ramp_kernel(nu - 1, 1.1,
+                                               filter::RampWindow::kHamming,
+                                               0.9);
+  RowConvolver conv(nu, kernel);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                  kBatchLanes, kBatchLanes + 1,
+                                  3 * kBatchLanes + 2}) {
+    Rng rng(41 + count);
+    std::vector<float> rows(count * nu);
+    for (auto& v : rows) v = static_cast<float>(rng.next_double() * 2 - 1);
+    std::vector<std::vector<float>> expected;
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::vector<float> one(rows.begin() +
+                                       static_cast<std::ptrdiff_t>(r * nu),
+                                   rows.begin() +
+                                       static_cast<std::ptrdiff_t>((r + 1) *
+                                                                   nu));
+      expected.push_back(direct_convolve(one, kernel));
+    }
+    conv.convolve_rows(rows.data(), count);
+    for (std::size_t r = 0; r < count; ++r) {
+      for (std::size_t i = 0; i < nu; ++i) {
+        EXPECT_NEAR(rows[r * nu + i], expected[r][i], 2e-4)
+            << "count=" << count << " row " << r << " sample " << i;
+      }
+    }
+  }
+}
+
+// The convolver itself always pads to a power of two, so its radix-2 plan
+// never hits Bluestein; the chirp-z path serves the generic transforms.
+// Pin the non-power-of-two circular convolution (forward + multiply +
+// inverse through Bluestein) against the direct O(n^2) sum.
+TEST(FftProperty, BluesteinCircularConvolutionMatchesDirect) {
+  for (const std::size_t n :
+       {std::size_t{6}, std::size_t{10}, std::size_t{24}, std::size_t{50},
+        std::size_t{96}, std::size_t{250}}) {
+    Rng rng(7 * n);
+    std::vector<double> a(n), b(n);
+    for (auto& v : a) v = rng.next_double() - 0.5;
+    for (auto& v : b) v = rng.next_double() - 0.5;
+    const auto fast = circular_convolve(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      double direct = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        direct += a[j] * b[(i + n - j) % n];
+      }
+      EXPECT_NEAR(fast[i], direct, 1e-9) << "n=" << n << " lag " << i;
+    }
+  }
 }
 
 }  // namespace

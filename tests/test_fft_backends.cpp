@@ -1,0 +1,280 @@
+// FFT batch-backend equivalence suite, modeled on test_simd_backends: the
+// scalar batch backend is the bitwise reference (it replays the historical
+// convolve_row arithmetic operation for operation), the AVX2 backend must
+// match it bitwise on every row — and batched calls must match single-row
+// calls bitwise, whatever the backend, because lanes never mix. Also covers
+// the runtime dispatch semantics, the workspace allocation contract (the
+// seed allocated a padded complex vector per filtered row), and full
+// filtered-projection equivalence through FilterEngine on phantom data.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
+#include "fft/fft.h"
+#include "fft/simd/batch_kernel.h"
+#include "filter/filter_engine.h"
+#include "filter/ramp.h"
+#include "geometry/cbct.h"
+#include "phantom/phantom.h"
+
+namespace ifdk::fft {
+namespace {
+
+std::vector<float> random_rows(std::size_t count, std::size_t nu,
+                               unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> rows(count * nu);
+  for (float& x : rows) x = dist(rng);
+  return rows;
+}
+
+std::vector<double> test_kernel(std::size_t half_width) {
+  return filter::make_ramp_kernel(half_width, 0.7, filter::RampWindow::kHann,
+                                  1.3);
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch semantics
+// ---------------------------------------------------------------------------
+
+TEST(FftDispatch, ScalarAlwaysAvailable) {
+  EXPECT_STREQ(simd::scalar_kernel().name, "scalar");
+  EXPECT_EQ(&simd::select(Backend::kScalar), &simd::scalar_kernel());
+}
+
+TEST(FftDispatch, AutoSelectsSupportedBackend) {
+  const simd::BatchKernel& k = simd::select(Backend::kAuto);
+  if (simd::avx2_supported()) {
+    EXPECT_STREQ(k.name, "avx2");
+  } else {
+    EXPECT_STREQ(k.name, "scalar");
+  }
+}
+
+TEST(FftDispatch, SupportImpliesCompiledAndCpu) {
+  if (simd::avx2_supported()) {
+    EXPECT_TRUE(simd::avx2_compiled());
+    EXPECT_TRUE(cpu_features().avx2);
+    EXPECT_TRUE(cpu_features().fma);
+  }
+}
+
+TEST(FftDispatch, ExplicitAvx2ThrowsWhenUnsupported) {
+  const auto kernel = test_kernel(8);
+  if (simd::avx2_supported()) {
+    EXPECT_NO_THROW(RowConvolver(64, kernel, Backend::kAvx2));
+  } else {
+    EXPECT_THROW(RowConvolver(64, kernel, Backend::kAvx2), ConfigError);
+  }
+}
+
+TEST(FftDispatch, BackendNameReportsResolvedKernel) {
+  const auto kernel = test_kernel(8);
+  EXPECT_STREQ(RowConvolver(64, kernel, Backend::kScalar).backend_name(),
+               "scalar");
+  EXPECT_STREQ(RowConvolver(64, kernel).backend_name(),
+               simd::avx2_supported() ? "avx2" : "scalar");
+}
+
+TEST(FftDispatch, ToStringCoversAllBackends) {
+  EXPECT_STREQ(simd::to_string(Backend::kAuto), "auto");
+  EXPECT_STREQ(simd::to_string(Backend::kScalar), "scalar");
+  EXPECT_STREQ(simd::to_string(Backend::kAvx2), "avx2");
+}
+
+// ---------------------------------------------------------------------------
+// Workspace allocation contract
+// ---------------------------------------------------------------------------
+
+TEST(FftWorkspace, AllocatesOnceAcrossManyBatches) {
+  const RowConvolver conv(97, test_kernel(17), Backend::kScalar);
+  Workspace ws;
+  EXPECT_EQ(ws.allocations(), 0u);
+  auto rows = random_rows(37, conv.row_length(), 1);
+  for (int pass = 0; pass < 4; ++pass) {
+    conv.convolve_rows(rows.data(), 37, ws);
+    for (std::size_t r = 0; r < 37; ++r) {
+      conv.convolve_row(rows.data() + r * conv.row_length(), ws);
+    }
+  }
+  // One growth at first use; every subsequent row and batch reuses it. The
+  // seed allocated a fresh padded complex vector on every convolve_row.
+  EXPECT_EQ(ws.allocations(), 1u);
+}
+
+TEST(FftWorkspace, GrowsOnlyWhenCapacityIsExceeded) {
+  Workspace ws;
+  const RowConvolver small(32, test_kernel(8), Backend::kScalar);
+  const RowConvolver large(512, test_kernel(128), Backend::kScalar);
+  auto rows = random_rows(1, 512, 2);
+  small.convolve_row(rows.data(), ws);
+  EXPECT_EQ(ws.allocations(), 1u);
+  large.convolve_row(rows.data(), ws);
+  EXPECT_EQ(ws.allocations(), 2u);
+  EXPECT_GE(ws.capacity(), large.padded_size());
+  small.convolve_row(rows.data(), ws);  // shrink never reallocates
+  EXPECT_EQ(ws.allocations(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs single-row, scalar vs AVX2 — all bitwise
+// ---------------------------------------------------------------------------
+
+// Row lengths covering odd/even Nu and padded sizes from tiny to typical.
+const std::size_t kRowLengths[] = {5, 16, 33, 64, 100, 256};
+
+TEST(FftBackendEquivalence, BatchedMatchesSingleRowBitwiseScalar) {
+  for (const std::size_t nu : kRowLengths) {
+    const RowConvolver conv(nu, test_kernel(nu / 2 + 1), Backend::kScalar);
+    // 11 rows: two full batches plus a 3-lane partial batch.
+    auto batched = random_rows(11, nu, 3);
+    auto single = batched;
+    conv.convolve_rows(batched.data(), 11);
+    for (std::size_t r = 0; r < 11; ++r) {
+      conv.convolve_row(single.data() + r * nu);
+    }
+    EXPECT_TRUE(bitwise_equal(batched, single)) << "nu=" << nu;
+  }
+}
+
+TEST(FftBackendEquivalence, Avx2MatchesScalarBitwise) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  for (const std::size_t nu : kRowLengths) {
+    const auto kernel = test_kernel(nu / 2 + 1);
+    const RowConvolver scalar(nu, kernel, Backend::kScalar);
+    const RowConvolver avx2(nu, kernel, Backend::kAvx2);
+    auto a = random_rows(11, nu, 4);
+    auto b = a;
+    scalar.convolve_rows(a.data(), 11);
+    avx2.convolve_rows(b.data(), 11);
+    EXPECT_TRUE(bitwise_equal(a, b)) << "nu=" << nu << " batched";
+
+    auto c = random_rows(3, nu, 5);
+    auto d = c;
+    for (std::size_t r = 0; r < 3; ++r) {
+      scalar.convolve_row(c.data() + r * nu);
+      avx2.convolve_row(d.data() + r * nu);
+    }
+    EXPECT_TRUE(bitwise_equal(c, d)) << "nu=" << nu << " single-row";
+  }
+}
+
+TEST(FftBackendEquivalence, AllWindowsAllBackendsBitwise) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const std::size_t nu = 96;
+  for (const auto w :
+       {filter::RampWindow::kRamLak, filter::RampWindow::kSheppLogan,
+        filter::RampWindow::kCosine, filter::RampWindow::kHamming,
+        filter::RampWindow::kHann}) {
+    const auto kernel = filter::make_ramp_kernel(nu - 1, 0.9, w, 2.0);
+    const RowConvolver scalar(nu, kernel, Backend::kScalar);
+    const RowConvolver avx2(nu, kernel, Backend::kAvx2);
+    auto a = random_rows(6, nu, 6);
+    auto b = a;
+    scalar.convolve_rows(a.data(), 6);
+    avx2.convolve_rows(b.data(), 6);
+    EXPECT_TRUE(bitwise_equal(a, b)) << filter::to_string(w);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full filtered projections through FilterEngine (phantom data)
+// ---------------------------------------------------------------------------
+
+std::vector<Image2D> phantom_projections(const geo::CbctGeometry& g) {
+  return phantom::project_all(phantom::shepp_logan(), g);
+}
+
+// Odd Nv (37) forces a partial final row batch in every projection.
+geo::CbctGeometry grid_geometry() {
+  auto g = geo::make_standard_geometry({{48, 37, 12}, {32, 32, 32}});
+  return g;
+}
+
+void expect_projections_bitwise(const std::vector<Image2D>& a,
+                                const std::vector<Image2D>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    ASSERT_EQ(a[n].pixels(), b[n].pixels());
+    EXPECT_EQ(std::memcmp(a[n].data(), b[n].data(),
+                          a[n].pixels() * sizeof(float)),
+              0)
+        << "projection " << n;
+  }
+}
+
+std::vector<Image2D> filter_all(const geo::CbctGeometry& g,
+                                filter::FilterOptions options) {
+  auto projections = phantom_projections(g);
+  filter::FilterEngine engine(g, options);
+  engine.apply_batch(projections);
+  return projections;
+}
+
+TEST(FilterBackendEquivalence, Avx2ProjectionsMatchScalarBitwise) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const auto g = grid_geometry();
+  filter::FilterOptions scalar;
+  scalar.fft_backend = Backend::kScalar;
+  filter::FilterOptions avx2;
+  avx2.fft_backend = Backend::kAvx2;
+  expect_projections_bitwise(filter_all(g, scalar), filter_all(g, avx2));
+}
+
+TEST(FilterBackendEquivalence, PooledMatchesSerialBitwise) {
+  const auto g = grid_geometry();
+  ThreadPool pool(4);
+  filter::FilterOptions serial;
+  serial.fft_backend = Backend::kScalar;
+  filter::FilterOptions pooled = serial;
+  pooled.pool = &pool;
+  expect_projections_bitwise(filter_all(g, serial), filter_all(g, pooled));
+}
+
+TEST(FilterBackendEquivalence, PooledAvx2MatchesSerialScalarBitwise) {
+  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+  const auto g = grid_geometry();
+  ThreadPool pool(4);
+  filter::FilterOptions scalar;
+  scalar.fft_backend = Backend::kScalar;
+  filter::FilterOptions pooled_avx2;
+  pooled_avx2.fft_backend = Backend::kAvx2;
+  pooled_avx2.pool = &pool;
+  expect_projections_bitwise(filter_all(g, scalar),
+                             filter_all(g, pooled_avx2));
+}
+
+TEST(FilterBackendEquivalence, CallerWorkspaceMatchesThreadLocalBitwise) {
+  const auto g = grid_geometry();
+  auto a = phantom_projections(g);
+  std::vector<Image2D> b;
+  for (const auto& p : a) {
+    Image2D copy(p.width(), p.height(), /*zero_fill=*/false);
+    std::memcpy(copy.data(), p.data(), p.pixels() * sizeof(float));
+    b.push_back(std::move(copy));
+  }
+  filter::FilterEngine engine(g);
+  Workspace ws;
+  for (auto& p : a) engine.apply(p, ws);
+  for (auto& p : b) engine.apply(p);
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    EXPECT_EQ(std::memcmp(a[n].data(), b[n].data(),
+                          a[n].pixels() * sizeof(float)),
+              0)
+        << "projection " << n;
+  }
+}
+
+}  // namespace
+}  // namespace ifdk::fft

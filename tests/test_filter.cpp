@@ -93,6 +93,35 @@ TEST(Ramp, WindowRoundTrip) {
   EXPECT_THROW(ramp_window_from_string("boxcar"), ConfigError);
 }
 
+TEST(Ramp, WindowParsingIsCaseInsensitive) {
+  EXPECT_EQ(ramp_window_from_string("Ram-Lak"), RampWindow::kRamLak);
+  EXPECT_EQ(ramp_window_from_string("SHEPP-LOGAN"), RampWindow::kSheppLogan);
+  EXPECT_EQ(ramp_window_from_string("Cosine"), RampWindow::kCosine);
+  EXPECT_EQ(ramp_window_from_string("HaMMinG"), RampWindow::kHamming);
+  EXPECT_EQ(ramp_window_from_string("HANN"), RampWindow::kHann);
+}
+
+TEST(Ramp, UnknownWindowErrorNamesTheValidOptions) {
+  try {
+    ramp_window_from_string("boxcar");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown ramp window \"boxcar\""), std::string::npos)
+        << msg;
+    for (const char* name :
+         {"ram-lak", "shepp-logan", "cosine", "hamming", "hann"}) {
+      EXPECT_NE(msg.find(name), std::string::npos) << msg << " missing "
+                                                   << name;
+    }
+  }
+}
+
+TEST(Ramp, ZeroHalfWidthIsAConfigError) {
+  EXPECT_THROW(make_ramp_kernel(0, 1.0, RampWindow::kRamLak, 1.0),
+               ConfigError);
+}
+
 TEST(FilterEngine, CosineTableShape) {
   const auto g = small_geometry();
   FilterEngine engine(g);
@@ -208,6 +237,39 @@ TEST(FilterEngine, RejectsMismatchedProjection) {
   FilterEngine engine(g);
   Image2D wrong(32, 32);
   EXPECT_THROW(engine.apply(wrong), ConfigError);
+}
+
+TEST(FilterEngine, RejectsOversizedKernelHalfWidth) {
+  // An oversized half-width used to silently inflate padded_size(); now the
+  // constructor rejects it, naming both the offending value and Nu.
+  const auto g = small_geometry();
+  FilterOptions options;
+  options.kernel_half_width = g.nu;  // first invalid value
+  try {
+    FilterEngine engine(g, options);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kernel_half_width"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(g.nu)), std::string::npos) << msg;
+  }
+  // The largest valid width is Nu - 1, which is also what 0 selects.
+  options.kernel_half_width = g.nu - 1;
+  EXPECT_NO_THROW(FilterEngine(g, options));
+}
+
+TEST(FilterEngine, DefaultHalfWidthEqualsExplicitFullRow) {
+  // 0 means "cover the row": the default engine and an explicit Nu - 1 must
+  // build the identical kernel.
+  const auto g = small_geometry();
+  FilterOptions expl;
+  expl.kernel_half_width = g.nu - 1;
+  FilterEngine a(g), b(g, expl);
+  ASSERT_EQ(a.kernel().size(), 2 * (g.nu - 1) + 1);
+  ASSERT_EQ(a.kernel().size(), b.kernel().size());
+  for (std::size_t i = 0; i < a.kernel().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.kernel()[i], b.kernel()[i]) << "tap " << i;
+  }
 }
 
 TEST(FilterEngine, WindowChangesKernelNotCost) {

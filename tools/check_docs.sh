@@ -11,7 +11,8 @@
 #    src/ifdk/plan.h — src/pfs, src/cluster, which consumes the plan,
 #    src/service, the scheduler front door over it, src/engine, the
 #    execution engine beneath both workloads, src/iterative, the second
-#    workload, and src/projector, its forward operator) must carry a doc
+#    workload, src/projector, its forward operator, and src/fft +
+#    src/filter, the batched SIMD ramp-filter stage) must carry a doc
 #    comment on the line above (grep/awk heuristic:
 #    two-space-indented class members and column-0 free functions;
 #    move/copy boilerplate, destructors and `= default/delete` lines are
@@ -79,7 +80,8 @@ check_header() {
 
 for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h \
               src/service/*.h src/engine/*.h src/iterative/*.h \
-              src/projector/*.h src/postproc/*.h; do
+              src/projector/*.h src/postproc/*.h src/fft/*.h \
+              src/fft/simd/*.h src/filter/*.h; do
   if ! check_header "$header"; then
     fail=1
   fi
