@@ -3,10 +3,13 @@
 // performance engineer would profile when porting iFDK to new hardware.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "backproj/backprojector.h"
 #include "bench_common.h"
+#include "common/simd_dispatch.h"
 #include "common/thread_pool.h"
 #include "fft/fft.h"
 #include "filter/filter_engine.h"
@@ -53,15 +56,22 @@ void BM_BackprojectProposed(benchmark::State& state) {
 }
 BENCHMARK(BM_BackprojectProposed)->Unit(benchmark::kMillisecond);
 
+// Arg(n) -> the n-th concrete backend (widest first: avx512, avx2, neon,
+// scalar); benchmarks for backends this CPU/build lacks skip with an error
+// label rather than silently measuring the wrong kernel.
+simd::Backend backend_arg(std::int64_t n) {
+  return ifdk::simd::kConcreteBackends[static_cast<std::size_t>(n)];
+}
+
 void BM_BackprojectProposedBackend(benchmark::State& state) {
-  // The same Algorithm-4 kernel pinned to one SIMD column backend
-  // (0 = scalar reference, 1 = AVX2): the per-backend rows the scalar-vs-
-  // vector speedup in EXPERIMENTS.md is read from.
-  const bp::simd::Backend backend = state.range(0) == 0
-                                        ? bp::simd::Backend::kScalar
-                                        : bp::simd::Backend::kAvx2;
-  if (backend == bp::simd::Backend::kAvx2 && !bp::simd::avx2_supported()) {
-    state.SkipWithError("AVX2 backend unavailable on this CPU/build");
+  // The same Algorithm-4 kernel pinned to one SIMD column backend: the
+  // per-backend rows the scalar-vs-vector speedup in EXPERIMENTS.md is read
+  // from.
+  const simd::Backend backend = backend_arg(state.range(0));
+  if (!ifdk::simd::supported(backend)) {
+    const std::string msg = std::string(ifdk::simd::to_string(backend)) +
+                            " backend unavailable on this CPU/build";
+    state.SkipWithError(msg.c_str());
     return;
   }
   const bench::Scene& scene = shared_scene();
@@ -81,8 +91,7 @@ void BM_BackprojectProposedBackend(benchmark::State& state) {
 }
 BENCHMARK(BM_BackprojectProposedBackend)
     ->Unit(benchmark::kMillisecond)
-    ->Arg(0)   // scalar
-    ->Arg(1);  // avx2
+    ->DenseRange(0, 3);  // avx512, avx2, neon, scalar
 
 void BM_BackprojectProposedPooled(benchmark::State& state) {
   // The thread-pooled Algorithm-4 kernel with cache-blocked k-slab
@@ -127,13 +136,13 @@ void BM_FilterProjection(benchmark::State& state) {
 BENCHMARK(BM_FilterProjection)->Unit(benchmark::kMicrosecond);
 
 void BM_FilterProjectionBackend(benchmark::State& state) {
-  // The filtering stage pinned to one FFT batch backend (0 = scalar
-  // reference, 1 = AVX2): the per-backend rows the filter speedup in
-  // EXPERIMENTS.md is read from.
-  const fft::Backend backend =
-      state.range(0) == 0 ? fft::Backend::kScalar : fft::Backend::kAvx2;
-  if (backend == fft::Backend::kAvx2 && !fft::simd::avx2_supported()) {
-    state.SkipWithError("AVX2 backend unavailable on this CPU/build");
+  // The filtering stage pinned to one FFT batch backend: the per-backend
+  // rows the filter speedup in EXPERIMENTS.md is read from.
+  const fft::Backend backend = backend_arg(state.range(0));
+  if (!ifdk::simd::supported(backend)) {
+    const std::string msg = std::string(ifdk::simd::to_string(backend)) +
+                            " backend unavailable on this CPU/build";
+    state.SkipWithError(msg.c_str());
     return;
   }
   const bench::Scene& scene = shared_scene();
@@ -153,8 +162,7 @@ void BM_FilterProjectionBackend(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterProjectionBackend)
     ->Unit(benchmark::kMicrosecond)
-    ->Arg(0)   // scalar
-    ->Arg(1);  // avx2
+    ->DenseRange(0, 3);  // avx512, avx2, neon, scalar
 
 void BM_ProjectionTranspose(benchmark::State& state) {
   // Alg. 4 line 3 — the paper argues its cost is a small fraction of the

@@ -15,6 +15,8 @@
 
 #include "backproj/backprojector.h"
 #include "bench_common.h"
+#include "common/cpu_features.h"
+#include "common/simd_dispatch.h"
 #include "common/thread_pool.h"
 #include "fft/fft.h"
 #include "filter/filter_engine.h"
@@ -280,10 +282,11 @@ struct FilterRow {
 
 /// Filter-stage smoke point: per-backend rows for the FFT batch backend
 /// layer, plus the backend kAuto resolves to on this machine (what the
-/// production filtering threads run).
+/// production filtering threads run) and its SoA lane count (8 on avx512,
+/// 4 elsewhere).
 struct FilterResult {
   const char* backend = "scalar";
-  std::size_t lanes = fft::kBatchLanes;
+  std::size_t lanes = 4;
   std::vector<FilterRow> rows;
 };
 
@@ -322,9 +325,14 @@ FilterResult time_filter(const bench::Scene& scene, int runs) {
               }
             }));
   };
-  time_backend(fft::Backend::kScalar, "filter_scalar");
-  if (fft::simd::avx2_supported()) {
-    time_backend(fft::Backend::kAvx2, "filter_avx2");
+  f.lanes = fft::RowConvolver(nu, kernel).batch_lanes();
+  // Every backend this CPU/build supports, widest first (list_backends()
+  // order), so the JSON always carries the full measured backend matrix.
+  for (const ifdk::simd::BackendInfo& info : ifdk::simd::list_backends()) {
+    if (!info.supported) continue;
+    time_backend(info.backend,
+                 (std::string("filter_") + ifdk::simd::to_string(info.backend))
+                     .c_str());
   }
   return f;
 }
@@ -371,15 +379,17 @@ int main(int argc, char** argv) {
   pooled.pool = &pool;
   results.push_back(time_backprojection("backproject_proposed_pooled", scene,
                                         pooled, kRuns));
-  bp::BpConfig scalar_cfg = bp::config_for(bp::KernelVariant::kL1Tran);
-  scalar_cfg.simd_backend = bp::simd::Backend::kScalar;
-  results.push_back(time_backprojection("backproject_proposed_scalar", scene,
-                                        scalar_cfg, kRuns));
-  if (bp::simd::avx2_supported()) {
-    bp::BpConfig avx2_cfg = bp::config_for(bp::KernelVariant::kL1Tran);
-    avx2_cfg.simd_backend = bp::simd::Backend::kAvx2;
-    results.push_back(time_backprojection("backproject_proposed_avx2", scene,
-                                          avx2_cfg, kRuns));
+  // One pinned row per backend this CPU/build supports, widest first, so
+  // the JSON always carries the full measured backend matrix.
+  for (const simd::BackendInfo& info : simd::list_backends()) {
+    if (!info.supported) continue;
+    bp::BpConfig cfg = bp::config_for(bp::KernelVariant::kL1Tran);
+    cfg.simd_backend = info.backend;
+    results.push_back(time_backprojection(
+        ("backproject_proposed_" +
+         std::string(simd::to_string(info.backend)))
+            .c_str(),
+        scene, cfg, kRuns));
   }
 
   {
@@ -431,6 +441,20 @@ int main(int argc, char** argv) {
                scene.g.nz);
   std::fprintf(out, "  \"threads\": %zu,\n  \"simd_backend\": \"%s\",\n",
                hw, active_backend);
+  // Full detected feature set of the executing CPU, so a trajectory point
+  // is attributable to the hardware it ran on (scalar-on-avx512-silicon vs
+  // scalar-because-no-vector-units look identical without this).
+  {
+    const CpuFeatures& cpu = cpu_features();
+    std::fprintf(out,
+                 "  \"cpu\": {\"avx2\": %s, \"fma\": %s, \"avx512f\": %s, "
+                 "\"avx512dq\": %s, \"avx512vl\": %s, \"neon\": %s},\n",
+                 cpu.avx2 ? "true" : "false", cpu.fma ? "true" : "false",
+                 cpu.avx512f ? "true" : "false",
+                 cpu.avx512dq ? "true" : "false",
+                 cpu.avx512vl ? "true" : "false",
+                 cpu.neon ? "true" : "false");
+  }
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t n = 0; n < results.size(); ++n) {
     std::fprintf(out,
@@ -602,10 +626,15 @@ int main(int argc, char** argv) {
     return 0.0;
   };
   const double scalar_t = seconds_of("backproject_proposed_scalar");
-  const double avx2_t = seconds_of("backproject_proposed_avx2");
-  if (scalar_t > 0.0 && avx2_t > 0.0) {
-    std::printf("  avx2 speedup over scalar backend:    %.2fx\n",
-                scalar_t / avx2_t);
+  for (const simd::BackendInfo& info : simd::list_backends()) {
+    if (!info.supported || info.backend == simd::Backend::kScalar) continue;
+    const char* name = simd::to_string(info.backend);
+    const double vec_t =
+        seconds_of(("backproject_proposed_" + std::string(name)).c_str());
+    if (scalar_t > 0.0 && vec_t > 0.0) {
+      std::printf("  %-6s speedup over scalar backend:  %.2fx\n", name,
+                  scalar_t / vec_t);
+    }
   }
   std::printf("  pipeline %dx%d blocking %.3f s, overlapped %.3f s (%.2fx); "
               "efficiency filter %.2f, main %.2f, bp %.2f, store %.2f\n",
@@ -641,13 +670,18 @@ int main(int argc, char** argv) {
     };
     const double sb = row_seconds("filter_scalar_batched");
     const double ss = row_seconds("filter_scalar_single_row");
-    const double ab = row_seconds("filter_avx2_batched");
     std::printf("  filter fft backend %s (%zu lanes): scalar %.3f ms batched"
                 " / %.3f ms single-row",
                 filt.backend, filt.lanes, sb * 1e3, ss * 1e3);
-    if (ab > 0.0) {
-      std::printf("; avx2 %.3f ms batched (%.2fx over scalar)", ab * 1e3,
-                  ab > 0.0 ? sb / ab : 0.0);
+    for (const simd::BackendInfo& info : simd::list_backends()) {
+      if (!info.supported || info.backend == simd::Backend::kScalar) continue;
+      const char* name = simd::to_string(info.backend);
+      const double vb =
+          row_seconds(("filter_" + std::string(name) + "_batched").c_str());
+      if (vb > 0.0) {
+        std::printf("; %s %.3f ms batched (%.2fx over scalar)", name, vb * 1e3,
+                    sb / vb);
+      }
     }
     std::printf("\n");
   }

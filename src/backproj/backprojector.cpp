@@ -22,8 +22,9 @@ inline float dot_row(const float* row, float i, float j, float k) {
   return row[0] * i + row[1] * j + row[2] * k + row[3];
 }
 
-/// The AVX2 backend gathers with 32-bit indices; projections beyond this
-/// pixel count must take the scalar path.
+/// The AVX2 and AVX-512 backends gather with 32-bit indices; projections
+/// beyond this pixel count must take a gather-free path (scalar, or NEON
+/// with its per-lane scalar fetches).
 constexpr std::size_t kMaxGatherPixels =
     static_cast<std::size_t>(INT32_MAX);
 
@@ -89,16 +90,20 @@ Backprojector::Backprojector(const geo::CbctGeometry& geometry,
   }
 
   // Resolve the SIMD column backend once (runtime CPUID dispatch). Oversized
-  // projections overflow the vector gather's 32-bit indices: auto falls back
-  // to scalar, an explicit AVX2 request is rejected.
+  // projections overflow the x86 gathers' 32-bit indices: auto falls back to
+  // the widest gather-free backend (NEON fetches per lane, scalar always
+  // works), and an explicit AVX2/AVX-512 request is rejected.
   simd::Backend backend = config_.simd_backend;
   const std::size_t pixels = geometry_.nu * geometry_.nv;
-  if (backend == simd::Backend::kAuto && pixels > kMaxGatherPixels) {
-    backend = simd::Backend::kScalar;
+  const bool gather_overflow = pixels > kMaxGatherPixels;
+  if (backend == simd::Backend::kAuto && gather_overflow) {
+    backend = simd::supported(simd::Backend::kNeon) ? simd::Backend::kNeon
+                                                    : simd::Backend::kScalar;
   }
-  IFDK_REQUIRE(backend != simd::Backend::kAvx2 || pixels <= kMaxGatherPixels,
+  IFDK_REQUIRE(!gather_overflow || (backend != simd::Backend::kAvx2 &&
+                                    backend != simd::Backend::kAvx512),
                "projection exceeds 32-bit gather indexing; use the scalar "
-               "backend");
+               "or neon backend");
   column_kernel_ = &simd::select(backend);
 }
 

@@ -71,10 +71,11 @@ struct BpConfig {
   /// on the pool; results are bitwise identical to the serial schedule.
   ThreadPool* pool = nullptr;
   /// SIMD column backend for the proposed (Algorithm 4) kernel. kAuto picks
-  /// the fastest backend the executing CPU supports (runtime CPUID
-  /// dispatch); kScalar forces the bitwise reference; kAvx2 throws at
-  /// construction when the backend is unavailable. The standard (kXMajor)
-  /// kernel ignores this.
+  /// the widest backend the executing CPU supports (runtime CPUID dispatch
+  /// via common/simd_dispatch); kScalar forces the bitwise reference;
+  /// kAvx2 / kAvx512 / kNeon throw at construction when the backend is
+  /// unavailable. All backends produce bitwise-identical volumes. The
+  /// standard (kXMajor) kernel ignores this.
   simd::Backend simd_backend = simd::Backend::kAuto;
 
   // --- Distributed slab-pair mode (Fig. 3: "2*R sub-volumes") -------------

@@ -1,0 +1,220 @@
+// AVX-512 backend: the Algorithm-4 column loop vectorized 16-wide over
+// consecutive k values. The structure is the AVX2 backend's (broadcast the
+// Theorem-2/3 terms, one vectorized inner product per k, four gathers per
+// bilinear fetch, lane-reversed mirror store) at double the width, with one
+// structural difference: remainders are handled by opmasks instead of a
+// scalar tail. The final sub-width iteration runs through the same vector
+// loop under a __mmask16 — masked gathers suppress faults, masked
+// loads/stores touch only the active elements — and the odd-Nz center plane
+// is a one-active-lane masked pass, so this backend never leaves the vector
+// code path.
+//
+// This translation unit is compiled with -mavx512f -mavx512dq -mavx512vl
+// -mfma -ffp-contract=off and only linked when CMake enables it
+// (IFDK_HAVE_AVX512); runtime CPUID dispatch decides whether it actually
+// runs. The arithmetic replays the scalar backend operation for operation —
+// same association, division instead of reciprocal approximation, no FMA
+// contraction — so per-voxel output is bitwise-identical to the scalar
+// backend, which tests/test_simd_backends.cpp pins with memcmp.
+#include "backproj/simd/column_kernel.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's AVX-512 intrinsics pass _mm512_undefined_epi32() as the ignored
+// merge operand of unmasked operations, which trips -Wmaybe-uninitialized
+// (GCC PR105593) when they inline here. The operand is dead by definition.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace ifdk::bp::simd {
+
+namespace {
+
+/// Vector interp2 (Algorithm 3) for up to 16 samples of one image under an
+/// activity mask. `a` is the coordinate along the contiguous axis (extent
+/// w), `b` along the strided axis (extent h); element (a, b) lives at
+/// b*w + a. Lanes outside the image — or outside `active` — contribute 0,
+/// matching the scalar border rule; indices are clamped before the gather
+/// and the gathers are masked, so inactive lanes (whose coordinates may be
+/// inf/NaN from an extrapolated k) never touch memory.
+inline __m512 interp2_gather(const float* img, int w, int h, __m512 a,
+                             __m512 b, __mmask16 active) {
+  const __m512 zero = _mm512_setzero_ps();
+  const __m512 a_max = _mm512_set1_ps(static_cast<float>(w - 1));
+  const __m512 b_max = _mm512_set1_ps(static_cast<float>(h - 1));
+  const __mmask16 mask = active &
+      _mm512_cmp_ps_mask(a, zero, _CMP_GE_OQ) &
+      _mm512_cmp_ps_mask(a, a_max, _CMP_LE_OQ) &
+      _mm512_cmp_ps_mask(b, zero, _CMP_GE_OQ) &
+      _mm512_cmp_ps_mask(b, b_max, _CMP_LE_OQ);
+  if (mask == 0) return zero;
+
+  const __m512i izero = _mm512_setzero_si512();
+  const __m512i ia_max = _mm512_set1_epi32(w - 1);
+  const __m512i ib_max = _mm512_set1_epi32(h - 1);
+  const __m512i one = _mm512_set1_epi32(1);
+  // Truncation per Algorithm 3 line 2; cvttps truncates toward zero exactly
+  // like the scalar size_t cast does for the in-bounds (non-negative) lanes.
+  __m512i ia = _mm512_cvttps_epi32(a);
+  __m512i ib = _mm512_cvttps_epi32(b);
+  ia = _mm512_min_epi32(_mm512_max_epi32(ia, izero), ia_max);
+  ib = _mm512_min_epi32(_mm512_max_epi32(ib, izero), ib_max);
+  // The +1 neighbour is clamped on the last row/column (its weight is zero
+  // there), matching the scalar kernel's clamp-to-edge.
+  const __m512i ia1 = _mm512_min_epi32(_mm512_add_epi32(ia, one), ia_max);
+  const __m512i ib1 = _mm512_min_epi32(_mm512_add_epi32(ib, one), ib_max);
+  const __m512 da = _mm512_sub_ps(a, _mm512_cvtepi32_ps(ia));
+  const __m512 db = _mm512_sub_ps(b, _mm512_cvtepi32_ps(ib));
+
+  const __m512i wv = _mm512_set1_epi32(w);
+  const __m512i row0 = _mm512_mullo_epi32(ib, wv);
+  const __m512i row1 = _mm512_mullo_epi32(ib1, wv);
+  const __m512 g00 = _mm512_mask_i32gather_ps(
+      zero, mask, _mm512_add_epi32(row0, ia), img, 4);
+  const __m512 g01 = _mm512_mask_i32gather_ps(
+      zero, mask, _mm512_add_epi32(row0, ia1), img, 4);
+  const __m512 g10 = _mm512_mask_i32gather_ps(
+      zero, mask, _mm512_add_epi32(row1, ia), img, 4);
+  const __m512 g11 = _mm512_mask_i32gather_ps(
+      zero, mask, _mm512_add_epi32(row1, ia1), img, 4);
+
+  const __m512 ones = _mm512_set1_ps(1.0f);
+  const __m512 oda = _mm512_sub_ps(ones, da);
+  const __m512 odb = _mm512_sub_ps(ones, db);
+  const __m512 t1 =
+      _mm512_add_ps(_mm512_mul_ps(g00, oda), _mm512_mul_ps(g01, da));
+  const __m512 t2 =
+      _mm512_add_ps(_mm512_mul_ps(g10, oda), _mm512_mul_ps(g11, da));
+  const __m512 r =
+      _mm512_add_ps(_mm512_mul_ps(t1, odb), _mm512_mul_ps(t2, db));
+  // Masked lanes may hold NaN from the weight arithmetic; zero them like
+  // the scalar border rule (and the AVX2 backend's AND) does.
+  return _mm512_maskz_mov_ps(mask, r);
+}
+
+/// Detector fetch for up to 16 k-lanes: u is the detector column, v the
+/// detector row. The storage layout decides which coordinate runs along the
+/// contiguous axis.
+inline __m512 fetch16(const BatchArgs& b, const float* img, __m512 u,
+                      __m512 v, __mmask16 active) {
+  if (b.transposed) {
+    return interp2_gather(img, static_cast<int>(b.nv),
+                          static_cast<int>(b.nu), v, u, active);
+  }
+  return interp2_gather(img, static_cast<int>(b.nu), static_cast<int>(b.nv),
+                        u, v, active);
+}
+
+/// One masked 16-wide pass over pair iterations [t, t + n), n <= 16:
+/// accumulates into col[t .. t+n) and, under symmetry, the lane-reversed
+/// mirror block col[nzl-n-t .. nzl-t). The two ranges never overlap (pair
+/// iterations stop below the column midpoint), so store order is free.
+inline void run_block(const BatchArgs& b, const ColumnArgs& c, std::size_t t,
+                      std::size_t n, float fk0) {
+  const __mmask16 active = static_cast<__mmask16>(
+      n == 16 ? 0xFFFFu : ((1u << n) - 1u));
+  const __m512 lane = _mm512_setr_ps(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                     12, 13, 14, 15);
+  const __m512 ones = _mm512_set1_ps(1.0f);
+  // fk0 + lane: exact small integers, identical to the scalar casts.
+  const __m512 fk = _mm512_add_ps(_mm512_set1_ps(fk0), lane);
+  const __m512 v_mirror = _mm512_set1_ps(b.v_mirror);
+  __m512 acc = _mm512_setzero_ps();
+  __m512 acc_m = _mm512_setzero_ps();
+
+  for (std::size_t s = 0; s < b.count; ++s) {
+    const float* m = b.pmat[s].data();
+    __m512 u, f, wdis;
+    if (b.reuse_uw) {
+      u = _mm512_set1_ps(c.u_s[s]);
+      f = _mm512_set1_ps(c.f_s[s]);
+      wdis = _mm512_set1_ps(c.w_s[s]);
+    } else {
+      // dot_row associates ((m0*i + m1*j) + m2*k) + m3; the i/j part is
+      // k-independent and computed once in scalar, preserving the order.
+      const float xij = m[0] * c.fi + m[1] * c.fj;
+      const float zij = m[8] * c.fi + m[9] * c.fj;
+      const __m512 x = _mm512_add_ps(
+          _mm512_add_ps(_mm512_set1_ps(xij),
+                        _mm512_mul_ps(_mm512_set1_ps(m[2]), fk)),
+          _mm512_set1_ps(m[3]));
+      const __m512 z = _mm512_add_ps(
+          _mm512_add_ps(_mm512_set1_ps(zij),
+                        _mm512_mul_ps(_mm512_set1_ps(m[10]), fk)),
+          _mm512_set1_ps(m[11]));
+      f = _mm512_div_ps(ones, z);
+      u = _mm512_mul_ps(x, f);
+      wdis = _mm512_mul_ps(f, f);
+    }
+
+    // Algorithm 4 line 12: the single remaining inner product, 16 k's at
+    // a time.
+    const float yij = m[4] * c.fi + m[5] * c.fj;
+    const __m512 y = _mm512_add_ps(
+        _mm512_add_ps(_mm512_set1_ps(yij),
+                      _mm512_mul_ps(_mm512_set1_ps(m[6]), fk)),
+        _mm512_set1_ps(m[7]));
+    const __m512 v = _mm512_mul_ps(y, f);
+
+    acc = _mm512_add_ps(
+        acc, _mm512_mul_ps(wdis, fetch16(b, b.images[s], u, v, active)));
+    if (b.symmetry) {
+      const __m512 vm = _mm512_sub_ps(v_mirror, v);
+      acc_m = _mm512_add_ps(
+          acc_m, _mm512_mul_ps(wdis, fetch16(b, b.images[s], u, vm, active)));
+    }
+  }
+
+  float* out = c.col + t;
+  _mm512_mask_storeu_ps(
+      out, active,
+      _mm512_add_ps(_mm512_maskz_loadu_ps(active, out), acc));
+  if (b.symmetry) {
+    // Lanes 0..n-1 mirror to nzl-1-t .. nzl-n-t: permute lane p to slot
+    // n-1-p, then one ascending masked accumulate-store at the low end of
+    // that range. Slots >= n read a wrapped lane and are masked off.
+    const __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12, 13, 14, 15);
+    const __m512i ridx = _mm512_sub_epi32(
+        _mm512_set1_epi32(static_cast<int>(n) - 1), iota);
+    const __m512 rev = _mm512_permutexvar_ps(ridx, acc_m);
+    float* mout = c.col + (b.nzl - n - t);
+    _mm512_mask_storeu_ps(
+        mout, active,
+        _mm512_add_ps(_mm512_maskz_loadu_ps(active, mout), rev));
+  }
+}
+
+void run_column(const BatchArgs& b, const ColumnArgs& c) {
+  constexpr std::size_t kWidth = 16;
+  for (std::size_t t = c.t_begin; t < c.t_end; t += kWidth) {
+    const std::size_t n = std::min(kWidth, c.t_end - t);
+    run_block(b, c, t, n, static_cast<float>(b.k0 + t));
+  }
+
+  if (c.do_center) {
+    // Center plane: its mirror is itself; one-active-lane masked pass with
+    // symmetry forced off so only col[center] is updated once.
+    BatchArgs center = b;
+    center.symmetry = false;
+    run_block(center, c, b.center, 1, static_cast<float>(b.center));
+  }
+}
+
+}  // namespace
+
+const ColumnKernel& avx512_kernel_impl() {
+  static constexpr ColumnKernel kernel{"avx512", run_column};
+  return kernel;
+}
+
+}  // namespace ifdk::bp::simd
+
+#endif  // __AVX512F__ && __AVX512DQ__ && __AVX512VL__

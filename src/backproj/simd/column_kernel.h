@@ -10,29 +10,38 @@
 // batching / transposition / slab scheduling and calls a ColumnKernel per
 // column, and each backend vectorizes the k loop its own way.
 //
-// Backends:
+// Backend availability and kAuto resolution live in common/simd_dispatch
+// (shared with the FFT batch layer); this header only maps the resolved
+// Backend enumerator to a column kernel. Backends:
 //   * scalar — straight-line reference, bitwise-identical to the historical
 //     in-line loop of Backprojector::run_proposed (every float op in the
 //     same order).
 //   * avx2 — 8-wide AVX2 over consecutive k values with gathered bilinear
-//     fetches. Built only when the toolchain targets x86 and
-//     IFDK_DISABLE_AVX2 is off; selected at runtime only when CPUID reports
-//     AVX2+FMA. Its arithmetic mirrors the scalar operation sequence lane
-//     for lane (no re-association, no FMA contraction in value-affecting
-//     ops), so fetch indices and border masks match the scalar kernel
-//     exactly and per-voxel results stay within the 4-ULP contract.
+//     fetches, plus a scalar tail for the remainder.
+//   * avx512 — 16-wide AVX-512 (F+DQ+VL) with masked remainder handling: the
+//     final partial iteration runs masked in the vector loop, so there is no
+//     scalar tail at all (the odd-Nz center plane is a one-lane masked pass).
+//   * neon — 4-wide AArch64 NEON; no gather instruction exists, so the
+//     bilinear fetches are per-lane scalar loads inserted into vectors.
+// Every vector backend replays the scalar operation sequence lane for lane
+// (no re-association, no FMA contraction: the TUs build with
+// -ffp-contract=off), so all backends produce bitwise-identical volumes by
+// construction — pinned by tests/test_simd_backends.cpp across the whole
+// backend matrix.
 #pragma once
 
 #include <array>
 #include <cstddef>
 
+#include "common/simd_dispatch.h"
+
 namespace ifdk::bp::simd {
 
-/// Which column backend a Backprojector uses. kAuto resolves at runtime to
-/// the fastest backend the executing CPU supports.
-enum class Backend { kAuto, kScalar, kAvx2 };
-
-const char* to_string(Backend backend);
+/// One Backend enum for every vectorized layer; see common/simd_dispatch.h.
+using Backend = ifdk::simd::Backend;
+using ifdk::simd::compiled;
+using ifdk::simd::supported;
+using ifdk::simd::to_string;
 
 /// Per-projection-batch constants shared by every column of a pass.
 struct BatchArgs {
@@ -78,15 +87,9 @@ struct ColumnKernel {
 /// The scalar reference backend (always available).
 const ColumnKernel& scalar_kernel();
 
-/// True when the AVX2 translation unit was built into this binary.
-bool avx2_compiled();
-
-/// True when the AVX2 backend is built in *and* the executing CPU reports
-/// AVX2+FMA — i.e. select(Backend::kAvx2) will succeed.
-bool avx2_supported();
-
-/// Resolves a backend choice to a kernel. kAuto prefers AVX2 when supported;
-/// an explicit kAvx2 request throws ConfigError when unsupported.
+/// Resolves a backend choice to a kernel via ifdk::simd::resolve: kAuto
+/// prefers the widest supported backend; an explicit request for an
+/// unavailable backend throws ConfigError.
 const ColumnKernel& select(Backend backend);
 
 }  // namespace ifdk::bp::simd

@@ -1,0 +1,142 @@
+// NEON backend: the Algorithm-4 column loop vectorized 4-wide over
+// consecutive k values for AArch64. The coordinate arithmetic (the per-k
+// inner product, the perspective divide, the distance weight) runs in
+// vector registers; the bilinear fetch stays per-lane scalar because NEON
+// has no gather instruction — each lane's (u, v) is extracted and fed to
+// the same interp2 the scalar backend uses, so fetch indexing and border
+// handling are identical by construction. The Theorem-1 mirror accumulator
+// is lane-reversed (vrev64q + vextq) before its descending store; the
+// sub-width tail and the odd center plane run through the scalar reference.
+//
+// This translation unit is compiled with -ffp-contract=off (AArch64 needs
+// no extra arch flag: Advanced SIMD is baseline) and only linked when CMake
+// enables it (IFDK_HAVE_NEON). AArch64 NEON float arithmetic is fully
+// IEEE-754 compliant (vdivq is a true divide, no flush-to-zero in the
+// default fpcr state used by Linux), and the operation order replays the
+// scalar backend lane for lane, so per-voxel output is bitwise-identical to
+// the scalar backend — pinned by tests/test_simd_backends.cpp.
+#include "backproj/simd/column_kernel.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <array>
+#include <cstddef>
+
+#include "backproj/interp2.h"
+
+namespace ifdk::bp::simd {
+
+namespace {
+
+/// (u, v) in detector coordinates regardless of storage layout — the exact
+/// scalar fetch, applied per lane.
+inline float fetch1(const BatchArgs& b, const float* img, float u, float v) {
+  if (b.transposed) {
+    return interp2(img, b.nv, b.nu, v, u);  // V axis contiguous
+  }
+  return interp2(img, b.nu, b.nv, u, v);
+}
+
+/// Bilinear fetch for 4 k-lanes: no gather on NEON, so extract each lane's
+/// coordinates and run the scalar interp2.
+inline float32x4_t fetch4(const BatchArgs& b, const float* img, float32x4_t u,
+                          float32x4_t v) {
+  float us[4], vs[4], r[4];
+  vst1q_f32(us, u);
+  vst1q_f32(vs, v);
+  for (int l = 0; l < 4; ++l) r[l] = fetch1(b, img, us[l], vs[l]);
+  return vld1q_f32(r);
+}
+
+/// Full lane reversal [0,1,2,3] -> [3,2,1,0]: vrev64q swaps within each
+/// 64-bit pair, vextq swaps the pairs.
+inline float32x4_t reverse4(float32x4_t x) {
+  const float32x4_t half = vrev64q_f32(x);
+  return vextq_f32(half, half, 2);
+}
+
+void run_column(const BatchArgs& b, const ColumnArgs& c) {
+  constexpr std::size_t kWidth = 4;
+  const float32x4_t lane = {0.0f, 1.0f, 2.0f, 3.0f};
+  const float32x4_t ones = vdupq_n_f32(1.0f);
+  const float32x4_t v_mirror = vdupq_n_f32(b.v_mirror);
+
+  std::size_t t = c.t_begin;
+  for (; t + kWidth <= c.t_end; t += kWidth) {
+    // k0 + t + lane: exact small integers, identical to the scalar casts.
+    const float32x4_t fk =
+        vaddq_f32(vdupq_n_f32(static_cast<float>(b.k0 + t)), lane);
+    float32x4_t acc = vdupq_n_f32(0.0f);
+    float32x4_t acc_m = vdupq_n_f32(0.0f);
+
+    for (std::size_t s = 0; s < b.count; ++s) {
+      const float* m = b.pmat[s].data();
+      float32x4_t u, f, wdis;
+      if (b.reuse_uw) {
+        u = vdupq_n_f32(c.u_s[s]);
+        f = vdupq_n_f32(c.f_s[s]);
+        wdis = vdupq_n_f32(c.w_s[s]);
+      } else {
+        // dot_row associates ((m0*i + m1*j) + m2*k) + m3; the i/j part is
+        // k-independent and computed once in scalar, preserving the order.
+        const float xij = m[0] * c.fi + m[1] * c.fj;
+        const float zij = m[8] * c.fi + m[9] * c.fj;
+        const float32x4_t x = vaddq_f32(
+            vaddq_f32(vdupq_n_f32(xij), vmulq_f32(vdupq_n_f32(m[2]), fk)),
+            vdupq_n_f32(m[3]));
+        const float32x4_t z = vaddq_f32(
+            vaddq_f32(vdupq_n_f32(zij), vmulq_f32(vdupq_n_f32(m[10]), fk)),
+            vdupq_n_f32(m[11]));
+        f = vdivq_f32(ones, z);
+        u = vmulq_f32(x, f);
+        wdis = vmulq_f32(f, f);
+      }
+
+      // Algorithm 4 line 12: the single remaining inner product, 4 k's at
+      // a time.
+      const float yij = m[4] * c.fi + m[5] * c.fj;
+      const float32x4_t y = vaddq_f32(
+          vaddq_f32(vdupq_n_f32(yij), vmulq_f32(vdupq_n_f32(m[6]), fk)),
+          vdupq_n_f32(m[7]));
+      const float32x4_t v = vmulq_f32(y, f);
+
+      acc = vaddq_f32(acc, vmulq_f32(wdis, fetch4(b, b.images[s], u, v)));
+      if (b.symmetry) {
+        const float32x4_t vm = vsubq_f32(v_mirror, v);
+        acc_m =
+            vaddq_f32(acc_m, vmulq_f32(wdis, fetch4(b, b.images[s], u, vm)));
+      }
+    }
+
+    float* out = c.col + t;
+    vst1q_f32(out, vaddq_f32(vld1q_f32(out), acc));
+    if (b.symmetry) {
+      // Lanes t..t+3 mirror to nzl-1-t .. nzl-4-t: reverse, then one
+      // ascending accumulate-store at the low end of that range.
+      const float32x4_t rev = reverse4(acc_m);
+      float* mout = c.col + (b.nzl - kWidth - t);
+      vst1q_f32(mout, vaddq_f32(vld1q_f32(mout), rev));
+    }
+  }
+
+  // Sub-width tail and the odd center plane run through the scalar
+  // reference (bitwise-identical arithmetic, so the seam is invisible).
+  if (t < c.t_end || c.do_center) {
+    ColumnArgs tail = c;
+    tail.t_begin = t;
+    scalar_kernel().run(b, tail);
+  }
+}
+
+}  // namespace
+
+const ColumnKernel& neon_kernel_impl() {
+  static constexpr ColumnKernel kernel{"neon", run_column};
+  return kernel;
+}
+
+}  // namespace ifdk::bp::simd
+
+#endif  // defined(__aarch64__)

@@ -1,59 +1,39 @@
-// Runtime backend selection: what was compiled in (CMake decides whether
-// the AVX2 TU exists) crossed with what the executing CPU supports (CPUID
-// via common/cpu_features). kAuto picks the fastest supported backend so a
-// single binary runs optimally from an old Xeon to a current desktop.
+// The column-kernel table: maps the Backend enumerator that
+// ifdk::simd::resolve() settles on to this layer's kernel struct. All
+// policy (compiled/supported predicates, kAuto preference order, error
+// wording) lives in common/simd_dispatch; this file only knows which
+// translation units exist in the back-projection layer.
 #include "backproj/simd/column_kernel.h"
-#include "common/cpu_features.h"
-#include "common/error.h"
 
 namespace ifdk::bp::simd {
 
 #if defined(IFDK_HAVE_AVX2)
 const ColumnKernel& avx2_kernel_impl();  // defined in column_avx2.cpp
 #endif
-
-const char* to_string(Backend backend) {
-  switch (backend) {
-    case Backend::kAuto:   return "auto";
-    case Backend::kScalar: return "scalar";
-    case Backend::kAvx2:   return "avx2";
-  }
-  return "?";
-}
-
-bool avx2_compiled() {
-#if defined(IFDK_HAVE_AVX2)
-  return true;
-#else
-  return false;
+#if defined(IFDK_HAVE_AVX512)
+const ColumnKernel& avx512_kernel_impl();  // defined in column_avx512.cpp
 #endif
-}
-
-bool avx2_supported() {
-  const CpuFeatures& cpu = cpu_features();
-  return avx2_compiled() && cpu.avx2 && cpu.fma;
-}
+#if defined(IFDK_HAVE_NEON)
+const ColumnKernel& neon_kernel_impl();  // defined in column_neon.cpp
+#endif
 
 const ColumnKernel& select(Backend backend) {
-  switch (backend) {
-    case Backend::kScalar:
-      return scalar_kernel();
+  switch (ifdk::simd::resolve(backend, "back-projection column")) {
+#if defined(IFDK_HAVE_AVX2)
     case Backend::kAvx2:
-      IFDK_REQUIRE(avx2_supported(),
-                   "the AVX2 back-projection backend is not available "
-                   "(not compiled in, or the CPU lacks AVX2/FMA)");
-#if defined(IFDK_HAVE_AVX2)
       return avx2_kernel_impl();
-#else
-      break;  // unreachable: the REQUIRE above threw
 #endif
-    case Backend::kAuto:
-#if defined(IFDK_HAVE_AVX2)
-      if (avx2_supported()) return avx2_kernel_impl();
+#if defined(IFDK_HAVE_AVX512)
+    case Backend::kAvx512:
+      return avx512_kernel_impl();
 #endif
+#if defined(IFDK_HAVE_NEON)
+    case Backend::kNeon:
+      return neon_kernel_impl();
+#endif
+    default:
       return scalar_kernel();
   }
-  return scalar_kernel();
 }
 
 }  // namespace ifdk::bp::simd

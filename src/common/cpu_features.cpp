@@ -11,6 +11,17 @@ CpuFeatures probe() {
   __builtin_cpu_init();
   f.avx2 = __builtin_cpu_supports("avx2") != 0;
   f.fma = __builtin_cpu_supports("fma") != 0;
+  // __builtin_cpu_supports folds in the XSAVE/XGETBV opmask+ZMM state
+  // checks, so a true here means the OS saves the 512-bit register file.
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  f.avx512dq = __builtin_cpu_supports("avx512dq") != 0;
+  f.avx512vl = __builtin_cpu_supports("avx512vl") != 0;
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  // AArch64 makes Advanced SIMD architecturally mandatory (and 32-bit ARM
+  // builds only define __ARM_NEON when the target has it), so no runtime
+  // probe is needed.
+  f.neon = true;
 #endif
   return f;
 }

@@ -1,11 +1,14 @@
 // Runtime CPU feature detection for kernel dispatch.
 //
-// The SIMD back-projection backends are selected at runtime (one binary runs
-// on any x86-64), so the dispatcher needs to know which vector extensions
-// the executing CPU + OS actually support. On GCC/Clang x86 this delegates
-// to __builtin_cpu_supports, which checks CPUID *and* the OS XSAVE state so
-// AVX registers are guaranteed usable; on other targets every flag is false
-// and callers fall back to scalar code.
+// The SIMD backends (back-projection columns and FFT batches) are selected
+// at runtime, so one binary runs optimally on any host: the dispatcher
+// crosses what was compiled in (common/simd_dispatch) with what the
+// executing CPU + OS actually support, which this probe reports. On
+// GCC/Clang x86 it delegates to __builtin_cpu_supports, which checks CPUID
+// *and* the OS XSAVE state so AVX/AVX-512 registers are guaranteed usable;
+// on arm64 NEON (ASIMD) is architecturally mandatory, so it is reported
+// directly; on other targets every flag is false and callers fall back to
+// scalar code.
 #pragma once
 
 namespace ifdk {
@@ -13,6 +16,14 @@ namespace ifdk {
 struct CpuFeatures {
   bool avx2 = false;
   bool fma = false;
+  /// AVX-512 foundation + the double/quadword and vector-length extensions
+  /// the 512-bit backends assume (every AVX-512 server part since Skylake-SP
+  /// has all three; KNL-era F-only parts fall back to AVX2).
+  bool avx512f = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  /// Advanced SIMD (NEON); mandatory on AArch64.
+  bool neon = false;
 };
 
 /// The executing CPU's features; probed once and cached (thread-safe).

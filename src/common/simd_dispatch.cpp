@@ -1,0 +1,90 @@
+#include "common/simd_dispatch.h"
+
+#include <string>
+
+#include "common/cpu_features.h"
+#include "common/error.h"
+
+namespace ifdk::simd {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:   return "auto";
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2:   return "avx2";
+    case Backend::kAvx512: return "avx512";
+    case Backend::kNeon:   return "neon";
+  }
+  return "?";
+}
+
+bool compiled(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if defined(IFDK_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kAvx512:
+#if defined(IFDK_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(IFDK_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool supported(Backend backend) {
+  if (!compiled(backend)) return false;
+  const CpuFeatures& cpu = cpu_features();
+  switch (backend) {
+    case Backend::kAuto:
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+      return cpu.avx2 && cpu.fma;
+    case Backend::kAvx512:
+      return cpu.avx512f && cpu.avx512dq && cpu.avx512vl;
+    case Backend::kNeon:
+      return cpu.neon;
+  }
+  return false;
+}
+
+std::vector<BackendInfo> list_backends() {
+  std::vector<BackendInfo> info;
+  for (const Backend b : kConcreteBackends) {
+    info.push_back({b, compiled(b), supported(b)});
+  }
+  return info;
+}
+
+Backend resolve(Backend backend, const char* layer) {
+  if (backend == Backend::kAuto) {
+    for (const Backend b : kConcreteBackends) {
+      if (supported(b)) return b;
+    }
+    return Backend::kScalar;
+  }
+  IFDK_REQUIRE(supported(backend),
+               std::string("the ") + to_string(backend) + " " + layer +
+                   " backend is not available (" +
+                   (compiled(backend)
+                        ? "the CPU lacks the required ISA extensions"
+                        : "not compiled into this binary") +
+                   ")");
+  return backend;
+}
+
+}  // namespace ifdk::simd

@@ -1,0 +1,68 @@
+// The shared SIMD backend registry: one Backend enum, one compiled/supported
+// predicate pair, and one kAuto resolution policy for every vectorized layer
+// in the tree (today: the back-projection column kernels in backproj/simd and
+// the FFT batch kernels in fft/simd).
+//
+// The split of responsibilities is deliberate:
+//   * CMake decides per build which backend translation units exist and
+//     defines IFDK_HAVE_AVX2 / IFDK_HAVE_AVX512 / IFDK_HAVE_NEON globally
+//     (on ifdk::common, so every layer sees the same set) — `compiled()`.
+//   * common/cpu_features reports what the executing CPU + OS allow —
+//     crossed in `supported()`.
+//   * `resolve()` turns a requested Backend into a concrete runnable one:
+//     kAuto picks the widest supported backend, an explicit request for an
+//     unavailable backend throws ConfigError naming the requesting layer.
+//   * Each layer keeps only a kernel table: its dispatch.cpp maps the
+//     resolved enumerator to its own kernel struct. Adding a backend to a
+//     layer is one new TU plus one switch case — the probing, gating, and
+//     error wording live here, once.
+#pragma once
+
+#include <vector>
+
+namespace ifdk::simd {
+
+/// Which SIMD backend a kernel runs. One enum for every vectorized layer:
+/// kAuto resolves at runtime to the widest backend the executing CPU
+/// supports; the concrete enumerators force one (and throw at construction
+/// when it is unavailable).
+enum class Backend { kAuto, kScalar, kAvx2, kAvx512, kNeon };
+
+/// The concrete (non-kAuto) backends, widest first — the kAuto preference
+/// order, and the iteration order for tests/benches that sweep the matrix.
+inline constexpr Backend kConcreteBackends[] = {
+    Backend::kAvx512, Backend::kAvx2, Backend::kNeon, Backend::kScalar};
+
+/// Human-readable backend name ("auto" / "scalar" / "avx2" / "avx512" /
+/// "neon").
+const char* to_string(Backend backend);
+
+/// True when the backend's translation units were built into this binary
+/// (kScalar and kAuto always are; the vector backends depend on the target
+/// arch and the IFDK_DISABLE_* CMake gates).
+bool compiled(Backend backend);
+
+/// True when the backend is compiled in *and* the executing CPU reports the
+/// required ISA extensions (AVX2+FMA / AVX-512 F+DQ+VL / NEON) — i.e.
+/// resolve() of that explicit backend will succeed. kScalar and kAuto are
+/// always supported.
+bool supported(Backend backend);
+
+/// One row of the availability listing benches and the bench_smoke JSON
+/// record: what this build knows about each concrete backend.
+struct BackendInfo {
+  Backend backend = Backend::kScalar;
+  bool compiled = false;
+  bool supported = false;
+};
+
+/// Availability of every concrete backend on this build + CPU, widest first.
+std::vector<BackendInfo> list_backends();
+
+/// Resolves a backend choice to a concrete runnable one. kAuto picks the
+/// first supported entry of kConcreteBackends (scalar as the floor); an
+/// explicit request for an unsupported backend throws ConfigError, naming
+/// `layer` (e.g. "back-projection column") and the reason.
+Backend resolve(Backend backend, const char* layer);
+
+}  // namespace ifdk::simd

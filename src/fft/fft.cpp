@@ -120,8 +120,11 @@ std::vector<double> circular_convolve(const std::vector<double>& a,
 
 void Workspace::ensure(std::size_t padded) {
   if (padded <= capacity_) return;
-  re_.allocate(padded * kBatchLanes);
-  im_.allocate(padded * kBatchLanes);
+  // Sized for the widest backend so one workspace serves whichever kernel
+  // dispatch settled on (and the allocation count stays at one even if two
+  // convolvers with different lane widths share it).
+  re_.allocate(padded * kMaxBatchLanes);
+  im_.allocate(padded * kMaxBatchLanes);
   capacity_ = padded;
   ++allocations_;
 }
@@ -206,27 +209,28 @@ simd::PlanView RowConvolver::plan_view() const {
 
 void RowConvolver::convolve_batch(float* rows, std::size_t lanes,
                                   Workspace& ws) const {
-  IFDK_ASSERT(lanes >= 1 && lanes <= kBatchLanes);
+  const std::size_t width = kernel_->lanes;  // SoA stride of this backend
+  IFDK_ASSERT(lanes >= 1 && lanes <= width);
   ws.ensure(padded_);
   double* re = ws.re();
   double* im = ws.im();
   // Zero everything: the pad region must be zero for linear convolution,
-  // and inactive lanes must be zero so the AVX2 backend (which always
-  // transforms all kBatchLanes lanes) works on clean data.
-  const std::size_t total = padded_ * kBatchLanes;
+  // and inactive lanes must be zero so the vector backends (which always
+  // transform all `width` lanes) work on clean data.
+  const std::size_t total = padded_ * width;
   std::fill(re, re + total, 0.0);
   std::fill(im, im + total, 0.0);
   for (std::size_t l = 0; l < lanes; ++l) {
     const float* row = rows + l * row_length_;
     for (std::size_t i = 0; i < row_length_; ++i) {
-      re[i * kBatchLanes + l] = static_cast<double>(row[i]);
+      re[i * width + l] = static_cast<double>(row[i]);
     }
   }
   kernel_->convolve(plan_view(), re, im, lanes);
   for (std::size_t l = 0; l < lanes; ++l) {
     float* row = rows + l * row_length_;
     for (std::size_t i = 0; i < row_length_; ++i) {
-      row[i] = static_cast<float>(re[(i + kernel_center_) * kBatchLanes + l]);
+      row[i] = static_cast<float>(re[(i + kernel_center_) * width + l]);
     }
   }
 }
@@ -241,9 +245,10 @@ void RowConvolver::convolve_row(float* row) const {
 
 void RowConvolver::convolve_rows(float* rows, std::size_t count,
                                  Workspace& ws) const {
+  const std::size_t width = kernel_->lanes;
   std::size_t r = 0;
-  for (; r + kBatchLanes <= count; r += kBatchLanes) {
-    convolve_batch(rows + r * row_length_, kBatchLanes, ws);
+  for (; r + width <= count; r += width) {
+    convolve_batch(rows + r * row_length_, width, ws);
   }
   if (r < count) {
     convolve_batch(rows + r * row_length_, count - r, ws);

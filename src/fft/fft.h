@@ -11,9 +11,10 @@
 // the 1/N factor (matching FFTW/IPP conventions).
 //
 // The hot path — RowConvolver — runs on the batch backends of fft/simd/:
-// rows are packed kBatchLanes at a time into an SoA workspace (one detector
-// row per vector lane) and transformed by a runtime-dispatched kernel
-// (scalar reference or AVX2). Every backend executes the same per-lane
+// rows are packed batch_lanes() at a time into an SoA workspace (one
+// detector row per vector lane; the lane count is a backend property — 8
+// for avx512, 4 for scalar/avx2/neon) and transformed by a
+// runtime-dispatched kernel. Every backend executes the same per-lane
 // operation sequence, so all backends — and batched vs single-row calls —
 // produce bitwise-identical filtered rows.
 #pragma once
@@ -35,8 +36,11 @@ using Complex = std::complex<double>;
 /// reaching into the backend namespace.
 using Backend = simd::Backend;
 
-/// Rows per SoA batch (one row per vector lane).
-inline constexpr std::size_t kBatchLanes = simd::kLanes;
+/// Upper bound on rows per SoA batch across every backend (avx512's 8);
+/// workspaces are sized for this so one Workspace serves any kernel. The
+/// actual rows-per-batch of a planned convolver is
+/// RowConvolver::batch_lanes().
+inline constexpr std::size_t kMaxBatchLanes = simd::kMaxLanes;
 
 /// In-place forward FFT. `data.size()` may be any positive length; radix-2 is
 /// used when the length is a power of two, Bluestein otherwise.
@@ -58,7 +62,7 @@ std::vector<double> circular_convolve(const std::vector<double>& a,
                                       const std::vector<double>& b);
 
 /// Caller-owned scratch for RowConvolver: two 64-byte-aligned SoA planes
-/// (real/imaginary) holding kBatchLanes zero-padded rows. A Workspace is
+/// (real/imaginary) holding kMaxBatchLanes zero-padded rows. A Workspace is
 /// NOT thread-safe — each thread uses its own (or the per-thread one from
 /// thread_workspace()) — which is what lets RowConvolver stay const and be
 /// shared freely across pooled threads. Reused across calls so steady-state
@@ -78,8 +82,9 @@ class Workspace {
   /// Capacity in padded complex samples per lane.
   std::size_t capacity() const { return capacity_; }
 
-  /// Real plane: capacity() * kBatchLanes doubles, element i of lane l at
-  /// index i * kBatchLanes + l.
+  /// Real plane: capacity() * kMaxBatchLanes doubles; element i of lane l
+  /// sits at index i * W + l, where W is the batch_lanes() of the convolver
+  /// using the workspace.
   double* re() { return re_.data(); }
 
   /// Imaginary plane, same layout as re().
@@ -119,8 +124,14 @@ class RowConvolver {
   /// Power-of-two padded FFT length.
   std::size_t padded_size() const { return padded_; }
 
-  /// Name of the batch kernel actually selected ("scalar" or "avx2").
+  /// Name of the batch kernel actually selected ("scalar", "avx2",
+  /// "avx512" or "neon").
   const char* backend_name() const { return kernel_->name; }
+
+  /// Rows per SoA batch of the selected kernel (its lane width): 8 for
+  /// avx512, 4 for scalar/avx2/neon. Also the SoA stride of the workspace
+  /// planes during this convolver's batches.
+  std::size_t batch_lanes() const { return kernel_->lanes; }
 
   /// Convolves one row in place: row[0..Nu) <- (row * kernel)[Nu window].
   /// The output window is centered so that a symmetric kernel leaves
@@ -132,7 +143,7 @@ class RowConvolver {
   void convolve_row(float* row) const;
 
   /// Convolves `count` contiguous rows (row r at rows + r * row_length())
-  /// in place, kBatchLanes rows per backend call plus one partial batch.
+  /// in place, batch_lanes() rows per backend call plus one partial batch.
   /// Bitwise-identical to `count` convolve_row calls.
   void convolve_rows(float* rows, std::size_t count, Workspace& ws) const;
 
@@ -140,7 +151,7 @@ class RowConvolver {
   void convolve_rows(float* rows, std::size_t count) const;
 
  private:
-  /// One backend call: packs `lanes` <= kBatchLanes rows into the SoA
+  /// One backend call: packs `lanes` <= batch_lanes() rows into the SoA
   /// planes, convolves, unpacks the centered output window.
   void convolve_batch(float* rows, std::size_t lanes, Workspace& ws) const;
 

@@ -1,7 +1,7 @@
 // AVX2 backend: the same radix-2 passes as the scalar reference, with one
 // __m256d covering the four double lanes of the SoA batch. The twiddle (and
 // kernel-spectrum) factors are lane-invariant broadcasts, and element i's
-// four lanes sit contiguously at [i * kLanes, i * kLanes + 4), so every
+// four lanes sit contiguously at [i * kStride, i * kStride + 4), so every
 // butterfly is two 32-byte loads, the mul/sub/add sequence of the scalar
 // backend, and two 32-byte stores — no shuffles, no gathers, no
 // cross-lane mixing.
@@ -25,19 +25,22 @@ namespace ifdk::fft::simd {
 
 namespace {
 
+/// This backend's SoA stride (= BatchKernel::lanes): one __m256d.
+constexpr std::size_t kStride = 4;
+
 // One radix-2 pass over all four lanes at once: same swap pairs, same stage
 // order, same per-lane arithmetic as the scalar fft_lane.
 void fft_pass(const PlanView& p, double* re, double* im, const double* tw_re,
               const double* tw_im) {
   for (std::size_t s = 0; s < p.swaps; ++s) {
-    double* const ra = re + static_cast<std::size_t>(p.swap_from[s]) * kLanes;
-    double* const rb = re + static_cast<std::size_t>(p.swap_to[s]) * kLanes;
+    double* const ra = re + static_cast<std::size_t>(p.swap_from[s]) * kStride;
+    double* const rb = re + static_cast<std::size_t>(p.swap_to[s]) * kStride;
     const __m256d va = _mm256_loadu_pd(ra);
     const __m256d vb = _mm256_loadu_pd(rb);
     _mm256_storeu_pd(ra, vb);
     _mm256_storeu_pd(rb, va);
-    double* const ia = im + static_cast<std::size_t>(p.swap_from[s]) * kLanes;
-    double* const ib = im + static_cast<std::size_t>(p.swap_to[s]) * kLanes;
+    double* const ia = im + static_cast<std::size_t>(p.swap_from[s]) * kStride;
+    double* const ib = im + static_cast<std::size_t>(p.swap_to[s]) * kStride;
     const __m256d wa = _mm256_loadu_pd(ia);
     const __m256d wb = _mm256_loadu_pd(ib);
     _mm256_storeu_pd(ia, wb);
@@ -52,10 +55,10 @@ void fft_pass(const PlanView& p, double* re, double* im, const double* tw_re,
       for (std::size_t k = 0; k < half; ++k) {
         const __m256d wre = _mm256_set1_pd(wr[k]);
         const __m256d wim = _mm256_set1_pd(wi[k]);
-        double* const pru = re + (i + k) * kLanes;
-        double* const piu = im + (i + k) * kLanes;
-        double* const prv = re + (i + k + half) * kLanes;
-        double* const piv = im + (i + k + half) * kLanes;
+        double* const pru = re + (i + k) * kStride;
+        double* const piu = im + (i + k) * kStride;
+        double* const prv = re + (i + k + half) * kStride;
+        double* const piv = im + (i + k + half) * kStride;
         const __m256d bre = _mm256_loadu_pd(prv);
         const __m256d bim = _mm256_loadu_pd(piv);
         const __m256d vre =
@@ -79,8 +82,8 @@ void convolve(const PlanView& p, double* re, double* im,
   for (std::size_t i = 0; i < p.n; ++i) {
     const __m256d br = _mm256_set1_pd(p.kernel_re[i]);
     const __m256d bi = _mm256_set1_pd(p.kernel_im[i]);
-    double* const pr = re + i * kLanes;
-    double* const pi = im + i * kLanes;
+    double* const pr = re + i * kStride;
+    double* const pi = im + i * kStride;
     const __m256d ar = _mm256_loadu_pd(pr);
     const __m256d ai = _mm256_loadu_pd(pi);
     _mm256_storeu_pd(
@@ -91,8 +94,8 @@ void convolve(const PlanView& p, double* re, double* im,
   fft_pass(p, re, im, p.inv_re, p.inv_im);
   const __m256d scale = _mm256_set1_pd(p.inv_n);
   for (std::size_t i = 0; i < p.n; ++i) {
-    double* const pr = re + i * kLanes;
-    double* const pi = im + i * kLanes;
+    double* const pr = re + i * kStride;
+    double* const pi = im + i * kStride;
     _mm256_storeu_pd(pr, _mm256_mul_pd(_mm256_loadu_pd(pr), scale));
     _mm256_storeu_pd(pi, _mm256_mul_pd(_mm256_loadu_pd(pi), scale));
   }
@@ -101,7 +104,7 @@ void convolve(const PlanView& p, double* re, double* im,
 }  // namespace
 
 const BatchKernel& avx2_kernel_impl() {
-  static constexpr BatchKernel kernel{"avx2", convolve};
+  static constexpr BatchKernel kernel{"avx2", kStride, convolve};
   return kernel;
 }
 

@@ -4,41 +4,47 @@
 // forward FFT -> spectrum multiply -> inverse FFT. Rows are independent and
 // all share one plan (same padded length, same twiddles, same kernel
 // spectrum), so the natural vector unit of work is a BATCH of rows in SoA
-// layout: the workspace holds kLanes interleaved rows — element i of lane l
-// lives at index i * kLanes + l of the re/im planes — and every butterfly,
-// spectrum multiply, and scale is the *same* scalar operation applied to
-// kLanes rows at once. Because lanes never mix, a vector backend that
-// mirrors the scalar operation order per lane is bitwise-identical to the
-// scalar path (and a batch of N rows is bitwise-identical to N single-row
-// calls) by construction.
+// layout: the workspace holds one row per vector lane — element i of lane l
+// lives at index i * W + l of the re/im planes, where W is the backend's
+// lane width (BatchKernel::lanes) — and every butterfly, spectrum multiply,
+// and scale is the *same* scalar operation applied to W rows at once.
+// Because lanes never mix, a vector backend that mirrors the scalar
+// operation order per lane is bitwise-identical to the scalar path (and a
+// batch of N rows is bitwise-identical to N single-row calls) by
+// construction, whatever its width.
 //
-// Backends:
-//   * scalar — straight-line reference; reproduces the historical
+// Backends (lane width in parentheses):
+//   * scalar (4) — straight-line reference; reproduces the historical
 //     RowConvolver::convolve_row arithmetic operation for operation (same
 //     twiddle recurrence, same complex-multiply association, same 1/N
 //     scaling), one lane at a time.
-//   * avx2 — one __m256d per index covers all four double lanes. Built only
-//     when the toolchain targets x86 and IFDK_DISABLE_AVX2 is off; selected
-//     at runtime only when CPUID reports AVX2+FMA. Compiled with
-//     -ffp-contract=off so no mul/add pair of the scalar sequence is fused
-//     into a differently-rounded FMA.
+//   * avx2 (4) — one __m256d per index covers all four double lanes.
+//   * avx512 (8) — one __m512d per index covers eight double lanes, halving
+//     the number of butterfly passes per row throughput-wise.
+//   * neon (4) — two float64x2_t per index cover the four double lanes on
+//     AArch64.
+// Availability and kAuto resolution live in common/simd_dispatch (shared
+// with the back-projection column layer); every vector TU builds with
+// -ffp-contract=off so no mul/add pair of the scalar sequence is fused into
+// a differently-rounded FMA.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
+#include "common/simd_dispatch.h"
+
 namespace ifdk::fft::simd {
 
-/// Rows per SoA batch: one detector row per vector lane (__m256d holds four
-/// doubles, so four rows saturate the AVX2 backend).
-inline constexpr std::size_t kLanes = 4;
+/// One Backend enum for every vectorized layer; see common/simd_dispatch.h.
+using Backend = ifdk::simd::Backend;
+using ifdk::simd::compiled;
+using ifdk::simd::supported;
+using ifdk::simd::to_string;
 
-/// Which FFT batch backend a RowConvolver uses. kAuto resolves at runtime to
-/// the fastest backend the executing CPU supports.
-enum class Backend { kAuto, kScalar, kAvx2 };
-
-/// Human-readable backend name ("auto" / "scalar" / "avx2").
-const char* to_string(Backend backend);
+/// The widest lane count of any backend (avx512's 8): workspaces sized for
+/// kMaxLanes rows fit whichever kernel dispatch settles on.
+inline constexpr std::size_t kMaxLanes = 8;
 
 /// Read-only view of one RowConvolver plan: everything the batch kernel
 /// needs that does not depend on the row data. All pointers stay owned by
@@ -63,8 +69,9 @@ struct PlanView {
 };
 
 /// One batch of work: forward-transform, spectrum-multiply, inverse-transform
-/// and normalize `lanes` rows held in the SoA planes re/im (stride kLanes,
-/// inactive lanes zero-filled by the caller). On return the filtered row
+/// and normalize `lanes` rows held in the SoA planes re/im. The SoA stride
+/// is the kernel's own lane width (BatchKernel::lanes); inactive lanes up to
+/// that width are zero-filled by the caller. On return the filtered row
 /// values sit in the real plane; the caller windows out
 /// [kernel_center, kernel_center + row_length).
 using ConvolveFn = void (*)(const PlanView& plan, double* re, double* im,
@@ -72,21 +79,17 @@ using ConvolveFn = void (*)(const PlanView& plan, double* re, double* im,
 
 struct BatchKernel {
   const char* name;
+  /// SoA stride and rows per batch — a backend property (see header doc).
+  std::size_t lanes;
   ConvolveFn convolve;
 };
 
 /// The scalar reference backend (always available).
 const BatchKernel& scalar_kernel();
 
-/// True when the AVX2 translation unit was built into this binary.
-bool avx2_compiled();
-
-/// True when the AVX2 backend is built in *and* the executing CPU reports
-/// AVX2+FMA — i.e. select(Backend::kAvx2) will succeed.
-bool avx2_supported();
-
-/// Resolves a backend choice to a kernel. kAuto prefers AVX2 when supported;
-/// an explicit kAvx2 request throws ConfigError when unsupported.
+/// Resolves a backend choice to a kernel via ifdk::simd::resolve: kAuto
+/// prefers the widest supported backend; an explicit request for an
+/// unavailable backend throws ConfigError.
 const BatchKernel& select(Backend backend);
 
 }  // namespace ifdk::fft::simd

@@ -15,14 +15,18 @@ namespace ifdk::fft::simd {
 
 namespace {
 
+/// This backend's SoA stride (= BatchKernel::lanes).
+constexpr std::size_t kStride = 4;
+
 // One radix-2 pass over lane `l`: bit-reversal permutation (precomputed swap
 // pairs), then the butterfly stages with stage-packed twiddles. Identical
 // loop structure and operation order to the seed's radix2().
 void fft_lane(const PlanView& p, double* re, double* im, std::size_t l,
               const double* tw_re, const double* tw_im) {
   for (std::size_t s = 0; s < p.swaps; ++s) {
-    const std::size_t a = static_cast<std::size_t>(p.swap_from[s]) * kLanes + l;
-    const std::size_t b = static_cast<std::size_t>(p.swap_to[s]) * kLanes + l;
+    const std::size_t a =
+        static_cast<std::size_t>(p.swap_from[s]) * kStride + l;
+    const std::size_t b = static_cast<std::size_t>(p.swap_to[s]) * kStride + l;
     std::swap(re[a], re[b]);
     std::swap(im[a], im[b]);
   }
@@ -33,8 +37,8 @@ void fft_lane(const PlanView& p, double* re, double* im, std::size_t l,
     const double* wi = tw_im + (half - 1);
     for (std::size_t i = 0; i < p.n; i += len) {
       for (std::size_t k = 0; k < half; ++k) {
-        const std::size_t ua = (i + k) * kLanes + l;
-        const std::size_t vb = (i + k + half) * kLanes + l;
+        const std::size_t ua = (i + k) * kStride + l;
+        const std::size_t vb = (i + k + half) * kStride + l;
         // v = a[i+k+half] * w, complex multiply in the std::complex finite
         // fast-path order: (re*re - im*im, re*im + im*re).
         const double bre = re[vb];
@@ -55,12 +59,12 @@ void fft_lane(const PlanView& p, double* re, double* im, std::size_t l,
 void convolve(const PlanView& p, double* re, double* im, std::size_t lanes) {
   // Lanes are fully independent rows: processing them one at a time here and
   // four at a time in the AVX2 backend yields bitwise-identical planes. Only
-  // the active lanes are touched, so a single-row call does 1/kLanes of the
+  // the active lanes are touched, so a single-row call does 1/kStride of the
   // work rather than transforming zero-filled padding.
   for (std::size_t l = 0; l < lanes; ++l) {
     fft_lane(p, re, im, l, p.fwd_re, p.fwd_im);
     for (std::size_t i = 0; i < p.n; ++i) {
-      const std::size_t x = i * kLanes + l;
+      const std::size_t x = i * kStride + l;
       const double ar = re[x];
       const double ai = im[x];
       re[x] = ar * p.kernel_re[i] - ai * p.kernel_im[i];
@@ -68,7 +72,7 @@ void convolve(const PlanView& p, double* re, double* im, std::size_t lanes) {
     }
     fft_lane(p, re, im, l, p.inv_re, p.inv_im);
     for (std::size_t i = 0; i < p.n; ++i) {
-      const std::size_t x = i * kLanes + l;
+      const std::size_t x = i * kStride + l;
       re[x] *= p.inv_n;
       im[x] *= p.inv_n;
     }
@@ -78,7 +82,7 @@ void convolve(const PlanView& p, double* re, double* im, std::size_t lanes) {
 }  // namespace
 
 const BatchKernel& scalar_kernel() {
-  static constexpr BatchKernel kernel{"scalar", convolve};
+  static constexpr BatchKernel kernel{"scalar", kStride, convolve};
   return kernel;
 }
 

@@ -1,9 +1,8 @@
-// Runtime backend selection for the batched filter FFT: what was compiled in
-// (CMake decides whether the AVX2 TU exists) crossed with what the executing
-// CPU supports (CPUID via common/cpu_features). Mirrors the back-projection
-// dispatcher so one binary picks the fastest kernel on any host.
-#include "common/cpu_features.h"
-#include "common/error.h"
+// The batch-kernel table: maps the Backend enumerator that
+// ifdk::simd::resolve() settles on to this layer's kernel struct. All
+// policy (compiled/supported predicates, kAuto preference order, error
+// wording) lives in common/simd_dispatch; this file only knows which
+// translation units exist in the FFT layer.
 #include "fft/simd/batch_kernel.h"
 
 namespace ifdk::fft::simd {
@@ -11,49 +10,30 @@ namespace ifdk::fft::simd {
 #if defined(IFDK_HAVE_AVX2)
 const BatchKernel& avx2_kernel_impl();  // defined in batch_avx2.cpp
 #endif
-
-const char* to_string(Backend backend) {
-  switch (backend) {
-    case Backend::kAuto:   return "auto";
-    case Backend::kScalar: return "scalar";
-    case Backend::kAvx2:   return "avx2";
-  }
-  return "?";
-}
-
-bool avx2_compiled() {
-#if defined(IFDK_HAVE_AVX2)
-  return true;
-#else
-  return false;
+#if defined(IFDK_HAVE_AVX512)
+const BatchKernel& avx512_kernel_impl();  // defined in batch_avx512.cpp
 #endif
-}
-
-bool avx2_supported() {
-  const CpuFeatures& cpu = cpu_features();
-  return avx2_compiled() && cpu.avx2 && cpu.fma;
-}
+#if defined(IFDK_HAVE_NEON)
+const BatchKernel& neon_kernel_impl();  // defined in batch_neon.cpp
+#endif
 
 const BatchKernel& select(Backend backend) {
-  switch (backend) {
-    case Backend::kScalar:
-      return scalar_kernel();
+  switch (ifdk::simd::resolve(backend, "FFT batch")) {
+#if defined(IFDK_HAVE_AVX2)
     case Backend::kAvx2:
-      IFDK_REQUIRE(avx2_supported(),
-                   "the AVX2 FFT backend is not available "
-                   "(not compiled in, or the CPU lacks AVX2/FMA)");
-#if defined(IFDK_HAVE_AVX2)
       return avx2_kernel_impl();
-#else
-      break;  // unreachable: the REQUIRE above threw
 #endif
-    case Backend::kAuto:
-#if defined(IFDK_HAVE_AVX2)
-      if (avx2_supported()) return avx2_kernel_impl();
+#if defined(IFDK_HAVE_AVX512)
+    case Backend::kAvx512:
+      return avx512_kernel_impl();
 #endif
+#if defined(IFDK_HAVE_NEON)
+    case Backend::kNeon:
+      return neon_kernel_impl();
+#endif
+    default:
       return scalar_kernel();
   }
-  return scalar_kernel();
 }
 
 }  // namespace ifdk::fft::simd

@@ -53,8 +53,9 @@ FilterEngine::FilterEngine(const geo::CbctGeometry& geometry,
 
 void FilterEngine::filter_group(Image2D& projection, std::size_t group,
                                 fft::Workspace& ws) const {
-  const std::size_t v0 = group * fft::kBatchLanes;
-  const std::size_t rows = std::min(fft::kBatchLanes, geometry_.nv - v0);
+  const std::size_t lanes = convolver_->batch_lanes();
+  const std::size_t v0 = group * lanes;
+  const std::size_t rows = std::min(lanes, geometry_.nv - v0);
   for (std::size_t r = 0; r < rows; ++r) {
     float* row = projection.row(v0 + r);
     const float* weight = cosine_.row(v0 + r);
@@ -68,7 +69,7 @@ void FilterEngine::apply(Image2D& projection, fft::Workspace& ws) const {
   IFDK_REQUIRE(projection.width() == geometry_.nu &&
                    projection.height() == geometry_.nv,
                "projection size does not match the geometry");
-  const std::size_t groups = div_ceil(geometry_.nv, fft::kBatchLanes);
+  const std::size_t groups = div_ceil(geometry_.nv, convolver_->batch_lanes());
   if (options_.pool != nullptr) {
     // Pool workers can't share one workspace; each grabs its thread's own.
     options_.pool->parallel_for(0, groups, [&](std::size_t g) {
@@ -95,7 +96,8 @@ void FilterEngine::apply_batch(std::vector<Image2D>& projections) const {
                        projections[i].height() == geometry_.nv,
                    "projection size does not match the geometry");
       fft::Workspace& ws = fft::thread_workspace();
-      const std::size_t groups = div_ceil(geometry_.nv, fft::kBatchLanes);
+      const std::size_t groups =
+          div_ceil(geometry_.nv, convolver_->batch_lanes());
       for (std::size_t g = 0; g < groups; ++g) {
         filter_group(projections[i], g, ws);
       }

@@ -13,9 +13,10 @@
 //
 // The engine is what the paper runs on the CPUs: rows are independent, so a
 // ThreadPool parallelizes across them (the paper uses OpenMP + Intel IPP).
-// Rows feed the fft/simd batch backends fft::kBatchLanes at a time (SoA, one
-// row per vector lane); FilterOptions::fft_backend picks the kernel the same
-// way BpConfig::simd_backend does for back-projection, and every backend —
+// Rows feed the fft/simd batch backends batch_lanes() at a time (SoA, one
+// row per vector lane; 8 rows per group on avx512, 4 elsewhere);
+// FilterOptions::fft_backend picks the kernel the same way
+// BpConfig::simd_backend does for back-projection, and every backend —
 // batched or row-at-a-time — produces bitwise-identical projections.
 #pragma once
 
@@ -40,8 +41,9 @@ struct FilterOptions {
   std::size_t kernel_half_width = 0;
   /// Optional pool; filtering runs serially when null.
   ThreadPool* pool = nullptr;
-  /// Which FFT batch backend convolves the rows (kAuto = fastest supported
-  /// at runtime; kScalar / kAvx2 force one, mirroring BpConfig::simd_backend).
+  /// Which FFT batch backend convolves the rows (kAuto = widest supported
+  /// at runtime; kScalar / kAvx2 / kAvx512 / kNeon force one, mirroring
+  /// BpConfig::simd_backend).
   fft::Backend fft_backend = fft::Backend::kAuto;
 };
 
@@ -72,13 +74,13 @@ class FilterEngine {
   /// The spatial ramp kernel after all normalization, exposed for tests.
   const std::vector<double>& kernel() const { return kernel_; }
 
-  /// Name of the FFT batch backend the convolver selected ("scalar" or
-  /// "avx2"), after kAuto resolution.
+  /// Name of the FFT batch backend the convolver selected ("scalar",
+  /// "avx2", "avx512" or "neon"), after kAuto resolution.
   const char* fft_backend_name() const { return convolver_->backend_name(); }
 
  private:
-  /// Weights and convolves one kBatchLanes-row group (group g covers rows
-  /// [g * kBatchLanes, ...)); the unit of work both apply paths schedule.
+  /// Weights and convolves one batch_lanes()-row group (group g covers rows
+  /// [g * batch_lanes(), ...)); the unit of work both apply paths schedule.
   void filter_group(Image2D& projection, std::size_t group,
                     fft::Workspace& ws) const;
 

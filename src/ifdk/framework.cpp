@@ -126,6 +126,7 @@ class BlockingFdkWorkload final : public engine::Workload {
 
     bp::BpConfig bp_cfg;
     bp_cfg.batch = options.bp_batch;
+    bp_cfg.simd_backend = options.simd_backend;
     bp_cfg.k_begin = static_cast<std::size_t>(row) * slab_h;
     bp_cfg.k_half = slab_h;
     bp::Backprojector backprojector(geometry, bp_cfg);
@@ -606,6 +607,7 @@ class FdkStreamWorkload final : public engine::Workload {
         if (geom_changed || v == 0 || !plans[v - 1].same_grid(plan)) {
           bp::BpConfig bp_cfg;
           bp_cfg.batch = options.bp_batch;
+          bp_cfg.simd_backend = options.simd_backend;
           bp_cfg.k_begin =
               static_cast<std::size_t>(plan.row_of(rank)) * plan.slab_h;
           bp_cfg.k_half = plan.slab_h;

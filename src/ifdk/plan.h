@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "backproj/simd/column_kernel.h"
 #include "filter/filter_engine.h"
 #include "geometry/cbct.h"
 #include "gpusim/device.h"
@@ -52,8 +53,14 @@ struct IfdkOptions {
   /// Measured per-GPU rates feeding the Eq. (7) row selection.
   perfmodel::MicroBench microbench;
   /// Ramp window etc.; the back-projection kernel is always the proposed
-  /// Algorithm 4 in slab-pair mode.
+  /// Algorithm 4 in slab-pair mode. FilterOptions::fft_backend picks the
+  /// filtering stage's SIMD backend.
   filter::FilterOptions filter;
+  /// SIMD column backend for the back-projection stage (the counterpart of
+  /// filter.fft_backend): kAuto resolves at runtime to the widest supported
+  /// backend; a concrete value forces one on every rank and throws where
+  /// unavailable.
+  bp::simd::Backend simd_backend = bp::simd::Backend::kAuto;
   /// Projections per simulated H2D+kernel launch on the Bp-thread.
   std::size_t bp_batch = 32;
   /// Circular-buffer depth (Fig. 4a); also the async store queue depth.

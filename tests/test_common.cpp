@@ -23,9 +23,23 @@ namespace ifdk {
 namespace {
 
 TEST(AlignedBuffer, AllocatesCacheLineAligned) {
+  // The SIMD layers assume 64-byte buffers (a full __m512 / __m512d); pin
+  // the constant itself so a future retune can't silently under-align them.
+  static_assert(kCacheLineBytes == 64);
   AlignedBuffer<float> buf(1000);
   EXPECT_EQ(buf.size(), 1000u);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBuffer, OddSizesStayCacheLineAligned) {
+  // Sizes that are not multiples of a line still round up to aligned
+  // storage, whatever the element type.
+  for (const std::size_t count : {1u, 3u, 17u, 63u, 65u}) {
+    AlignedBuffer<float> f(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f.data()) % 64, 0u) << count;
+    AlignedBuffer<double> d(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % 64, 0u) << count;
+  }
 }
 
 TEST(AlignedBuffer, ZeroFillWorks) {

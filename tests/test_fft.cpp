@@ -228,17 +228,17 @@ TEST(RowConvolverProperty, MatchesDirectAcrossRowLengthsAndWindows) {
 }
 
 TEST(RowConvolverProperty, BatchedMatchesDirectOnPartialBatches) {
-  // Row counts straddling the kBatchLanes boundary: partial batches, one
-  // exact batch, and a batch-plus-remainder all reduce to the same direct
-  // convolution.
+  // Row counts straddling the resolved kernel's lane boundary: partial
+  // batches, one exact batch, and a batch-plus-remainder all reduce to the
+  // same direct convolution.
   const std::size_t nu = 45;
   const auto kernel = filter::make_ramp_kernel(nu - 1, 1.1,
                                                filter::RampWindow::kHamming,
                                                0.9);
   RowConvolver conv(nu, kernel);
-  for (const std::size_t count : {std::size_t{1}, std::size_t{3},
-                                  kBatchLanes, kBatchLanes + 1,
-                                  3 * kBatchLanes + 2}) {
+  const std::size_t lanes = conv.batch_lanes();
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3}, lanes,
+                                  lanes + 1, 3 * lanes + 2}) {
     Rng rng(41 + count);
     std::vector<float> rows(count * nu);
     for (auto& v : rows) v = static_cast<float>(rng.next_double() * 2 - 1);

@@ -1,19 +1,26 @@
-// FFT batch-backend equivalence suite, modeled on test_simd_backends: the
-// scalar batch backend is the bitwise reference (it replays the historical
-// convolve_row arithmetic operation for operation), the AVX2 backend must
-// match it bitwise on every row — and batched calls must match single-row
-// calls bitwise, whatever the backend, because lanes never mix. Also covers
-// the runtime dispatch semantics, the workspace allocation contract (the
-// seed allocated a padded complex vector per filtered row), and full
+// FFT batch-backend matrix suite, modeled on test_simd_backends: the scalar
+// batch backend is the bitwise reference (it replays the historical
+// convolve_row arithmetic operation for operation), and every vector backend
+// — avx2, avx512, neon — must match it bitwise on every row. Batched calls
+// must match single-row calls bitwise, whatever the backend and whatever its
+// lane count (8-row groups on avx512, 4 elsewhere), because lanes never mix.
+// Matrix tests parameterize over ifdk::simd::kConcreteBackends and skip
+// visibly when a backend is unavailable. Also covers the runtime dispatch
+// semantics, the workspace allocation contract (the seed allocated a padded
+// complex vector per filtered row), workspace alignment, and full
 // filtered-projection equivalence through FilterEngine on phantom data.
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/cpu_features.h"
+#include "common/error.h"
+#include "common/simd_dispatch.h"
 #include "common/thread_pool.h"
 #include "fft/fft.h"
 #include "fft/simd/batch_kernel.h"
@@ -51,31 +58,59 @@ bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
 TEST(FftDispatch, ScalarAlwaysAvailable) {
   EXPECT_STREQ(simd::scalar_kernel().name, "scalar");
   EXPECT_EQ(&simd::select(Backend::kScalar), &simd::scalar_kernel());
+  EXPECT_EQ(simd::scalar_kernel().lanes, 4u);
 }
 
-TEST(FftDispatch, AutoSelectsSupportedBackend) {
-  const simd::BatchKernel& k = simd::select(Backend::kAuto);
-  if (simd::avx2_supported()) {
-    EXPECT_STREQ(k.name, "avx2");
-  } else {
-    EXPECT_STREQ(k.name, "scalar");
+TEST(FftDispatch, AutoSelectsWidestSupportedBackend) {
+  const char* expected = "scalar";
+  for (const Backend b : ifdk::simd::kConcreteBackends) {
+    if (simd::supported(b)) {
+      expected = simd::to_string(b);
+      break;
+    }
+  }
+  EXPECT_STREQ(simd::select(Backend::kAuto).name, expected);
+}
+
+TEST(FftDispatch, LaneCountIsABackendProperty) {
+  // SoA width is owned by the kernel: 8 doubles-pair lanes on avx512, 4 on
+  // every other backend, never above the workspace sizing bound.
+  for (const Backend b : ifdk::simd::kConcreteBackends) {
+    if (!simd::supported(b)) continue;
+    const simd::BatchKernel& k = simd::select(b);
+    EXPECT_EQ(k.lanes, b == Backend::kAvx512 ? 8u : 4u) << k.name;
+    EXPECT_LE(k.lanes, simd::kMaxLanes);
   }
 }
 
 TEST(FftDispatch, SupportImpliesCompiledAndCpu) {
-  if (simd::avx2_supported()) {
-    EXPECT_TRUE(simd::avx2_compiled());
-    EXPECT_TRUE(cpu_features().avx2);
-    EXPECT_TRUE(cpu_features().fma);
+  const CpuFeatures& cpu = cpu_features();
+  if (simd::supported(Backend::kAvx2)) {
+    EXPECT_TRUE(simd::compiled(Backend::kAvx2));
+    EXPECT_TRUE(cpu.avx2);
+    EXPECT_TRUE(cpu.fma);
+  }
+  if (simd::supported(Backend::kAvx512)) {
+    EXPECT_TRUE(simd::compiled(Backend::kAvx512));
+    EXPECT_TRUE(cpu.avx512f);
+    EXPECT_TRUE(cpu.avx512dq);
+    EXPECT_TRUE(cpu.avx512vl);
+  }
+  if (simd::supported(Backend::kNeon)) {
+    EXPECT_TRUE(simd::compiled(Backend::kNeon));
+    EXPECT_TRUE(cpu.neon);
   }
 }
 
-TEST(FftDispatch, ExplicitAvx2ThrowsWhenUnsupported) {
+TEST(FftDispatch, ExplicitRequestThrowsExactlyWhenUnsupported) {
   const auto kernel = test_kernel(8);
-  if (simd::avx2_supported()) {
-    EXPECT_NO_THROW(RowConvolver(64, kernel, Backend::kAvx2));
-  } else {
-    EXPECT_THROW(RowConvolver(64, kernel, Backend::kAvx2), ConfigError);
+  for (const Backend b : ifdk::simd::kConcreteBackends) {
+    if (simd::supported(b)) {
+      EXPECT_NO_THROW(RowConvolver(64, kernel, b)) << simd::to_string(b);
+    } else {
+      EXPECT_THROW(RowConvolver(64, kernel, b), ConfigError)
+          << simd::to_string(b);
+    }
   }
 }
 
@@ -84,13 +119,15 @@ TEST(FftDispatch, BackendNameReportsResolvedKernel) {
   EXPECT_STREQ(RowConvolver(64, kernel, Backend::kScalar).backend_name(),
                "scalar");
   EXPECT_STREQ(RowConvolver(64, kernel).backend_name(),
-               simd::avx2_supported() ? "avx2" : "scalar");
+               simd::select(Backend::kAuto).name);
 }
 
 TEST(FftDispatch, ToStringCoversAllBackends) {
   EXPECT_STREQ(simd::to_string(Backend::kAuto), "auto");
   EXPECT_STREQ(simd::to_string(Backend::kScalar), "scalar");
   EXPECT_STREQ(simd::to_string(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(simd::to_string(Backend::kAvx512), "avx512");
+  EXPECT_STREQ(simd::to_string(Backend::kNeon), "neon");
 }
 
 // ---------------------------------------------------------------------------
@@ -113,6 +150,20 @@ TEST(FftWorkspace, AllocatesOnceAcrossManyBatches) {
   EXPECT_EQ(ws.allocations(), 1u);
 }
 
+TEST(FftWorkspace, AllocatesOnceAcrossBackendSwitches) {
+  // Workspaces are sized for kMaxLanes SoA planes regardless of which
+  // kernel fills them, so handing one workspace to every available backend
+  // at the same row length must never regrow it.
+  Workspace ws;
+  const auto kernel = test_kernel(17);
+  auto rows = random_rows(11, 97, 7);
+  for (const Backend b : ifdk::simd::kConcreteBackends) {
+    if (!simd::supported(b)) continue;
+    RowConvolver(97, kernel, b).convolve_rows(rows.data(), 11, ws);
+  }
+  EXPECT_EQ(ws.allocations(), 1u);
+}
+
 TEST(FftWorkspace, GrowsOnlyWhenCapacityIsExceeded) {
   Workspace ws;
   const RowConvolver small(32, test_kernel(8), Backend::kScalar);
@@ -127,51 +178,97 @@ TEST(FftWorkspace, GrowsOnlyWhenCapacityIsExceeded) {
   EXPECT_EQ(ws.allocations(), 2u);
 }
 
+TEST(FftWorkspace, PlanesAreCacheLineAligned) {
+  // The SoA planes feed aligned vector loads; AlignedBuffer pins them to
+  // 64 bytes, a full __m512d.
+  const RowConvolver conv(97, test_kernel(17), Backend::kScalar);
+  Workspace ws;
+  auto rows = random_rows(4, conv.row_length(), 9);
+  conv.convolve_rows(rows.data(), 4, ws);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.re()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.im()) % 64, 0u);
+}
+
 // ---------------------------------------------------------------------------
-// Batched vs single-row, scalar vs AVX2 — all bitwise
+// Backend equivalence matrix: every vector backend vs the scalar reference
 // ---------------------------------------------------------------------------
+
+class FftBackendMatrix : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (!simd::supported(GetParam())) {
+      GTEST_SKIP() << simd::to_string(GetParam())
+                   << " backend not available on this build/CPU";
+    }
+  }
+
+  Backend backend() const { return GetParam(); }
+};
+
+std::string backend_name(const ::testing::TestParamInfo<Backend>& info) {
+  return simd::to_string(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FftBackendMatrix,
+                         ::testing::ValuesIn(ifdk::simd::kConcreteBackends),
+                         backend_name);
 
 // Row lengths covering odd/even Nu and padded sizes from tiny to typical.
 const std::size_t kRowLengths[] = {5, 16, 33, 64, 100, 256};
 
-TEST(FftBackendEquivalence, BatchedMatchesSingleRowBitwiseScalar) {
+TEST_P(FftBackendMatrix, BatchedMatchesSingleRowBitwise) {
   for (const std::size_t nu : kRowLengths) {
-    const RowConvolver conv(nu, test_kernel(nu / 2 + 1), Backend::kScalar);
-    // 11 rows: two full batches plus a 3-lane partial batch.
-    auto batched = random_rows(11, nu, 3);
+    const RowConvolver conv(nu, test_kernel(nu / 2 + 1), backend());
+    // 19 rows: a partial final group for both lane widths (19 = 4*4+3 =
+    // 2*8+3), so remainder lanes are covered whatever the backend.
+    auto batched = random_rows(19, nu, 3);
     auto single = batched;
-    conv.convolve_rows(batched.data(), 11);
-    for (std::size_t r = 0; r < 11; ++r) {
+    conv.convolve_rows(batched.data(), 19);
+    for (std::size_t r = 0; r < 19; ++r) {
       conv.convolve_row(single.data() + r * nu);
     }
     EXPECT_TRUE(bitwise_equal(batched, single)) << "nu=" << nu;
   }
 }
 
-TEST(FftBackendEquivalence, Avx2MatchesScalarBitwise) {
-  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+TEST_P(FftBackendMatrix, MatchesScalarBitwise) {
   for (const std::size_t nu : kRowLengths) {
     const auto kernel = test_kernel(nu / 2 + 1);
     const RowConvolver scalar(nu, kernel, Backend::kScalar);
-    const RowConvolver avx2(nu, kernel, Backend::kAvx2);
-    auto a = random_rows(11, nu, 4);
+    const RowConvolver vec(nu, kernel, backend());
+    auto a = random_rows(19, nu, 4);
     auto b = a;
-    scalar.convolve_rows(a.data(), 11);
-    avx2.convolve_rows(b.data(), 11);
+    scalar.convolve_rows(a.data(), 19);
+    vec.convolve_rows(b.data(), 19);
     EXPECT_TRUE(bitwise_equal(a, b)) << "nu=" << nu << " batched";
 
     auto c = random_rows(3, nu, 5);
     auto d = c;
     for (std::size_t r = 0; r < 3; ++r) {
       scalar.convolve_row(c.data() + r * nu);
-      avx2.convolve_row(d.data() + r * nu);
+      vec.convolve_row(d.data() + r * nu);
     }
     EXPECT_TRUE(bitwise_equal(c, d)) << "nu=" << nu << " single-row";
   }
 }
 
-TEST(FftBackendEquivalence, AllWindowsAllBackendsBitwise) {
-  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+TEST_P(FftBackendMatrix, PartialBatchEveryResidue) {
+  // Every row count from 1 up past two 8-lane groups, so every remainder
+  // shape of both lane widths (1..3 mod 4, 1..7 mod 8) hits the backend.
+  const std::size_t nu = 64;
+  const auto kernel = test_kernel(nu / 2 + 1);
+  const RowConvolver scalar(nu, kernel, Backend::kScalar);
+  const RowConvolver vec(nu, kernel, backend());
+  for (std::size_t count = 1; count <= 17; ++count) {
+    auto a = random_rows(count, nu, 100 + static_cast<unsigned>(count));
+    auto b = a;
+    scalar.convolve_rows(a.data(), count);
+    vec.convolve_rows(b.data(), count);
+    EXPECT_TRUE(bitwise_equal(a, b)) << "rows=" << count;
+  }
+}
+
+TEST_P(FftBackendMatrix, AllWindowsBitwise) {
   const std::size_t nu = 96;
   for (const auto w :
        {filter::RampWindow::kRamLak, filter::RampWindow::kSheppLogan,
@@ -179,11 +276,11 @@ TEST(FftBackendEquivalence, AllWindowsAllBackendsBitwise) {
         filter::RampWindow::kHann}) {
     const auto kernel = filter::make_ramp_kernel(nu - 1, 0.9, w, 2.0);
     const RowConvolver scalar(nu, kernel, Backend::kScalar);
-    const RowConvolver avx2(nu, kernel, Backend::kAvx2);
-    auto a = random_rows(6, nu, 6);
+    const RowConvolver vec(nu, kernel, backend());
+    auto a = random_rows(9, nu, 6);
     auto b = a;
-    scalar.convolve_rows(a.data(), 6);
-    avx2.convolve_rows(b.data(), 6);
+    scalar.convolve_rows(a.data(), 9);
+    vec.convolve_rows(b.data(), 9);
     EXPECT_TRUE(bitwise_equal(a, b)) << filter::to_string(w);
   }
 }
@@ -196,7 +293,8 @@ std::vector<Image2D> phantom_projections(const geo::CbctGeometry& g) {
   return phantom::project_all(phantom::shepp_logan(), g);
 }
 
-// Odd Nv (37) forces a partial final row batch in every projection.
+// Odd Nv (37) forces a partial final row group in every projection for both
+// lane widths (37 = 9*4+1 = 4*8+5).
 geo::CbctGeometry grid_geometry() {
   auto g = geo::make_standard_geometry({{48, 37, 12}, {32, 32, 32}});
   return g;
@@ -222,14 +320,24 @@ std::vector<Image2D> filter_all(const geo::CbctGeometry& g,
   return projections;
 }
 
-TEST(FilterBackendEquivalence, Avx2ProjectionsMatchScalarBitwise) {
-  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
+TEST_P(FftBackendMatrix, FilteredProjectionsMatchScalarBitwise) {
   const auto g = grid_geometry();
   filter::FilterOptions scalar;
   scalar.fft_backend = Backend::kScalar;
-  filter::FilterOptions avx2;
-  avx2.fft_backend = Backend::kAvx2;
-  expect_projections_bitwise(filter_all(g, scalar), filter_all(g, avx2));
+  filter::FilterOptions vec;
+  vec.fft_backend = backend();
+  expect_projections_bitwise(filter_all(g, scalar), filter_all(g, vec));
+}
+
+TEST_P(FftBackendMatrix, PooledMatchesSerialScalarBitwise) {
+  const auto g = grid_geometry();
+  ThreadPool pool(4);
+  filter::FilterOptions scalar;
+  scalar.fft_backend = Backend::kScalar;
+  filter::FilterOptions pooled;
+  pooled.fft_backend = backend();
+  pooled.pool = &pool;
+  expect_projections_bitwise(filter_all(g, scalar), filter_all(g, pooled));
 }
 
 TEST(FilterBackendEquivalence, PooledMatchesSerialBitwise) {
@@ -240,19 +348,6 @@ TEST(FilterBackendEquivalence, PooledMatchesSerialBitwise) {
   filter::FilterOptions pooled = serial;
   pooled.pool = &pool;
   expect_projections_bitwise(filter_all(g, serial), filter_all(g, pooled));
-}
-
-TEST(FilterBackendEquivalence, PooledAvx2MatchesSerialScalarBitwise) {
-  if (!simd::avx2_supported()) GTEST_SKIP() << "AVX2 backend unavailable";
-  const auto g = grid_geometry();
-  ThreadPool pool(4);
-  filter::FilterOptions scalar;
-  scalar.fft_backend = Backend::kScalar;
-  filter::FilterOptions pooled_avx2;
-  pooled_avx2.fft_backend = Backend::kAvx2;
-  pooled_avx2.pool = &pool;
-  expect_projections_bitwise(filter_all(g, scalar),
-                             filter_all(g, pooled_avx2));
 }
 
 TEST(FilterBackendEquivalence, CallerWorkspaceMatchesThreadLocalBitwise) {

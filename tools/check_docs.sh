@@ -11,9 +11,10 @@
 #    src/ifdk/plan.h — src/pfs, src/cluster, which consumes the plan,
 #    src/service, the scheduler front door over it, src/engine, the
 #    execution engine beneath both workloads, src/iterative, the second
-#    workload, src/projector, its forward operator, and src/fft +
-#    src/filter, the batched SIMD ramp-filter stage) must carry a doc
-#    comment on the line above (grep/awk heuristic:
+#    workload, src/projector, its forward operator, src/fft + src/filter,
+#    the batched SIMD ramp-filter stage, and the SIMD backend surface:
+#    src/backproj/simd, src/common/simd_dispatch.h + cpu_features.h) must
+#    carry a doc comment on the line above (grep/awk heuristic:
 #    two-space-indented class members and column-0 free functions;
 #    move/copy boilerplate, destructors and `= default/delete` lines are
 #    exempt).
@@ -81,7 +82,8 @@ check_header() {
 for header in src/minimpi/*.h src/ifdk/*.h src/pfs/*.h src/cluster/*.h \
               src/service/*.h src/engine/*.h src/iterative/*.h \
               src/projector/*.h src/postproc/*.h src/fft/*.h \
-              src/fft/simd/*.h src/filter/*.h; do
+              src/fft/simd/*.h src/filter/*.h src/backproj/simd/*.h \
+              src/common/simd_dispatch.h src/common/cpu_features.h; do
   if ! check_header "$header"; then
     fail=1
   fi
